@@ -1,0 +1,130 @@
+// Ablation: the role of aggressive negative caching (paper §7.3).
+//
+// The paper's §7.3 argues that if the DLV registry used NSEC3/NSEC5,
+// aggressive negative caching would be unavailable ("Every query to the
+// resolver would trigger a query to the DLV server"), trading the
+// enumeration-resistance of hashed denial for *more* leakage. This ablation
+// quantifies that: same workload, NSEC caching on vs. off, plus the DLV
+// negative-cache TTL sweep that shows how cache lifetime shapes leakage.
+#include <iostream>
+
+#include "bench_util.h"
+#include <memory>
+
+#include "core/experiment.h"
+#include "dlv/registry.h"
+#include "metrics/table.h"
+
+namespace {
+
+lookaside::core::LeakageReport run(std::uint64_t n, bool aggressive,
+                                   std::uint32_t ttl,
+                                   lookaside::core::PhaseMetrics* metrics) {
+  lookaside::core::UniverseExperiment::Options options;
+  options.resolver_config = lookaside::resolver::ResolverConfig::bind_yum();
+  options.resolver_config.aggressive_negative_caching = aggressive;
+  options.dlv_negative_ttl = ttl;
+  lookaside::core::UniverseExperiment experiment(options);
+  const auto report = experiment.run_topn(n);
+  if (metrics != nullptr) *metrics = experiment.metrics();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lookaside;
+
+  const std::uint64_t n =
+      std::min<std::uint64_t>(bench::max_scale(5'000), 100'000);
+
+  bench::banner("Ablation A: aggressive negative caching on vs. off (Sec. 7.3)");
+  metrics::Table table({"NSEC caching", "DLV queries", "Leaked domains",
+                        "Leak %", "Time (s)", "Traffic (MB)"});
+  for (const bool aggressive : {true, false}) {
+    core::PhaseMetrics metrics;
+    const auto report = run(n, aggressive, 3600, &metrics);
+    table.row()
+        .cell(aggressive ? "on (NSEC registry)" : "off (NSEC3/NSEC5 model)")
+        .cell(report.dlv_queries)
+        .cell(report.distinct_leaked_domains)
+        .percent_cell(report.leaked_proportion())
+        .cell(metrics.response_seconds, 1)
+        .cell(metrics.megabytes, 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: with caching off, every insecure resolution hits\n"
+               "the DLV server — strictly more queries and leaked domains\n"
+               "(the paper's NSEC3/NSEC5 privacy-vs-performance tradeoff).\n";
+
+  bench::banner("Ablation B: DLV negative-cache TTL sweep");
+  metrics::Table ttl_table({"Negative TTL (s)", "DLV queries",
+                            "Leaked domains", "Leak %"});
+  for (const std::uint32_t ttl : {10u, 60u, 600u, 3600u, 86400u}) {
+    const auto report = run(n, true, ttl, nullptr);
+    ttl_table.row()
+        .cell(static_cast<std::uint64_t>(ttl))
+        .cell(report.dlv_queries)
+        .cell(report.distinct_leaked_domains)
+        .percent_cell(report.leaked_proportion());
+  }
+  ttl_table.print(std::cout);
+  std::cout << "\nExpected: leakage decreases monotonically with TTL — longer\n"
+               "denial lifetimes mean more queries are answered from the\n"
+               "aggressive cache instead of reaching the third party.\n";
+
+  bench::banner("Ablation C: number of configured DLV registries (Sec. 7.3.2)");
+  // "ISC is only one of many used in the wild": a resolver configured with
+  // several registries leaks to every one of them on each miss. Run in the
+  // NSEC3/NSEC5 denial model (no aggressive caching): with NSEC caching an
+  // *empty* extra registry self-limits — its single wrap-around NSEC range
+  // covers the whole namespace, so a caching validator only ever sends it
+  // one query. (A measured nuance of ISC's empty-zone phase-out: it leaks
+  // far less to caching validators than to non-caching ones.)
+  metrics::Table multi_table({"Registries", "Total DLV queries observed",
+                              "Observed per visited domain"});
+  const std::uint64_t multi_n = std::min<std::uint64_t>(n, 1'000);
+  for (int extra = 0; extra <= 2; ++extra) {
+    core::UniverseExperiment::Options options;
+    options.resolver_config.aggressive_negative_caching = false;
+    for (int i = 0; i < extra; ++i) {
+      options.resolver_config.additional_dlv_domains.push_back(
+          dns::Name::parse(i == 0 ? "dlv.cert.ru" : "dlv.trusted-keys.de"));
+    }
+    core::UniverseExperiment experiment(options);
+    // Additional registries are independent third parties with their own
+    // (empty, post-phase-out-style) zones — everything they observe is
+    // Case-2 by construction.
+    std::vector<std::unique_ptr<dlv::DlvRegistry>> extras;
+    std::uint64_t extra_queries = 0;
+    for (const dns::Name& apex :
+         experiment.resolver().config().additional_dlv_domains) {
+      dlv::DlvRegistry::Options registry_options;
+      registry_options.apex = apex;
+      registry_options.seed = 0xD17 + extras.size() + 1;
+      extras.push_back(std::make_unique<dlv::DlvRegistry>(registry_options));
+      extras.back()->set_store_observations(false);
+      experiment.world().directory().register_zone(
+          apex, std::shared_ptr<sim::Endpoint>(extras.back().get(),
+                                               [](sim::Endpoint*) {}));
+      experiment.resolver().set_dlv_trust_anchor(
+          apex, extras.back()->trust_anchor());
+    }
+    const auto report = experiment.run_topn(multi_n);
+    for (const auto& registry : extras) {
+      extra_queries += registry->total_queries();
+    }
+    multi_table.row()
+        .cell(static_cast<std::uint64_t>(1 + extra))
+        .cell(report.dlv_queries + extra_queries)
+        .cell(metrics::Table::fixed(
+            static_cast<double>(report.dlv_queries + extra_queries) /
+                static_cast<double>(multi_n),
+            2));
+  }
+  multi_table.print(std::cout);
+  std::cout << "\nExpected: observed queries scale with the number of\n"
+               "configured registries — every additional third party sees\n"
+               "(roughly) the same Case-2 stream.\n";
+  return 0;
+}

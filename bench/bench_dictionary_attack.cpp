@@ -1,0 +1,77 @@
+// Reproduces §6.2.4: dictionary attacks against the privacy-preserving
+// (hashed) DLV remedy.
+//
+// The paper argues: (a) with ~350M registrable domains, precomputing all
+// hashes is impractical; (b) restricting the dictionary to DNSSEC-enabled
+// domains shrinks the attacker's work but still leaves subdomains
+// exponential; (c) even a successful attack only reveals queries for
+// domains the attacker already enumerated.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/dictionary.h"
+#include "core/experiment.h"
+#include "metrics/table.h"
+
+int main() {
+  using namespace lookaside;
+
+  bench::banner("Sec. 6.2.4: dictionary attack on hashed DLV");
+
+  // Run a hashed-DLV workload; collect what the registry observed.
+  const std::uint64_t visited =
+      std::min<std::uint64_t>(bench::max_scale(2'000), 20'000);
+  core::UniverseExperiment::Options options;
+  options.remedy = core::RemedyMode::kHashed;
+  core::UniverseExperiment experiment(options);
+  std::vector<dns::Name> observed;
+  experiment.world().registry().set_observer(
+      [&observed](const dlv::Observation& obs) {
+        observed.push_back(obs.query_name);
+      });
+  (void)experiment.run_topn(visited);
+  std::cout << "Visited " << visited << " domains under hashed DLV; registry"
+            << " observed " << observed.size() << " (hashed) queries.\n\n";
+
+  const workload::Universe& universe = experiment.world().universe();
+  const dns::Name apex = experiment.world().registry().apex();
+
+  metrics::Table table({"Attacker dictionary", "Entries", "Hash computations",
+                        "Recovered", "Recovery rate"});
+  struct Scenario {
+    const char* label;
+    std::uint64_t count;
+    bool dnssec_only;
+  };
+  const Scenario scenarios[] = {
+      {"top 1% of universe", visited / 100, false},
+      {"top 10% of universe", visited / 10, false},
+      {"full visited range", visited, false},
+      {"10x visited range (superset)", visited * 10, false},
+      {"DNSSEC-enabled only, full range", visited, true},
+  };
+  for (const Scenario& scenario : scenarios) {
+    const auto dictionary =
+        core::universe_dictionary(universe, scenario.count,
+                                  scenario.dnssec_only);
+    const core::DictionaryAttacker attacker(apex, dictionary);
+    const auto result = attacker.attack(observed);
+    table.row()
+        .cell(scenario.label)
+        .cell(result.dictionary_size)
+        .cell(result.hash_computations)
+        .cell(result.recovered)
+        .percent_cell(result.recovery_rate());
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: recovery is bounded by dictionary coverage of the\n"
+         "observed set — hashing converts a passive total observer into an\n"
+         "active guesser. The DNSSEC-only refinement cuts the attacker's\n"
+         "work by ~10x at the cost of missing everything unsigned, and a\n"
+         "real attacker must also cover subdomains (exponentially many,\n"
+         "paper §6.2.4). Combined with the TXT/Z-bit signaling remedies,\n"
+         "the residual exposure is Case-1-equivalent only.\n";
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: hashing,
+// RSA, name canonicalization, the wire codec, caches, and full resolutions.
+// Not a paper artifact — these guard the simulator's own performance.
+#include <benchmark/benchmark.h>
+
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "dlv/registry.h"
+#include "dns/codec.h"
+#include "resolver/cache.h"
+#include "resolver/resolver.h"
+#include "server/testbed.h"
+#include "workload/stub.h"
+#include "workload/universe_world.h"
+
+namespace {
+
+using namespace lookaside;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const crypto::Bytes data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_RsaSign256(benchmark::State& state) {
+  crypto::SplitMix64 rng(1);
+  const auto kp = crypto::generate_rsa_keypair(256, rng);
+  const auto digest = crypto::Sha256::digest("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.private_key.sign_digest(digest));
+  }
+}
+BENCHMARK(BM_RsaSign256);
+
+void BM_RsaVerify256(benchmark::State& state) {
+  crypto::SplitMix64 rng(1);
+  const auto kp = crypto::generate_rsa_keypair(256, rng);
+  const auto digest = crypto::Sha256::digest("bench");
+  const auto sig = kp.private_key.sign_digest(digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.public_key.verify_digest(digest, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify256);
+
+void BM_RsaSign512(benchmark::State& state) {
+  crypto::SplitMix64 rng(1);
+  const auto kp = crypto::generate_rsa_keypair(512, rng);
+  const auto digest = crypto::Sha256::digest("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.private_key.sign_digest(digest));
+  }
+}
+BENCHMARK(BM_RsaSign512);
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Name::parse("www.some-domain-name.example.com"));
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameCanonicalCompare(benchmark::State& state) {
+  const dns::Name a = dns::Name::parse("alpha.example.com.dlv.isc.org");
+  const dns::Name b = dns::Name::parse("omega.example.net.dlv.isc.org");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.canonical_compare(b));
+  }
+}
+BENCHMARK(BM_NameCanonicalCompare);
+
+dns::Message sample_response() {
+  dns::Message message = dns::Message::make_response(dns::Message::make_query(
+      1, dns::Name::parse("example.com"), dns::RRType::kA, true, true));
+  const dns::Name owner = dns::Name::parse("example.com");
+  message.answers.push_back(
+      dns::ResourceRecord::make(owner, 300, dns::ARdata{0x01020304}));
+  dns::RrsigRdata sig;
+  sig.type_covered = dns::RRType::kA;
+  sig.signer = owner;
+  sig.signature = dns::Bytes(32, 0x55);
+  message.answers.push_back(dns::ResourceRecord::make(owner, 300, sig));
+  message.authorities.push_back(dns::ResourceRecord::make(
+      owner, 3600, dns::NsRdata{dns::Name::parse("ns1.example.com")}));
+  return message;
+}
+
+void BM_MessageEncode(benchmark::State& state) {
+  const dns::Message message = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode_message(message));
+  }
+}
+BENCHMARK(BM_MessageEncode);
+
+void BM_MessageDecode(benchmark::State& state) {
+  const dns::Bytes wire = dns::encode_message(sample_response());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode_message(wire));
+  }
+}
+BENCHMARK(BM_MessageDecode);
+
+void BM_CacheNsecCheck(benchmark::State& state) {
+  sim::SimClock clock;
+  resolver::ResolverCache cache(clock);
+  const dns::Name apex = dns::Name::parse("dlv.isc.org");
+  // Populate a chain with `range(0)` entries.
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    dns::NsecRdata nsec;
+    nsec.next = dns::Name::parse("d" + std::to_string(i) + "b.com.dlv.isc.org");
+    nsec.types = {dns::RRType::kDlv};
+    cache.store_nsec(apex, dns::ResourceRecord::make(
+                               dns::Name::parse("d" + std::to_string(i) +
+                                                "a.com.dlv.isc.org"),
+                               3600, nsec));
+  }
+  const dns::Name probe = dns::Name::parse("d500x.com.dlv.isc.org");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.nsec_check(apex, probe, dns::RRType::kDlv));
+  }
+}
+BENCHMARK(BM_CacheNsecCheck)->Arg(100)->Arg(10000);
+
+void BM_FullResolutionUncached(benchmark::State& state) {
+  workload::WorldOptions world_options;
+  world_options.universe.size = 1'000'000;
+  workload::UniverseWorld world(world_options);
+  sim::SimClock clock;
+  sim::Network network(clock);
+  world.registry().set_store_observations(false);
+  resolver::RecursiveResolver resolver(
+      network, world.directory(), resolver::ResolverConfig::bind_yum());
+  resolver.set_root_trust_anchor(world.root_trust_anchor());
+  resolver.set_dlv_trust_anchor(world.registry().trust_anchor());
+  std::uint64_t rank = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve(
+        world.universe().domain_at(rank), dns::RRType::kA));
+    rank = rank % 900'000 + 1;
+  }
+}
+BENCHMARK(BM_FullResolutionUncached)->Unit(benchmark::kMicrosecond);
+
+void BM_StubVisitWarmCaches(benchmark::State& state) {
+  workload::WorldOptions world_options;
+  world_options.universe.size = 100'000;
+  workload::UniverseWorld world(world_options);
+  sim::SimClock clock;
+  sim::Network network(clock);
+  world.registry().set_store_observations(false);
+  resolver::RecursiveResolver resolver(
+      network, world.directory(), resolver::ResolverConfig::bind_yum());
+  resolver.set_root_trust_anchor(world.root_trust_anchor());
+  resolver.set_dlv_trust_anchor(world.registry().trust_anchor());
+  workload::StubClient stub(network, resolver);
+  (void)stub.visit(world.universe().domain_at(42));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stub.visit(world.universe().domain_at(42)));
+  }
+}
+BENCHMARK(BM_StubVisitWarmCaches)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

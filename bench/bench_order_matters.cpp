@@ -1,0 +1,96 @@
+// Reproduces §5.1 "Order Matters": shuffling the same top-100 domain list
+// changes WHICH domains leak, because aggressive negative caching
+// suppresses a query exactly when an *earlier* query fetched an NSEC range
+// covering it ("If there are two domains that can be proved to be
+// non-existent by the same NSEC record, only the first domain will be
+// queried with DLV").
+//
+// Paper reference: three shuffled trials of the top-100 produced 82%, 84%
+// and 77% leakage.
+//
+// A finding this reproduction makes explicit: with idealized caching (no
+// TTL expiry inside the run) the leaked COUNT is order-invariant — it
+// equals the number of distinct NSEC gaps the query set touches — while the
+// leaked SET varies. The paper's count variation appears once cache entries
+// can expire mid-run, which the second table shows with a short negative
+// TTL.
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "metrics/table.h"
+
+namespace {
+
+struct Trial {
+  std::string label;
+  lookaside::core::LeakageReport report;
+  std::set<std::string> leaked;
+};
+
+Trial run_trial(const std::string& label, std::uint64_t n,
+                std::uint64_t shuffle_seed, std::uint32_t negative_ttl) {
+  lookaside::core::UniverseExperiment::Options options;
+  options.dlv_negative_ttl = negative_ttl;
+  lookaside::core::UniverseExperiment experiment(options);
+  Trial trial;
+  trial.label = label;
+  trial.report = shuffle_seed == 0
+                     ? experiment.run_topn(n)
+                     : experiment.run_topn_shuffled(n, shuffle_seed);
+  trial.leaked = experiment.analyzer().leaked_domains();
+  return trial;
+}
+
+std::size_t set_difference_size(const std::set<std::string>& a,
+                                const std::set<std::string>& b) {
+  std::size_t out = 0;
+  for (const auto& item : a) out += b.count(item) == 0;
+  return out;
+}
+
+void run_block(std::uint64_t n, std::uint32_t ttl, const char* heading) {
+  lookaside::bench::banner(heading);
+  std::vector<Trial> trials;
+  trials.push_back(run_trial("rank order", n, 0, ttl));
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    trials.push_back(
+        run_trial("shuffle seed " + std::to_string(seed), n, seed, ttl));
+  }
+  lookaside::metrics::Table table(
+      {"Order", "Leaked", "Leaked %", "Only in this order (vs rank order)"});
+  for (const Trial& trial : trials) {
+    table.row()
+        .cell(trial.label)
+        .cell(trial.report.distinct_leaked_domains)
+        .percent_cell(trial.report.leaked_proportion())
+        .cell(static_cast<std::uint64_t>(
+            set_difference_size(trial.leaked, trials.front().leaked)));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lookaside;
+
+  std::cout << "Same 100 domains, different visit orders; fresh resolver and\n"
+               "caches per trial. Paper: 82% / 84% / 77%.\n";
+
+  run_block(100, 3600,
+            "Top-100 trials, negative TTL 3600 s (no expiry inside the run)");
+  std::cout
+      << "\nWith no expiry the count equals the number of distinct NSEC gaps\n"
+         "touched — an order-invariant — while the last column shows the\n"
+         "leaked SET shifting between orders (the paper's mechanism).\n";
+
+  run_block(100, 10,
+            "Top-100 trials, negative TTL 10 s (expiry inside the run)");
+  std::cout
+      << "\nWith cache entries expiring mid-run, the count itself varies by\n"
+         "order, reproducing the paper's 77-84% spread mechanism.\n";
+  return 0;
+}

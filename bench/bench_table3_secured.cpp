@@ -1,0 +1,78 @@
+// Reproduces §5.2 / Table 3: whether the 45 DNSSEC-secured domains are sent
+// to the DLV server under each installer's default configuration, plus the
+// DNS-OARC operator survey that frames the practical impact.
+//
+// Paper reference (Table 3): apt-get No; apt-get† Yes; yum No; manual Yes.
+// With a *correct* configuration, exactly the 5 islands of security reach
+// the DLV server (and validate through it).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/survey.h"
+#include "metrics/table.h"
+#include "workload/secured45.h"
+
+int main() {
+  using namespace lookaside;
+
+  bench::banner("Table 3: secured domains vs. installer defaults");
+  std::cout << "45 DNSSEC-secured domains (40 chained to the root, 5 islands\n"
+               "of security with DLV deposits), resolved under each default\n"
+               "configuration. 'Leaked to DLV' counts distinct domains the\n"
+               "registry observed.\n\n";
+
+  struct Case {
+    const char* name;
+    resolver::ResolverConfig config;
+    const char* paper_says;
+  };
+  const Case cases[] = {
+      {"apt-get (default)", resolver::ResolverConfig::bind_apt_get(), "No"},
+      {"apt-get+ (user set validation yes)",
+       resolver::ResolverConfig::bind_apt_get_dagger(), "Yes"},
+      {"yum (default)", resolver::ResolverConfig::bind_yum(), "No*"},
+      {"manual (fresh config)", resolver::ResolverConfig::bind_manual(),
+       "Yes"},
+      {"manual (correct, Fig. 6)",
+       resolver::ResolverConfig::bind_manual_correct(), "No*"},
+      {"unbound (correct, Fig. 7)",
+       resolver::ResolverConfig::unbound_correct(), "No*"},
+      {"unbound (package default)",
+       resolver::ResolverConfig::unbound_package(), "No"},
+  };
+
+  metrics::Table table({"Configuration", "DLV on", "Sent to DLV", "Secure",
+                        "Via DLV", "Paper (Table 3)"});
+  for (const Case& c : cases) {
+    const core::SecuredRunResult result = core::run_secured_45(c.config, c.name);
+    table.row()
+        .cell(c.name)
+        .cell(result.dlv_enabled ? "yes" : "no")
+        .cell(result.sent_to_dlv)
+        .cell(result.validated_secure)
+        .cell(result.validated_via_dlv)
+        .cell(c.paper_says);
+  }
+  table.print(std::cout);
+  std::cout << "\n(*) 'No' in the paper's Table 3 means the chained domains\n"
+               "do not leak; the paper separately reports that exactly five\n"
+               "islands of security were sent to (and validated through)\n"
+               "the DLV server when the configuration was correct.\n";
+
+  bench::banner("Sec. 5.2: DNS-OARC 2015 operator survey (56 respondents)");
+  metrics::Table practice({"Configuration practice", "Respondents", "Percent"});
+  for (const auto& bucket : core::survey_configuration_practice()) {
+    practice.row().cell(bucket.label).cell(bucket.respondents).cell(
+        metrics::Table::fixed(bucket.percent, 2) + "%");
+  }
+  practice.print(std::cout);
+  std::cout << "\n";
+  metrics::Table anchors({"Trust anchor use", "Respondents", "Percent"});
+  for (const auto& bucket : core::survey_dlv_anchor_use()) {
+    anchors.row().cell(bucket.label).cell(bucket.respondents).cell(
+        metrics::Table::fixed(bucket.percent, 2) + "%");
+  }
+  anchors.print(std::cout);
+  return 0;
+}

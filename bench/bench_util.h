@@ -1,0 +1,38 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench prints (a) the paper's table/figure as measured by this
+// simulator and (b) the paper's reported numbers next to it, so shape
+// comparisons are one glance. Scale can be capped for quick runs via the
+// LOOKASIDE_SCALE environment variable (e.g. LOOKASIDE_SCALE=10000).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace lookaside::bench {
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n\n";
+}
+
+/// Maximum workload size: LOOKASIDE_SCALE env var, else `default_max`.
+inline std::uint64_t max_scale(std::uint64_t default_max) {
+  const char* env = std::getenv("LOOKASIDE_SCALE");
+  if (env == nullptr) return default_max;
+  const std::uint64_t parsed = std::strtoull(env, nullptr, 10);
+  return parsed == 0 ? default_max : parsed;
+}
+
+/// The standard N ladder {100, 1k, 10k, ...} capped at `max`.
+inline std::vector<std::uint64_t> n_ladder(std::uint64_t max) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t n = 100; n <= max; n *= 10) out.push_back(n);
+  if (out.empty()) out.push_back(max);
+  return out;
+}
+
+}  // namespace lookaside::bench

@@ -1,0 +1,67 @@
+// Leakage audit across installer defaults — the paper's §4/§5 measurement
+// campaign as a runnable scenario.
+//
+// Simulates a user browsing 200 popular domains behind a recursive
+// resolver installed each of the ways the paper studied, and reports how
+// much of the browsing history the DLV operator could reconstruct.
+//
+//   ./build/examples/leakage_audit
+#include <iostream>
+
+#include "config/install_matrix.h"
+#include "core/experiment.h"
+#include "metrics/table.h"
+
+int main() {
+  using namespace lookaside;
+
+  std::cout << "Browsing 200 popular domains under each installer default\n"
+               "(universe: 1M-domain Alexa-like model, DLV registry\n"
+               "populated from the deposit model).\n\n";
+
+  struct Scenario {
+    std::string label;
+    resolver::ResolverConfig config;
+  };
+  std::vector<Scenario> scenarios = {
+      {"BIND via apt-get (Debian/Ubuntu default)",
+       resolver::ResolverConfig::bind_apt_get()},
+      {"BIND via yum (CentOS/Fedora default)",
+       resolver::ResolverConfig::bind_yum()},
+      {"BIND apt-get, user enabled validation+DLV (apt-get+)",
+       resolver::ResolverConfig::bind_apt_get_dagger()},
+      {"BIND manual install, fresh config",
+       resolver::ResolverConfig::bind_manual()},
+      {"BIND manual, correct config (Fig. 6)",
+       resolver::ResolverConfig::bind_manual_correct()},
+      {"Unbound package default", resolver::ResolverConfig::unbound_package()},
+      {"Unbound correct config (Fig. 7)",
+       resolver::ResolverConfig::unbound_correct()},
+  };
+
+  metrics::Table table({"Resolver setup", "DLV on", "Visited",
+                        "History leaked", "Leak %"});
+  for (const Scenario& scenario : scenarios) {
+    core::UniverseExperiment::Options options;
+    options.universe_size = 1'000'000;
+    options.resolver_config = scenario.config;
+    core::UniverseExperiment experiment(options);
+    const core::LeakageReport report = experiment.run_topn(200);
+    table.row()
+        .cell(scenario.label)
+        .cell(scenario.config.dlv_enabled() ? "yes" : "no")
+        .cell(report.domains_visited)
+        .cell(report.distinct_leaked_domains)
+        .percent_cell(report.leaked_proportion());
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nHow to read this:\n"
+         "  - apt-get / Unbound-package defaults never contact DLV: no leak.\n"
+         "  - yum's default (and any correct DLV setup) leaks most unsigned\n"
+         "    domains as Case-2 queries — the paper's core finding.\n"
+         "  - The apt-get+/manual configs (trust anchor missing) are worse:\n"
+         "    every domain, even fully DNSSEC-secured ones, goes to DLV.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Packet-level walkthrough of one DLV resolution — the paper's Fig. 3
+// workflow, reproduced as an annotated capture.
+//
+//   ./build/examples/packet_trace
+#include <iomanip>
+#include <iostream>
+
+#include "dlv/registry.h"
+#include "resolver/resolver.h"
+#include "server/testbed.h"
+#include "sim/clock.h"
+
+int main() {
+  using namespace lookaside;
+
+  server::Testbed testbed(
+      server::TestbedOptions{},
+      {{"example.com", /*signed=*/true, /*ds_in_parent=*/false, false, {}}});
+  dlv::DlvRegistry registry(dlv::DlvRegistry::Options{});
+  registry.deposit(dns::Name::parse("example.com"),
+                   testbed.signed_sld("example.com")->ds_for_parent());
+  testbed.directory().register_zone(
+      registry.apex(),
+      std::shared_ptr<sim::Endpoint>(&registry, [](sim::Endpoint*) {}));
+
+  sim::SimClock clock;
+  sim::Network network(clock);
+  network.set_capture_enabled(true);
+  resolver::RecursiveResolver resolver(
+      network, testbed.directory(),
+      resolver::ResolverConfig::bind_manual_correct());
+  resolver.set_root_trust_anchor(testbed.root_trust_anchor());
+  resolver.set_dlv_trust_anchor(registry.trust_anchor());
+
+  std::cout << "Resolving example.com (signed island of security, DLV record\n"
+               "deposited) — the paper's Fig. 3 workflow:\n\n";
+  const auto result =
+      resolver.resolve(dns::Name::parse("example.com"), dns::RRType::kA);
+
+  std::cout << std::left << std::setw(10) << "time(ms)" << std::setw(24)
+            << "from -> to" << std::setw(7) << "bytes"
+            << "what\n";
+  for (const sim::PacketRecord& packet : network.capture()) {
+    std::string what = packet.is_query
+                           ? "query  " + packet.qname.to_text() + " " +
+                                 dns::rr_type_name(packet.qtype)
+                           : "reply  " + dns::rcode_name(packet.rcode);
+    std::cout << std::left << std::setw(10)
+              << packet.time_us / 1000 << std::setw(24)
+              << (packet.from + " -> " + packet.to) << std::setw(7)
+              << packet.bytes << what << "\n";
+  }
+
+  std::cout << "\nOutcome: status=" << resolver::status_name(result.status)
+            << (result.secured_by_dlv ? " via DLV" : "") << ", "
+            << result.upstream_exchanges << " upstream exchanges, "
+            << clock.now_us() / 1000 << " ms simulated response time.\n"
+            << "\nNote the final leg: the full domain name rides to the DLV\n"
+               "server as <domain>.dlv.isc.org with query type 32769 — the\n"
+               "observation channel the paper measures.\n";
+  return 0;
+}

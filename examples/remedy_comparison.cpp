@@ -1,0 +1,78 @@
+// Remedy comparison — the paper's §6.2 fixes, side by side, on the same
+// browsing workload: what each remedy costs and how much privacy it buys.
+//
+//   ./build/examples/remedy_comparison
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/leakage.h"
+#include "metrics/table.h"
+
+namespace {
+
+struct Outcome {
+  lookaside::core::LeakageReport leakage;
+  lookaside::core::PhaseMetrics cost;
+  std::string what_registry_sees;
+};
+
+Outcome run(lookaside::core::RemedyMode remedy, std::uint64_t n) {
+  lookaside::core::UniverseExperiment::Options options;
+  options.remedy = remedy;
+  options.remedy_deployed_at_authorities = true;  // fixes fully deployed
+  lookaside::core::UniverseExperiment experiment(options);
+  Outcome out;
+  out.leakage = experiment.run_topn(n);
+  out.cost = experiment.metrics();
+  switch (remedy) {
+    case lookaside::core::RemedyMode::kNone:
+      out.what_registry_sees = "every unsigned domain, in the clear";
+      break;
+    case lookaside::core::RemedyMode::kTxt:
+    case lookaside::core::RemedyMode::kZBit:
+      out.what_registry_sees = "only domains with deposited records";
+      break;
+    case lookaside::core::RemedyMode::kHashed:
+      out.what_registry_sees = "opaque hashes (dictionary attack needed)";
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lookaside;
+
+  const std::uint64_t n = 300;
+  std::cout << "Browsing " << n << " popular domains under a correct\n"
+               "DLV-enabled resolver, with each remedy fully deployed.\n\n";
+
+  metrics::Table table({"Remedy", "Leaked domains", "Leak %", "Time (s)",
+                        "Traffic (MB)", "Queries", "Registry sees"});
+  for (const core::RemedyMode remedy :
+       {core::RemedyMode::kNone, core::RemedyMode::kTxt,
+        core::RemedyMode::kZBit, core::RemedyMode::kHashed}) {
+    const Outcome outcome = run(remedy, n);
+    table.row()
+        .cell(core::remedy_name(remedy))
+        .cell(outcome.leakage.distinct_leaked_domains)
+        .percent_cell(outcome.leakage.leaked_proportion())
+        .cell(outcome.cost.response_seconds, 1)
+        .cell(outcome.cost.megabytes, 2)
+        .cell(outcome.cost.queries)
+        .cell(outcome.what_registry_sees);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nNotes:\n"
+         "  - txt-signaling & z-bit drop Case-2 queries to zero when\n"
+         "    deployed; TXT pays an extra lookup per domain, Z rides along\n"
+         "    free (paper Fig. 11).\n"
+         "  - hashed-dlv sends the same number of queries but the operator\n"
+         "    sees hashes; its 'leaked' column counts distinct opaque\n"
+         "    identifiers, which only a dictionary attack can name\n"
+         "    (see bench_dictionary_attack).\n";
+  return 0;
+}

@@ -1,0 +1,211 @@
+#include "config/conf_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace lookaside::config {
+
+namespace {
+
+const char* mode_text(resolver::ValidationMode mode) {
+  switch (mode) {
+    case resolver::ValidationMode::kNo: return "no";
+    case resolver::ValidationMode::kYes: return "yes";
+    case resolver::ValidationMode::kAuto: return "auto";
+  }
+  return "no";
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+/// Strips //, # and /* ... */ comments (BIND accepts all three).
+std::string strip_comments(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_block = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (in_block) {
+      if (text.substr(i, 2) == "*/") {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    if (text.substr(i, 2) == "/*") {
+      in_block = true;
+      ++i;
+      continue;
+    }
+    if (text.substr(i, 2) == "//" || text[i] == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      if (i < text.size()) out.push_back('\n');
+      continue;
+    }
+    out.push_back(text[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_bind_conf(const resolver::ResolverConfig& config) {
+  std::ostringstream out;
+  out << "options {\n";
+  out << "        dnssec-enable " << (config.dnssec_enable ? "yes" : "no")
+      << ";\n";
+  out << "        dnssec-validation " << mode_text(config.dnssec_validation)
+      << ";\n";
+  if (config.dnssec_lookaside) {
+    out << "        dnssec-lookaside auto;\n";
+  }
+  out << "};\n";
+  if (config.root_trust_anchor_included || config.dlv_trust_anchor_included) {
+    out << "include \"/etc/bind.keys\";\n";
+  }
+  return out.str();
+}
+
+std::string render_unbound_conf(const resolver::ResolverConfig& config) {
+  std::ostringstream out;
+  out << "server:\n";
+  const bool validation =
+      config.validation_enabled() && config.root_trust_anchor_included;
+  out << (validation ? "        " : "        # ")
+      << "auto-trust-anchor-file: \"/usr/local/etc/unbound/root.key\"\n";
+  out << (config.dlv_trust_anchor_included ? "        " : "        # ")
+      << "dlv-anchor-file: \"dlv.isc.org.key\"\n";
+  return out.str();
+}
+
+std::optional<ParseResult> parse_bind_conf(std::string_view text) {
+  ParseResult result;
+  resolver::ResolverConfig& config = result.config;
+  // Fresh-file semantics: nothing configured until stated.
+  config.dnssec_enable = true;  // BIND default
+  config.dnssec_validation = resolver::ValidationMode::kYes;  // ARM default
+  config.dnssec_lookaside = false;
+  config.root_trust_anchor_included = false;
+  config.dlv_trust_anchor_included = false;
+
+  const std::string cleaned = strip_comments(text);
+
+  // Statements are ';'-separated; blocks use braces. We only need the
+  // options statements and top-level includes, so tokenize on ';'.
+  int brace_depth = 0;
+  std::string statement;
+  std::vector<std::string> statements;
+  for (char c : cleaned) {
+    if (c == '{') {
+      // Block headers ("options {") end a statement without a ';'.
+      ++brace_depth;
+      statements.push_back(trim(statement));
+      statement.clear();
+      continue;
+    }
+    if (c == '}') {
+      --brace_depth;
+      if (brace_depth < 0) return std::nullopt;
+      continue;
+    }
+    if (c == ';') {
+      statements.push_back(trim(statement));
+      statement.clear();
+      continue;
+    }
+    statement.push_back(c);
+  }
+  if (brace_depth != 0) return std::nullopt;
+  if (!trim(statement).empty()) return std::nullopt;  // missing ';'
+
+  for (const std::string& raw : statements) {
+    if (raw.empty() || raw == "options") continue;
+    std::istringstream words(raw);
+    std::string key, value;
+    words >> key >> value;
+    if (key == "dnssec-enable") {
+      config.dnssec_enable = value == "yes";
+      if (value != "yes" && value != "no") {
+        result.warnings.push_back("dnssec-enable has unknown value: " + value);
+      }
+    } else if (key == "dnssec-validation") {
+      if (value == "yes") {
+        config.dnssec_validation = resolver::ValidationMode::kYes;
+      } else if (value == "auto") {
+        config.dnssec_validation = resolver::ValidationMode::kAuto;
+      } else if (value == "no") {
+        config.dnssec_validation = resolver::ValidationMode::kNo;
+      } else {
+        result.warnings.push_back("dnssec-validation has unknown value: " +
+                                  value);
+      }
+    } else if (key == "dnssec-lookaside") {
+      config.dnssec_lookaside = value == "auto";
+      if (value != "auto" && value != "no") {
+        result.warnings.push_back("dnssec-lookaside has unknown value: " +
+                                  value);
+      }
+    } else if (key == "include") {
+      if (raw.find("bind.keys") != std::string::npos) {
+        config.root_trust_anchor_included = true;
+        config.dlv_trust_anchor_included = true;
+      } else {
+        result.warnings.push_back("unrecognized include: " + raw);
+      }
+    } else {
+      result.warnings.push_back("ignored option: " + key);
+    }
+  }
+
+  // The paper's headline misconfiguration, surfaced at parse time.
+  if (config.dnssec_validation == resolver::ValidationMode::kYes &&
+      !config.root_trust_anchor_included) {
+    result.warnings.push_back(
+        "dnssec-validation yes without a trust-anchor include: validation "
+        "cannot succeed; with dnssec-lookaside every query will go to the "
+        "DLV server");
+  }
+  return result;
+}
+
+std::optional<ParseResult> parse_unbound_conf(std::string_view text) {
+  ParseResult result;
+  resolver::ResolverConfig& config = result.config;
+  config.dnssec_validation = resolver::ValidationMode::kNo;
+  config.dnssec_lookaside = false;
+  config.root_trust_anchor_included = false;
+  config.dlv_trust_anchor_included = false;
+
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;  // comments = off
+    if (stripped.rfind("auto-trust-anchor-file:", 0) == 0 ||
+        stripped.rfind("trust-anchor-file:", 0) == 0) {
+      config.dnssec_validation = resolver::ValidationMode::kYes;
+      config.root_trust_anchor_included = true;
+    } else if (stripped.rfind("dlv-anchor-file:", 0) == 0) {
+      config.dnssec_validation = resolver::ValidationMode::kYes;
+      config.dlv_trust_anchor_included = true;
+    } else if (stripped == "server:") {
+      continue;
+    } else {
+      result.warnings.push_back("ignored line: " + stripped);
+    }
+  }
+  return result;
+}
+
+}  // namespace lookaside::config

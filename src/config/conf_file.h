@@ -1,0 +1,50 @@
+// Rendering and parsing of resolver configuration files — the literal
+// artifacts of the paper's Figs. 4-7.
+//
+// The paper's root cause is that *files on disk* (named.conf.options,
+// unbound.conf) differ between installers and from the documentation. This
+// module round-trips ResolverConfig through those file formats: render the
+// exact snippets the paper shows, and parse a named.conf/unbound.conf
+// subset back into a ResolverConfig so misconfigurations can be audited
+// from their source.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "resolver/config.h"
+
+namespace lookaside::config {
+
+/// Renders a named.conf.options in the style of the paper's Figs. 4-6.
+/// Only emits options that are explicitly set (matching how installers
+/// write minimal files); includes `include "/etc/bind.keys";` when the
+/// trust anchors are configured.
+[[nodiscard]] std::string render_bind_conf(
+    const resolver::ResolverConfig& config);
+
+/// Renders an unbound.conf in the style of the paper's Fig. 7. Unbound's
+/// implicit model: features are enabled by anchor-file lines; disabled
+/// features appear as commented-out lines (a fresh manual install).
+[[nodiscard]] std::string render_unbound_conf(
+    const resolver::ResolverConfig& config);
+
+/// Parse outcome: the configuration plus any diagnostics.
+struct ParseResult {
+  resolver::ResolverConfig config;
+  std::vector<std::string> warnings;  // unknown options, suspicious values
+};
+
+/// Parses a named.conf.options subset: the three dnssec-* options and the
+/// bind.keys include, tolerating comments and flexible whitespace.
+/// Returns nullopt on syntax errors (unterminated blocks, missing ';').
+[[nodiscard]] std::optional<ParseResult> parse_bind_conf(
+    std::string_view text);
+
+/// Parses an unbound.conf subset: auto-trust-anchor-file and
+/// dlv-anchor-file lines; commented lines leave the feature off.
+[[nodiscard]] std::optional<ParseResult> parse_unbound_conf(
+    std::string_view text);
+
+}  // namespace lookaside::config

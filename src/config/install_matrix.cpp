@@ -1,0 +1,121 @@
+#include "config/install_matrix.h"
+
+namespace lookaside::config {
+
+namespace {
+
+struct VersionEntry {
+  OperatingSystem os;
+  const char* os_name;
+  const char* bind_package;
+  const char* bind_manual;
+  const char* unbound_package;
+  const char* unbound_manual;
+  bool apt;
+};
+
+// Paper Table 1.
+constexpr VersionEntry kVersions[] = {
+    {OperatingSystem::kCentOs67, "CentOS 6.7", "9.9.4", "9.10.3", "1.4.20",
+     "1.5.7", false},
+    {OperatingSystem::kCentOs71, "CentOS 7.1", "9.9.4", "9.10.3", "1.4.29",
+     "1.5.7", false},
+    {OperatingSystem::kDebian7, "Debian 7", "9.8.4", "9.10.3", "1.4.17",
+     "1.5.7", true},
+    {OperatingSystem::kDebian8, "Debian 8", "9.9.5", "9.10.3", "1.4.22",
+     "1.5.7", true},
+    {OperatingSystem::kFedora21, "Fedora 21", "9.9.6", "9.10.3", "1.5.7",
+     "1.5.7", false},
+    {OperatingSystem::kFedora22, "Fedora 22", "9.10.2", "9.10.3", "1.5.7",
+     "1.5.7", false},
+    {OperatingSystem::kUbuntu1204, "Ubuntu 12.04", "9.9.5", "9.10.3", "1.4.16",
+     "1.5.7", true},
+    {OperatingSystem::kUbuntu1404, "Ubuntu 14.04", "9.9.5", "9.10.3", "1.4.22",
+     "1.5.7", true},
+};
+
+const VersionEntry& entry_for(OperatingSystem os) {
+  for (const VersionEntry& entry : kVersions) {
+    if (entry.os == os) return entry;
+  }
+  return kVersions[0];
+}
+
+}  // namespace
+
+std::string Environment::os_name() const { return entry_for(os).os_name; }
+
+bool Environment::uses_apt() const { return entry_for(os).apt; }
+
+std::string Environment::resolver_version() const {
+  const VersionEntry& entry = entry_for(os);
+  if (software == ResolverSoftware::kBind) {
+    return method == InstallMethod::kPackage ? entry.bind_package
+                                             : entry.bind_manual;
+  }
+  return method == InstallMethod::kPackage ? entry.unbound_package
+                                           : entry.unbound_manual;
+}
+
+std::string Environment::installer_name() const {
+  if (method == InstallMethod::kManual) return "manual";
+  return uses_apt() ? "apt-get" : "yum";
+}
+
+resolver::ResolverConfig Environment::default_config() const {
+  if (software == ResolverSoftware::kUnbound) {
+    return method == InstallMethod::kPackage
+               ? resolver::ResolverConfig::unbound_package()
+               : resolver::ResolverConfig::unbound_manual();
+  }
+  if (method == InstallMethod::kManual) {
+    return resolver::ResolverConfig::bind_manual();
+  }
+  return uses_apt() ? resolver::ResolverConfig::bind_apt_get()
+                    : resolver::ResolverConfig::bind_yum();
+}
+
+std::vector<Environment> install_matrix(bool include_manual) {
+  std::vector<Environment> out;
+  for (const VersionEntry& entry : kVersions) {
+    for (ResolverSoftware software :
+         {ResolverSoftware::kBind, ResolverSoftware::kUnbound}) {
+      out.push_back(Environment{entry.os, software, InstallMethod::kPackage});
+      if (include_manual) {
+        out.push_back(Environment{entry.os, software, InstallMethod::kManual});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ConfigurationRow> table2_rows() {
+  // Paper Table 2 verbatim. apt-get ships validation "auto" (ARM documents
+  // "yes"); yum ships lookaside "auto" (ARM documents "no").
+  return {
+      {"apt-get", "Yes", "Auto", "N/A", "N/A", /*arm_compliant=*/false},
+      {"yum", "Yes", "Yes", "Auto", "Yes", /*arm_compliant=*/false},
+      {"manual", "N/A", "N/A", "N/A", "N/A", /*arm_compliant=*/true},
+  };
+}
+
+std::vector<ComplianceIssue> check_arm_compliance(
+    const resolver::ResolverConfig& config) {
+  std::vector<ComplianceIssue> issues;
+  // ARM-documented defaults: dnssec-enable yes; dnssec-validation yes;
+  // dnssec-lookaside no.
+  if (!config.dnssec_enable) {
+    issues.push_back({"dnssec-enable", "no", "yes"});
+  }
+  if (config.dnssec_validation == resolver::ValidationMode::kAuto) {
+    issues.push_back({"dnssec-validation", "auto", "yes"});
+  } else if (config.dnssec_validation == resolver::ValidationMode::kNo) {
+    issues.push_back({"dnssec-validation", "no", "yes"});
+  }
+  if (config.dnssec_lookaside) {
+    issues.push_back({"dnssec-lookaside", "auto", "no"});
+  }
+  return issues;
+}
+
+}  // namespace lookaside::config

@@ -1,0 +1,72 @@
+// The paper's 16-environment installation matrix (Table 1) and the
+// per-installer default configurations (Table 2 / Figs. 4-7), including the
+// documented non-compliances with BIND's administrator reference manual.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resolver/config.h"
+
+namespace lookaside::config {
+
+enum class OperatingSystem {
+  kCentOs67,
+  kCentOs71,
+  kDebian7,
+  kDebian8,
+  kFedora21,
+  kFedora22,
+  kUbuntu1204,
+  kUbuntu1404,
+};
+
+enum class ResolverSoftware { kBind, kUnbound };
+enum class InstallMethod { kPackage, kManual };
+
+/// One of the 16 (OS x resolver x install-method) environments.
+struct Environment {
+  OperatingSystem os = OperatingSystem::kCentOs67;
+  ResolverSoftware software = ResolverSoftware::kBind;
+  InstallMethod method = InstallMethod::kPackage;
+
+  [[nodiscard]] std::string os_name() const;
+  /// Resolver version string per the paper's Table 1.
+  [[nodiscard]] std::string resolver_version() const;
+  /// "apt-get", "yum" or "manual".
+  [[nodiscard]] std::string installer_name() const;
+  /// The default ResolverConfig this environment ships (Figs. 4-7).
+  [[nodiscard]] resolver::ResolverConfig default_config() const;
+  /// Whether this OS's package manager is apt-get (Debian family).
+  [[nodiscard]] bool uses_apt() const;
+};
+
+/// All 16 environments of Table 1 (8 OSes x 2 resolvers, package install),
+/// plus the manual variants when `include_manual`.
+[[nodiscard]] std::vector<Environment> install_matrix(
+    bool include_manual = true);
+
+/// One Table 2 row: default configuration by installer.
+struct ConfigurationRow {
+  std::string installer;     // apt-get / yum / manual
+  std::string dnssec;        // dnssec-enable
+  std::string validation;    // dnssec-validation
+  std::string dlv;           // dnssec-lookaside
+  std::string trust_anchor;  // included?
+  bool arm_compliant = true; // matches BIND's documented defaults
+};
+[[nodiscard]] std::vector<ConfigurationRow> table2_rows();
+
+/// A mismatch between an environment's defaults and the BIND ARM.
+struct ComplianceIssue {
+  std::string option;
+  std::string shipped;
+  std::string documented;
+};
+
+/// Checks a BIND configuration against the ARM's documented defaults
+/// (dnssec-validation default "yes"; dnssec-lookaside default "no").
+[[nodiscard]] std::vector<ComplianceIssue> check_arm_compliance(
+    const resolver::ResolverConfig& config);
+
+}  // namespace lookaside::config

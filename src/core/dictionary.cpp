@@ -1,0 +1,47 @@
+#include "core/dictionary.h"
+
+#include <unordered_set>
+
+namespace lookaside::core {
+
+DictionaryAttacker::DictionaryAttacker(dns::Name dlv_apex,
+                                       std::vector<dns::Name> dictionary)
+    : apex_(std::move(dlv_apex)), dictionary_(std::move(dictionary)) {}
+
+DictionaryAttackResult DictionaryAttacker::attack(
+    const std::vector<dns::Name>& observed_query_names) const {
+  DictionaryAttackResult result;
+  result.dictionary_size = dictionary_.size();
+
+  std::unordered_set<std::string> observed;
+  for (const dns::Name& name : observed_query_names) {
+    observed.insert(name.internal_text());
+  }
+  result.observed_hashes = observed.size();
+
+  for (const dns::Name& candidate : dictionary_) {
+    ++result.hash_computations;
+    const dns::Name hashed = dlv::hashed_dlv_name(candidate, apex_);
+    if (observed.count(hashed.internal_text()) != 0) ++result.recovered;
+  }
+  return result;
+}
+
+std::vector<dns::Name> universe_dictionary(
+    const workload::Universe& universe, std::uint64_t count,
+    bool dnssec_only) {
+  std::vector<dns::Name> out;
+  for (std::uint64_t rank = 1; rank <= count && rank <= universe.size();
+       ++rank) {
+    if (dnssec_only) {
+      const workload::DomainInfo info = universe.info(rank);
+      if (!info.dnssec_signed) continue;
+      out.push_back(info.name);
+    } else {
+      out.push_back(universe.domain_at(rank));
+    }
+  }
+  return out;
+}
+
+}  // namespace lookaside::core

@@ -1,0 +1,65 @@
+#include "core/ditl_overhead.h"
+
+namespace lookaside::core {
+
+PerQueryCost calibrate_per_query_cost(std::uint64_t sample_domains,
+                                      UniverseExperiment::Options options) {
+  PerQueryCost cost;
+  double baseline_per_query = 0;
+  double txt_per_query = 0;
+  std::uint64_t baseline_stub_queries = 0;
+  {
+    UniverseExperiment::Options baseline_options = options;
+    baseline_options.remedy = RemedyMode::kNone;
+    UniverseExperiment baseline(baseline_options);
+    (void)baseline.run_topn(sample_domains);
+    baseline_stub_queries = baseline.stub().queries_sent();
+    baseline_per_query =
+        static_cast<double>(
+            baseline.network().counters().value("bytes.total")) /
+        static_cast<double>(baseline_stub_queries);
+  }
+  {
+    UniverseExperiment::Options txt_options = options;
+    txt_options.remedy = RemedyMode::kTxt;
+    txt_options.remedy_deployed_at_authorities = false;  // paper methodology
+    UniverseExperiment txt(txt_options);
+    (void)txt.run_topn(sample_domains);
+    txt_per_query =
+        static_cast<double>(txt.network().counters().value("bytes.total")) /
+        static_cast<double>(txt.stub().queries_sent());
+  }
+  cost.baseline_bytes = baseline_per_query;
+  cost.txt_extra_bytes = txt_per_query - baseline_per_query;
+  if (cost.txt_extra_bytes < 0) cost.txt_extra_bytes = 0;
+  (void)baseline_stub_queries;
+  return cost;
+}
+
+std::vector<DitlMinute> ditl_overhead_series(
+    const workload::DitlOptions& trace, const PerQueryCost& cost) {
+  const std::vector<std::uint64_t> rates =
+      workload::ditl_per_minute_rates(trace);
+  std::vector<DitlMinute> out;
+  out.reserve(rates.size());
+  std::uint64_t cumulative = 0;
+  double baseline_mb = 0;
+  double overhead_mb = 0;
+  for (std::uint32_t minute = 0; minute < rates.size(); ++minute) {
+    cumulative += rates[minute];
+    baseline_mb += static_cast<double>(rates[minute]) * cost.baseline_bytes /
+                   (1024.0 * 1024.0);
+    overhead_mb += static_cast<double>(rates[minute]) * cost.txt_extra_bytes /
+                   (1024.0 * 1024.0);
+    DitlMinute entry;
+    entry.minute = minute;
+    entry.queries = rates[minute];
+    entry.cumulative_queries = cumulative;
+    entry.cumulative_baseline_mb = baseline_mb;
+    entry.cumulative_overhead_mb = overhead_mb;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace lookaside::core

@@ -1,0 +1,45 @@
+// Trace-driven large-scale overhead estimate (paper §6.2.3 Fig. 12).
+//
+// The paper aggregates a 7-hour DITL capture at per-minute granularity and
+// asks: what extra bandwidth would TXT signaling cost a busy recursive?
+// We do the same: calibrate per-query byte costs from a sampled simulation,
+// then fold them over the synthetic DITL rate series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "workload/ditl.h"
+
+namespace lookaside::workload {
+struct DitlOptions;
+}
+
+namespace lookaside::core {
+
+/// Byte costs per stub query, measured from a calibration run.
+struct PerQueryCost {
+  double baseline_bytes = 0;  // serving bytes per stub query, no remedy
+  double txt_extra_bytes = 0; // additional bytes per stub query under TXT
+};
+
+/// Runs two sampled simulations (baseline and TXT) over `sample_domains`
+/// top-ranked domains and derives average per-stub-query byte costs.
+[[nodiscard]] PerQueryCost calibrate_per_query_cost(
+    std::uint64_t sample_domains, UniverseExperiment::Options options);
+
+/// One minute of the Fig. 12 series.
+struct DitlMinute {
+  std::uint32_t minute = 0;
+  std::uint64_t queries = 0;            // Fig. 12a
+  std::uint64_t cumulative_queries = 0; // Fig. 12b
+  double cumulative_baseline_mb = 0;    // Fig. 12c baseline
+  double cumulative_overhead_mb = 0;    // Fig. 12c TXT overhead
+};
+
+/// Folds the calibrated costs over the DITL rate series.
+[[nodiscard]] std::vector<DitlMinute> ditl_overhead_series(
+    const workload::DitlOptions& trace, const PerQueryCost& cost);
+
+}  // namespace lookaside::core

@@ -1,0 +1,34 @@
+#include "core/leakage.h"
+
+namespace lookaside::core {
+
+LeakageAnalyzer::LeakageAnalyzer(dlv::DlvRegistry& registry) {
+  registry.set_observer(
+      [this](const dlv::Observation& observation) { observe(observation); });
+}
+
+void LeakageAnalyzer::reset() {
+  report_ = LeakageReport{};
+  leaked_domains_.clear();
+  case1_domains_.clear();
+}
+
+void LeakageAnalyzer::observe(const dlv::Observation& observation) {
+  ++report_.dlv_queries;
+  const std::string identifier = observation.domain.is_root()
+                                     ? observation.query_name.internal_text()
+                                     : observation.domain.internal_text();
+  if (observation.had_record) {
+    ++report_.case1_queries;
+    if (case1_domains_.insert(identifier).second) {
+      ++report_.distinct_case1_domains;
+    }
+  } else {
+    ++report_.case2_queries;
+    if (leaked_domains_.insert(identifier).second) {
+      ++report_.distinct_leaked_domains;
+    }
+  }
+}
+
+}  // namespace lookaside::core

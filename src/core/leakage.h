@@ -1,0 +1,83 @@
+// Leakage model and analyzer — the paper's central measurement.
+//
+// Section 3 defines two cases for a query reaching the DLV server:
+//   Case-1: the queried domain HAS a DLV record deposited — the server was
+//           going to be involved anyway; "no worse than today's primary DNS
+//           resolution".
+//   Case-2: the domain has NO DLV record — the server observes the user's
+//           browsing while providing zero validation utility. This is the
+//           privacy leak.
+//
+// The analyzer taps a DlvRegistry's observation stream and classifies every
+// query, tracking distinct domains so Fig. 8/9-style counts come out
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "dlv/registry.h"
+
+namespace lookaside::core {
+
+/// Aggregated view of what the DLV operator learned.
+struct LeakageReport {
+  std::uint64_t domains_visited = 0;      // stub-level distinct domains
+  std::uint64_t dlv_queries = 0;          // total queries observed
+  std::uint64_t case1_queries = 0;        // had a record ("No error")
+  std::uint64_t case2_queries = 0;        // no record ("No such name")
+  std::uint64_t distinct_leaked_domains = 0;   // distinct Case-2 domains
+  std::uint64_t distinct_case1_domains = 0;
+
+  /// Fig. 9's y-axis: distinct leaked domains / domains visited.
+  [[nodiscard]] double leaked_proportion() const {
+    return domains_visited == 0
+               ? 0.0
+               : static_cast<double>(distinct_leaked_domains) /
+                     static_cast<double>(domains_visited);
+  }
+
+  /// §5.3's utility metric: fraction of DLV queries answered "No error".
+  [[nodiscard]] double utility_fraction() const {
+    return dlv_queries == 0 ? 0.0
+                            : static_cast<double>(case1_queries) /
+                                  static_cast<double>(dlv_queries);
+  }
+};
+
+/// Streams a registry's observations into a LeakageReport. Installs itself
+/// as the registry's observer; per-query storage at the registry can stay
+/// off for million-domain runs.
+class LeakageAnalyzer {
+ public:
+  explicit LeakageAnalyzer(dlv::DlvRegistry& registry);
+
+  /// Caller bookkeeping: how many distinct domains the stub visited.
+  void set_domains_visited(std::uint64_t count) {
+    report_.domains_visited = count;
+  }
+
+  [[nodiscard]] const LeakageReport& report() const { return report_; }
+
+  /// The exact set of leaked (Case-2) domain identifiers — used by the
+  /// "Order Matters" analysis to show that *which* domains leak depends on
+  /// query order even when the count does not.
+  [[nodiscard]] const std::set<std::string>& leaked_domains() const {
+    return leaked_domains_;
+  }
+
+  /// Clears all accumulated state (does not detach from the registry).
+  void reset();
+
+ private:
+  void observe(const dlv::Observation& observation);
+
+  LeakageReport report_;
+  // Distinct identifiers. In clear mode these are domain names; in hashed
+  // mode (no recoverable domain) the query name stands in.
+  std::set<std::string> leaked_domains_;
+  std::set<std::string> case1_domains_;
+};
+
+}  // namespace lookaside::core

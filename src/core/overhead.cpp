@@ -1,0 +1,42 @@
+#include "core/overhead.h"
+
+namespace lookaside::core {
+
+OverheadRow measure_overhead(std::uint64_t domains, RemedyMode remedy,
+                             UniverseExperiment::Options experiment_options) {
+  OverheadRow row;
+  row.domains = domains;
+
+  {
+    UniverseExperiment::Options options = experiment_options;
+    options.remedy = RemedyMode::kNone;
+    UniverseExperiment baseline(options);
+    (void)baseline.run_topn(domains);
+    row.baseline = baseline.metrics();
+  }
+  {
+    UniverseExperiment::Options options = experiment_options;
+    options.remedy = remedy;
+    // The paper's overhead methodology: TXT is queried for every domain but
+    // almost no domain serves it. The Z bit rides existing responses, so
+    // deployment is free and stays on.
+    options.remedy_deployed_at_authorities = remedy != RemedyMode::kTxt;
+    UniverseExperiment with_remedy(options);
+    (void)with_remedy.run_topn(domains);
+    row.with_remedy = with_remedy.metrics();
+  }
+  return row;
+}
+
+std::map<std::string, std::uint64_t> query_type_counts(
+    const sim::Network& network) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : network.counters().entries()) {
+    if (name.rfind("query.", 0) == 0) {
+      out[name.substr(6)] = value;
+    }
+  }
+  return out;
+}
+
+}  // namespace lookaside::core

@@ -1,0 +1,64 @@
+// Remedy-overhead measurement (paper §6.2.3: Tables 4-5, Figs. 10-11).
+//
+// Methodology follows the paper: run the workload under plain DLV
+// (baseline), run it again with a remedy active, and report the deltas in
+// the paper's three metrics — response time (s), traffic volume (MB) and
+// issued queries. For the TXT remedy the authorities do NOT serve the TXT
+// record (matching the paper's deployment reality), so the remedy's cost is
+// paid on every domain while its suppression benefit is not realized.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace lookaside::core {
+
+/// One Table 5 row.
+struct OverheadRow {
+  std::uint64_t domains = 0;
+  PhaseMetrics baseline;
+  PhaseMetrics with_remedy;
+
+  [[nodiscard]] double time_overhead() const {
+    return with_remedy.response_seconds - baseline.response_seconds;
+  }
+  [[nodiscard]] double traffic_overhead() const {
+    return with_remedy.megabytes - baseline.megabytes;
+  }
+  [[nodiscard]] std::int64_t query_overhead() const {
+    return static_cast<std::int64_t>(with_remedy.queries) -
+           static_cast<std::int64_t>(baseline.queries);
+  }
+  [[nodiscard]] double time_ratio() const {
+    return baseline.response_seconds == 0
+               ? 0
+               : time_overhead() / baseline.response_seconds;
+  }
+  [[nodiscard]] double traffic_ratio() const {
+    return baseline.megabytes == 0 ? 0
+                                   : traffic_overhead() / baseline.megabytes;
+  }
+  [[nodiscard]] double query_ratio() const {
+    return baseline.queries == 0
+               ? 0
+               : static_cast<double>(query_overhead()) /
+                     static_cast<double>(baseline.queries);
+  }
+};
+
+/// Runs baseline + remedy for `domains` top-ranked domains and returns the
+/// row. `experiment_options` supplies shared settings; remedy and
+/// deployment flags are overridden internally.
+[[nodiscard]] OverheadRow measure_overhead(
+    std::uint64_t domains, RemedyMode remedy,
+    UniverseExperiment::Options experiment_options);
+
+/// Per-query-type counts (Table 4) from one run.
+[[nodiscard]] std::map<std::string, std::uint64_t> query_type_counts(
+    const sim::Network& network);
+
+}  // namespace lookaside::core

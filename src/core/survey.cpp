@@ -1,0 +1,30 @@
+#include "core/survey.h"
+
+namespace lookaside::core {
+
+namespace {
+constexpr std::uint64_t kTotal = 56;
+
+double pct(std::uint64_t count) {
+  return 100.0 * static_cast<double>(count) / static_cast<double>(kTotal);
+}
+}  // namespace
+
+std::uint64_t survey_total_respondents() { return kTotal; }
+
+std::vector<SurveyBucket> survey_configuration_practice() {
+  return {
+      {"package-installer defaults (apt-get/yum)", 17, pct(17)},
+      {"manual-install defaults", 5, pct(5)},
+      {"own configuration", 34, pct(34)},
+  };
+}
+
+std::vector<SurveyBucket> survey_dlv_anchor_use() {
+  return {
+      {"ISC's DLV server (dlv.isc.org)", 35, pct(35)},
+      {"other trust anchors", 21, pct(21)},
+  };
+}
+
+}  // namespace lookaside::core

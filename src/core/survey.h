@@ -1,0 +1,28 @@
+// The paper's DNS-OARC 2015 operator survey (§5.2 "Practical
+// Implications"): 56 respondents asked how they configure their recursives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lookaside::core {
+
+/// One survey answer bucket.
+struct SurveyBucket {
+  std::string label;
+  std::uint64_t respondents = 0;
+  double percent = 0;
+};
+
+/// The configuration-practice question (package defaults / manual defaults /
+/// own configuration).
+[[nodiscard]] std::vector<SurveyBucket> survey_configuration_practice();
+
+/// The trust-anchor question (ISC DLV vs other anchors).
+[[nodiscard]] std::vector<SurveyBucket> survey_dlv_anchor_use();
+
+/// Total respondents (56).
+[[nodiscard]] std::uint64_t survey_total_respondents();
+
+}  // namespace lookaside::core

@@ -1,0 +1,419 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+namespace lookaside::crypto {
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_bytes_be(const Bytes& bytes) {
+  BigUint out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // bytes[i] is the (bytes.size()-1-i)-th byte from the LSB end.
+    const std::size_t byte_index = bytes.size() - 1 - i;
+    out.limbs_[byte_index / 4] |= static_cast<std::uint32_t>(bytes[i])
+                                  << (8 * (byte_index % 4));
+  }
+  out.normalize();
+  return out;
+}
+
+Bytes BigUint::to_bytes_be(std::size_t min_width) const {
+  const std::size_t significant = (bit_length() + 7) / 8;
+  const std::size_t width = std::max(min_width, std::max<std::size_t>(significant, 1));
+  Bytes out(width, 0);
+  for (std::size_t i = 0; i < significant; ++i) {
+    out[width - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+int BigUint::compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::add(const BigUint& a, const BigUint& b) {
+  BigUint out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::sub(const BigUint& a, const BigUint& b) {
+  if (a.compare(b) < 0) throw std::invalid_argument("BigUint::sub underflow");
+  BigUint out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::mul(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint{};
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(a.limbs_[i]) * b.limbs_[j] +
+          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + b.limbs_.size()] += static_cast<std::uint32_t>(carry);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigUint out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t value = static_cast<std::uint64_t>(limbs_[i])
+                                << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(value);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(value >> 32);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::shifted_right(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigUint{};
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t value = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      value |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+               << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(value);
+  }
+  out.normalize();
+  return out;
+}
+
+void BigUint::divmod(const BigUint& a, const BigUint& b, BigUint& quotient,
+                     BigUint& remainder) {
+  if (b.is_zero()) throw std::invalid_argument("BigUint division by zero");
+  if (a.compare(b) < 0) {
+    quotient = BigUint{};
+    remainder = a;
+    return;
+  }
+  // Binary long division: O(bits(a) * limbs(b)); plenty for key generation.
+  BigUint q;
+  BigUint r;
+  const std::size_t total_bits = a.bit_length();
+  q.limbs_.assign((total_bits + 31) / 32, 0);
+  for (std::size_t i = total_bits; i-- > 0;) {
+    r = r.shifted_left(1);
+    if (a.bit(i)) {
+      if (r.limbs_.empty()) r.limbs_.push_back(1);
+      else r.limbs_[0] |= 1u;
+    }
+    if (r.compare(b) >= 0) {
+      r = sub(r, b);
+      q.limbs_[i / 32] |= 1u << (i % 32);
+    }
+  }
+  q.normalize();
+  r.normalize();
+  quotient = std::move(q);
+  remainder = std::move(r);
+}
+
+BigUint BigUint::mod(const BigUint& a, const BigUint& m) {
+  BigUint q, r;
+  divmod(a, m, q, r);
+  return r;
+}
+
+BigUint BigUint::gcd(BigUint a, BigUint b) {
+  while (!b.is_zero()) {
+    BigUint r = mod(a, b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::uint32_t BigUint::mod_u32(std::uint32_t divisor) const {
+  if (divisor == 0) throw std::invalid_argument("mod_u32 by zero");
+  std::uint64_t remainder = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    remainder = ((remainder << 32) | limbs_[i]) % divisor;
+  }
+  return static_cast<std::uint32_t>(remainder);
+}
+
+std::uint64_t BigUint::low_u64() const {
+  std::uint64_t value = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) value |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return value;
+}
+
+namespace {
+
+/// Minimal signed wrapper for the extended Euclid bookkeeping.
+struct SignedBig {
+  BigUint magnitude;
+  bool negative = false;
+
+  [[nodiscard]] static SignedBig sub(const SignedBig& a, const SignedBig& b) {
+    // a - b.
+    if (a.negative == b.negative) {
+      if (a.magnitude.compare(b.magnitude) >= 0) {
+        return {BigUint::sub(a.magnitude, b.magnitude), a.negative};
+      }
+      return {BigUint::sub(b.magnitude, a.magnitude), !a.negative};
+    }
+    return {BigUint::add(a.magnitude, b.magnitude), a.negative};
+  }
+
+  [[nodiscard]] static SignedBig mul(const SignedBig& a, const BigUint& b) {
+    return {BigUint::mul(a.magnitude, b), a.negative && !a.magnitude.is_zero()};
+  }
+};
+
+}  // namespace
+
+BigUint BigUint::mod_inverse(const BigUint& a, const BigUint& m) {
+  if (m.is_zero()) throw std::domain_error("mod_inverse: zero modulus");
+  BigUint r0 = mod(a, m);
+  BigUint r1 = m;
+  SignedBig s0{BigUint(1), false};
+  SignedBig s1{BigUint{}, false};
+  // Invariant: s_i * a ≡ r_i (mod m).
+  while (!r1.is_zero()) {
+    BigUint q, rem;
+    divmod(r0, r1, q, rem);
+    r0 = std::move(r1);
+    r1 = std::move(rem);
+    SignedBig s_next = SignedBig::sub(s0, SignedBig::mul(s1, q));
+    s0 = std::move(s1);
+    s1 = std::move(s_next);
+  }
+  if (r0 != BigUint(1)) throw std::domain_error("mod_inverse: not coprime");
+  if (s0.negative) {
+    // s0 is > -m in magnitude, so one addition suffices.
+    return sub(m, mod(s0.magnitude, m));
+  }
+  return mod(s0.magnitude, m);
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery arithmetic
+// ---------------------------------------------------------------------------
+
+Montgomery::Montgomery(const BigUint& modulus) : modulus_(modulus) {
+  if (!modulus.is_odd() || modulus.bit_length() < 2) {
+    throw std::invalid_argument("Montgomery modulus must be odd and > 1");
+  }
+  if (modulus.limbs().size() > 64) {
+    throw std::invalid_argument("Montgomery modulus wider than 2048 bits");
+  }
+  k_ = modulus.limbs().size();
+  n_limbs_ = modulus.limbs();
+
+  // n0_inv = -n^{-1} mod 2^32 via Newton-Hensel lifting.
+  const std::uint32_t n0 = n_limbs_[0];
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) inv *= 2u - n0 * inv;  // inv = n0^{-1} mod 2^32
+  n0_inv_ = ~inv + 1u;                               // -inv mod 2^32
+
+  // R^2 mod n where R = 2^(32k).
+  const BigUint r = BigUint(1).shifted_left(32 * k_);
+  const BigUint r_mod_n = BigUint::mod(r, modulus_);
+  r2_ = to_limbs(BigUint::mod(BigUint::mul(r_mod_n, r_mod_n), modulus_));
+}
+
+Montgomery::Limbs Montgomery::to_limbs(const BigUint& value) const {
+  Limbs out = value.limbs();
+  out.resize(k_, 0);
+  return out;
+}
+
+BigUint Montgomery::from_limbs(const Limbs& limbs) {
+  Bytes be;  // Build via bytes to reuse normalization.
+  be.resize(limbs.size() * 4);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    const std::uint32_t limb = limbs[i];
+    const std::size_t base = (limbs.size() - 1 - i) * 4;
+    be[base] = static_cast<std::uint8_t>(limb >> 24);
+    be[base + 1] = static_cast<std::uint8_t>(limb >> 16);
+    be[base + 2] = static_cast<std::uint8_t>(limb >> 8);
+    be[base + 3] = static_cast<std::uint8_t>(limb);
+  }
+  return BigUint::from_bytes_be(be);
+}
+
+void Montgomery::mont_mul(const Limbs& a, const Limbs& b, Limbs& out) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  // Stack scratch: moduli are <= 2048 bits (64 limbs); constructor enforces.
+  std::uint32_t t_storage[66] = {0};
+  const std::span<std::uint32_t> t(t_storage, k_ + 2);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a * b[i]
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(t[j]) +
+          static_cast<std::uint64_t>(a[j]) * b[i] + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = static_cast<std::uint64_t>(t[k_]) + carry;
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // t = (t + m*n) / 2^32 with m chosen so the low limb cancels.
+    const std::uint32_t m =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(t[0]) * n0_inv_);
+    carry = (static_cast<std::uint64_t>(t[0]) +
+             static_cast<std::uint64_t>(m) * n_limbs_[0]) >>
+            32;
+    for (std::size_t j = 1; j < k_; ++j) {
+      const std::uint64_t cur2 =
+          static_cast<std::uint64_t>(t[j]) +
+          static_cast<std::uint64_t>(m) * n_limbs_[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur2);
+      carry = cur2 >> 32;
+    }
+    cur = static_cast<std::uint64_t>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<std::uint32_t>(cur);
+    t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+    t[k_ + 1] = 0;
+  }
+
+  // Conditional final subtraction so the result is < n.
+  bool geq = t[k_] != 0;
+  if (!geq) {
+    geq = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (t[i] != n_limbs_[i]) {
+        geq = t[i] > n_limbs_[i];
+        break;
+      }
+    }
+  }
+  out.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+  if (geq) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      std::int64_t diff =
+          static_cast<std::int64_t>(out[i]) - n_limbs_[i] - borrow;
+      if (diff < 0) {
+        diff += (1LL << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out[i] = static_cast<std::uint32_t>(diff);
+    }
+  }
+}
+
+BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
+  const Limbs a_mont_in = to_limbs(BigUint::mod(a, modulus_));
+  const Limbs b_plain = to_limbs(BigUint::mod(b, modulus_));
+  Limbs a_mont;
+  mont_mul(a_mont_in, r2_, a_mont);  // a*R mod n
+  Limbs product;
+  mont_mul(a_mont, b_plain, product);  // a*R*b*R^{-1} = a*b mod n
+  return from_limbs(product);
+}
+
+BigUint Montgomery::exp(const BigUint& base, const BigUint& exponent) const {
+  const Limbs base_plain = to_limbs(BigUint::mod(base, modulus_));
+  Limbs base_mont;
+  mont_mul(base_plain, r2_, base_mont);
+
+  // one in Montgomery form: R mod n = mont_mul(R^2 mod n, 1).
+  Limbs one_plain(k_, 0);
+  one_plain[0] = 1;
+  Limbs acc;
+  mont_mul(r2_, one_plain, acc);
+
+  Limbs tmp;
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    mont_mul(acc, acc, tmp);
+    acc.swap(tmp);
+    if (exponent.bit(i)) {
+      mont_mul(acc, base_mont, tmp);
+      acc.swap(tmp);
+    }
+  }
+  // Convert out of Montgomery form.
+  mont_mul(acc, one_plain, tmp);
+  return from_limbs(tmp);
+}
+
+}  // namespace lookaside::crypto

@@ -1,0 +1,30 @@
+#include "crypto/dnssec_algo.h"
+
+#include "crypto/sha256.h"
+
+namespace lookaside::crypto {
+
+bool algorithm_supported(std::uint8_t algorithm) {
+  return algorithm == static_cast<std::uint8_t>(DnssecAlgorithm::kRsaSha256);
+}
+
+Bytes sign_message(const RsaPrivateKey& key, const Bytes& message) {
+  return key.sign_digest(Sha256::digest(message));
+}
+
+bool verify_message(const RsaPublicKey& key, const Bytes& message,
+                    const Bytes& signature) {
+  return key.verify_digest(Sha256::digest(message), signature);
+}
+
+std::uint16_t key_tag(const Bytes& dnskey_rdata) {
+  std::uint32_t accumulator = 0;
+  for (std::size_t i = 0; i < dnskey_rdata.size(); ++i) {
+    accumulator += (i & 1) ? dnskey_rdata[i]
+                           : static_cast<std::uint32_t>(dnskey_rdata[i]) << 8;
+  }
+  accumulator += (accumulator >> 16) & 0xFFFF;
+  return static_cast<std::uint16_t>(accumulator & 0xFFFF);
+}
+
+}  // namespace lookaside::crypto

@@ -1,0 +1,31 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace lookaside::crypto {
+
+Bytes hmac_sha256(const Bytes& key, const Bytes& message) {
+  constexpr std::size_t kBlockSize = 64;
+  Bytes block_key = key;
+  if (block_key.size() > kBlockSize) block_key = Sha256::digest(block_key);
+  block_key.resize(kBlockSize, 0x00);
+
+  Bytes inner_pad(kBlockSize);
+  Bytes outer_pad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner_pad[i] = block_key[i] ^ 0x36;
+    outer_pad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(inner_pad);
+  inner.update(message);
+  const Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(outer_pad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace lookaside::crypto

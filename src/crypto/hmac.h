@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104). Used by the deterministic RNG seeding helpers and
+// available for TSIG-style extensions.
+#pragma once
+
+#include "crypto/bytes.h"
+
+namespace lookaside::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+[[nodiscard]] Bytes hmac_sha256(const Bytes& key, const Bytes& message);
+
+}  // namespace lookaside::crypto

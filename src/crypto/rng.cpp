@@ -1,0 +1,11 @@
+#include "crypto/rng.h"
+
+namespace lookaside::crypto {
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t label) {
+  SplitMix64 mixer(parent ^ (label * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
+  mixer.next();
+  return mixer.next();
+}
+
+}  // namespace lookaside::crypto

@@ -1,0 +1,64 @@
+#include "dns/message.h"
+
+namespace lookaside::dns {
+
+Message Message::make_query(std::uint16_t id, Name name, RRType type,
+                            bool recursion_desired, bool dnssec_ok) {
+  Message out;
+  out.header.id = id;
+  out.header.rd = recursion_desired;
+  out.questions.push_back(Question{std::move(name), type, RRClass::kIn});
+  out.edns = dnssec_ok;  // DO requires EDNS0
+  out.dnssec_ok = dnssec_ok;
+  return out;
+}
+
+Message Message::make_response(const Message& query) {
+  Message out;
+  out.header.id = query.header.id;
+  out.header.qr = true;
+  out.header.rd = query.header.rd;
+  out.header.cd = query.header.cd;
+  out.questions = query.questions;
+  out.edns = query.edns;
+  out.dnssec_ok = query.dnssec_ok;
+  return out;
+}
+
+const ResourceRecord* Message::first_answer(RRType type) const {
+  for (const ResourceRecord& record : answers) {
+    if (record.type == type) return &record;
+  }
+  return nullptr;
+}
+
+std::string Message::to_text() const {
+  std::string out;
+  out += ";; " + std::string(header.qr ? "response" : "query") +
+         " id=" + std::to_string(header.id) + " " + rcode_name(header.rcode);
+  if (header.aa) out += " aa";
+  if (header.tc) out += " tc";
+  if (header.rd) out += " rd";
+  if (header.ra) out += " ra";
+  if (header.ad) out += " ad";
+  if (header.cd) out += " cd";
+  if (header.z) out += " Z";
+  if (edns) out += dnssec_ok ? " do" : " edns";
+  out += "\n";
+  for (const Question& q : questions) {
+    out += ";; question: " + q.name.to_text() + " " + rr_type_name(q.type) +
+           "\n";
+  }
+  auto section = [&out](const char* label,
+                        const std::vector<ResourceRecord>& records) {
+    for (const ResourceRecord& record : records) {
+      out += std::string(label) + ": " + record.to_text() + "\n";
+    }
+  };
+  section(";; answer", answers);
+  section(";; authority", authorities);
+  section(";; additional", additionals);
+  return out;
+}
+
+}  // namespace lookaside::dns

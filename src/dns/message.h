@@ -1,0 +1,75 @@
+// DNS messages: header flags (including DO, AD, CD and the spare Z bit the
+// paper's remedy uses), question and record sections, and EDNS0 metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/record.h"
+#include "dns/rr_type.h"
+
+namespace lookaside::dns {
+
+/// Parsed DNS header. The Z bit is RFC 5395's reserved bit, which the paper
+/// proposes repurposing to signal "a DLV record exists for this name".
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  std::uint8_t opcode = 0;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  bool z = false;   // spare bit -> the paper's DLV-existence signal
+  bool ad = false;  // authenticated data (DNSSEC validation result)
+  bool cd = false;  // checking disabled
+  RCode rcode = RCode::kNoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+/// One question-section entry.
+struct Question {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass rr_class = RRClass::kIn;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+/// A full DNS message. EDNS0 is modeled as the three fields below and
+/// rendered as an OPT record in the additional section on the wire.
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  bool edns = false;
+  std::uint16_t udp_payload_size = 4096;
+  bool dnssec_ok = false;  // the DO bit
+
+  /// Builds a recursive query for (name, type) with DO set per
+  /// `dnssec_ok` — the shape a stub or recursive resolver sends.
+  static Message make_query(std::uint16_t id, Name name, RRType type,
+                            bool recursion_desired, bool dnssec_ok);
+
+  /// Starts a response to `query`: copies id/question/rd, sets qr.
+  static Message make_response(const Message& query);
+
+  [[nodiscard]] const Question& question() const { return questions.front(); }
+
+  /// First answer record of `type`, if any.
+  [[nodiscard]] const ResourceRecord* first_answer(RRType type) const;
+
+  /// Multi-line presentation for logs and examples.
+  [[nodiscard]] std::string to_text() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace lookaside::dns

@@ -1,0 +1,139 @@
+#include "dns/name.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace lookaside::dns {
+
+namespace {
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+void validate_label(std::string_view label) {
+  if (label.empty()) throw std::invalid_argument("empty DNS label");
+  if (label.size() > 63) throw std::invalid_argument("DNS label > 63 octets");
+}
+
+}  // namespace
+
+Name Name::parse(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  Name out;
+  if (text.empty()) return out;  // root
+  out.text_.reserve(text.size());
+  out.label_starts_.push_back(0);
+  std::size_t label_start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '.') {
+      validate_label(text.substr(label_start, i - label_start));
+      if (i != text.size()) {
+        out.label_starts_.push_back(static_cast<std::uint16_t>(i + 1));
+        label_start = i + 1;
+      }
+    }
+  }
+  for (char c : text) out.text_.push_back(c == '.' ? '.' : lower(c));
+  if (out.wire_length() > 255) {
+    throw std::invalid_argument("DNS name > 255 octets");
+  }
+  return out;
+}
+
+std::string_view Name::label(std::size_t i) const {
+  const std::size_t start = label_starts_[i];
+  const std::size_t end =
+      i + 1 < label_starts_.size() ? label_starts_[i + 1] - 1 : text_.size();
+  return std::string_view(text_).substr(start, end - start);
+}
+
+Name Name::parent() const {
+  if (is_root()) throw std::logic_error("root name has no parent");
+  if (label_count() == 1) return root();
+  Name out;
+  const std::size_t cut = label_starts_[1];
+  out.text_ = text_.substr(cut);
+  out.label_starts_.reserve(label_starts_.size() - 1);
+  for (std::size_t i = 1; i < label_starts_.size(); ++i) {
+    out.label_starts_.push_back(
+        static_cast<std::uint16_t>(label_starts_[i] - cut));
+  }
+  return out;
+}
+
+Name Name::with_prefix_label(std::string_view label) const {
+  validate_label(label);
+  std::string text(label);
+  if (!is_root()) {
+    text.push_back('.');
+    text += text_;
+  }
+  return parse(text);
+}
+
+Name Name::concat(const Name& suffix) const {
+  if (is_root()) return suffix;
+  if (suffix.is_root()) return *this;
+  return parse(text_ + "." + suffix.text_);
+}
+
+bool Name::is_subdomain_of(const Name& ancestor) const {
+  if (ancestor.is_root()) return true;
+  if (ancestor.text_.size() > text_.size()) return false;
+  if (ancestor.text_.size() == text_.size()) return text_ == ancestor.text_;
+  // Must match a label boundary: "...<dot>ancestor".
+  const std::size_t offset = text_.size() - ancestor.text_.size();
+  return text_[offset - 1] == '.' &&
+         text_.compare(offset, std::string::npos, ancestor.text_) == 0;
+}
+
+Name Name::without_suffix(const Name& ancestor) const {
+  if (!is_subdomain_of(ancestor)) {
+    throw std::invalid_argument("without_suffix: not a subdomain");
+  }
+  if (ancestor.is_root()) return *this;
+  if (text_.size() == ancestor.text_.size()) return root();
+  return parse(text_.substr(0, text_.size() - ancestor.text_.size() - 1));
+}
+
+int Name::canonical_compare(const Name& other) const {
+  // RFC 4034 §6.1: compare label sequences right to left; each label
+  // byte-wise (we are already lowercase); absent labels sort first.
+  const std::size_t n1 = label_count();
+  const std::size_t n2 = other.label_count();
+  const std::size_t common = std::min(n1, n2);
+  for (std::size_t i = 1; i <= common; ++i) {
+    const std::string_view l1 = label(n1 - i);
+    const std::string_view l2 = other.label(n2 - i);
+    const int cmp = l1.compare(l2);
+    if (cmp != 0) return cmp < 0 ? -1 : 1;
+  }
+  if (n1 != n2) return n1 < n2 ? -1 : 1;
+  return 0;
+}
+
+std::string Name::to_text() const {
+  if (is_root()) return ".";
+  return text_ + ".";
+}
+
+Bytes Name::to_wire() const {
+  Bytes out;
+  out.reserve(wire_length());
+  for (std::size_t i = 0; i < label_count(); ++i) {
+    const std::string_view l = label(i);
+    out.push_back(static_cast<std::uint8_t>(l.size()));
+    out.insert(out.end(), l.begin(), l.end());
+  }
+  out.push_back(0);
+  return out;
+}
+
+std::size_t Name::wire_length() const {
+  // One length octet per label + label bytes + terminating root octet.
+  return is_root() ? 1 : text_.size() + 2;
+}
+
+}  // namespace lookaside::dns

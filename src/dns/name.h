@@ -1,0 +1,99 @@
+// Domain names: parsing, hierarchy operations, RFC 4034 canonical ordering,
+// and wire-format serialization.
+//
+// Names are normalized to lower case at construction (DNS comparison is
+// case-insensitive; 0x20 case randomization is out of scope, see DESIGN.md).
+// Internally a name is one contiguous string plus label offsets, which keeps
+// million-domain simulations allocation-light.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace lookaside::dns {
+
+using crypto::Bytes;
+
+/// An absolute domain name ("example.com."). Value-semantic and immutable.
+class Name {
+ public:
+  /// The root name ".".
+  Name() = default;
+
+  /// Parses dotted text; a trailing dot is accepted and ignored ("a.b" and
+  /// "a.b." are the same absolute name). Throws std::invalid_argument for
+  /// empty labels, labels > 63 octets, or wire length > 255.
+  static Name parse(std::string_view text);
+
+  /// The root name; equivalent to Name{}.
+  static Name root() { return Name{}; }
+
+  [[nodiscard]] bool is_root() const { return text_.empty(); }
+  [[nodiscard]] std::size_t label_count() const { return label_starts_.size(); }
+
+  /// Label `i` counted from the leftmost (most specific) label.
+  [[nodiscard]] std::string_view label(std::size_t i) const;
+
+  /// Name with the leftmost label removed; parent of root throws
+  /// std::logic_error. ("www.example.com" -> "example.com").
+  [[nodiscard]] Name parent() const;
+
+  /// Prepends one label ("www" + "example.com" -> "www.example.com").
+  [[nodiscard]] Name with_prefix_label(std::string_view label) const;
+
+  /// Concatenation: this name's labels followed by `suffix`'s labels
+  /// ("example.com" + "dlv.isc.org" -> "example.com.dlv.isc.org").
+  [[nodiscard]] Name concat(const Name& suffix) const;
+
+  /// True when this name equals `ancestor` or lies beneath it.
+  [[nodiscard]] bool is_subdomain_of(const Name& ancestor) const;
+
+  /// Strips `ancestor`'s labels from the right; requires is_subdomain_of.
+  /// ("example.com.dlv.isc.org" minus "dlv.isc.org" -> "example.com").
+  [[nodiscard]] Name without_suffix(const Name& ancestor) const;
+
+  /// RFC 4034 §6.1 canonical ordering: -1 / 0 / +1.
+  [[nodiscard]] int canonical_compare(const Name& other) const;
+
+  /// Dotted text with trailing dot; root renders as ".".
+  [[nodiscard]] std::string to_text() const;
+
+  /// Uncompressed wire form: length-prefixed labels + root octet.
+  [[nodiscard]] Bytes to_wire() const;
+
+  /// Octets to_wire() would produce.
+  [[nodiscard]] std::size_t wire_length() const;
+
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.text_ == b.text_;
+  }
+  friend bool operator!=(const Name& a, const Name& b) {
+    return a.text_ != b.text_;
+  }
+  /// operator< is canonical order so Name sorts the way NSEC chains need.
+  friend bool operator<(const Name& a, const Name& b) {
+    return a.canonical_compare(b) < 0;
+  }
+
+  /// The normalized internal text (no trailing dot; empty for root).
+  [[nodiscard]] const std::string& internal_text() const { return text_; }
+
+ private:
+  std::string text_;                         // lowercase, no trailing dot
+  std::vector<std::uint16_t> label_starts_;  // index of each label's start
+};
+
+/// Hash functor so Name can key unordered containers.
+struct NameHash {
+  std::size_t operator()(const Name& name) const {
+    return std::hash<std::string>{}(name.internal_text());
+  }
+};
+
+}  // namespace lookaside::dns

@@ -1,0 +1,37 @@
+#include "dns/rr_type.h"
+
+namespace lookaside::dns {
+
+std::string rr_type_name(RRType type) {
+  switch (type) {
+    case RRType::kA: return "A";
+    case RRType::kNs: return "NS";
+    case RRType::kCname: return "CNAME";
+    case RRType::kSoa: return "SOA";
+    case RRType::kPtr: return "PTR";
+    case RRType::kMx: return "MX";
+    case RRType::kTxt: return "TXT";
+    case RRType::kAaaa: return "AAAA";
+    case RRType::kOpt: return "OPT";
+    case RRType::kDs: return "DS";
+    case RRType::kRrsig: return "RRSIG";
+    case RRType::kNsec: return "NSEC";
+    case RRType::kDnskey: return "DNSKEY";
+    case RRType::kDlv: return "DLV";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+std::string rcode_name(RCode rcode) {
+  switch (rcode) {
+    case RCode::kNoError: return "NOERROR";
+    case RCode::kFormErr: return "FORMERR";
+    case RCode::kServFail: return "SERVFAIL";
+    case RCode::kNxDomain: return "NXDOMAIN";
+    case RCode::kNotImp: return "NOTIMP";
+    case RCode::kRefused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<std::uint8_t>(rcode));
+}
+
+}  // namespace lookaside::dns

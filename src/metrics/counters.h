@@ -1,0 +1,48 @@
+// Named counter registry used across the simulator for query/byte accounting.
+//
+// A `CounterSet` is a small string->uint64 map with convenience arithmetic.
+// It is deliberately value-semantic: experiment drivers snapshot a set before
+// a phase and subtract afterwards to obtain per-phase deltas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lookaside::metrics {
+
+/// A value-semantic collection of named monotonically increasing counters.
+class CounterSet {
+ public:
+  /// Adds `delta` to counter `name`, creating it at zero if absent.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Returns the current value of `name`, or 0 if it was never touched.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+  /// Returns the sum of all counters whose name starts with `prefix`.
+  [[nodiscard]] std::uint64_t total_with_prefix(std::string_view prefix) const;
+
+  /// Returns `*this - other`, counter by counter (missing counters are 0).
+  /// Counters that would go negative are clamped to zero; deltas of
+  /// monotonically increasing counters never hit the clamp in practice.
+  [[nodiscard]] CounterSet delta_since(const CounterSet& other) const;
+
+  /// Merges `other` into this set by addition.
+  void merge(const CounterSet& other);
+
+  /// All (name, value) pairs in lexicographic name order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> entries() const;
+
+  /// Drops every counter.
+  void clear();
+
+  [[nodiscard]] bool empty() const { return counters_.empty(); }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+}  // namespace lookaside::metrics

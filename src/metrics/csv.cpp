@@ -1,0 +1,37 @@
+#include "metrics/csv.h"
+
+#include <ostream>
+
+namespace lookaside::metrics {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) out << ',';
+      out << escape(cells[i]);
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace lookaside::metrics

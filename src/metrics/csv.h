@@ -1,0 +1,32 @@
+// Minimal CSV emitter for figure series.
+//
+// Figure benches print their series both as an ASCII table and as CSV so
+// downstream plotting (outside this repository) can regenerate the figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lookaside::metrics {
+
+/// Accumulates rows of string cells and writes RFC 4180-style CSV.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes header + rows; fields containing commas/quotes are quoted.
+  void write(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lookaside::metrics

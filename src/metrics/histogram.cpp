@@ -1,0 +1,47 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lookaside::metrics {
+
+void Histogram::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+  sum_ += sample;
+}
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(index, samples_.size() - 1)];
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0;
+}
+
+}  // namespace lookaside::metrics

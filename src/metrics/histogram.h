@@ -1,0 +1,35 @@
+// Streaming statistics accumulator with reservoir-free exact percentiles.
+//
+// Experiments in this repository are modest in sample count (<= a few
+// million), so the histogram simply stores samples and sorts on demand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lookaside::metrics {
+
+/// Accumulates double-valued samples; supports mean/min/max/percentiles.
+class Histogram {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Exact percentile by nearest-rank; `p` in [0, 100]. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+}  // namespace lookaside::metrics

@@ -1,0 +1,79 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace lookaside::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(with_commas(value)); }
+
+Table& Table::cell(std::int64_t value) {
+  if (value < 0) return cell("-" + with_commas(static_cast<std::uint64_t>(-value)));
+  return cell(with_commas(static_cast<std::uint64_t>(value)));
+}
+
+Table& Table::cell(double value, int decimals) { return cell(fixed(value, decimals)); }
+
+Table& Table::percent_cell(double fraction, int decimals) {
+  return cell(fixed(fraction * 100.0, decimals) + "%");
+}
+
+std::string Table::with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int counted = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counted != 0 && counted % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counted;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string Table::fixed(double value, int decimals) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << value;
+  return ss.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& text = i < cells.size() ? cells[i] : std::string{};
+      out << (i == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[i]))
+          << text;
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    out << (i == 0 ? "|-" : "-|-") << std::string(widths[i], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace lookaside::metrics

@@ -1,0 +1,47 @@
+// Paper-style fixed-width ASCII table printer.
+//
+// Every bench binary reproduces one of the paper's tables or figures; this
+// printer renders rows the way the paper formats them (thousand separators,
+// percentages, fixed decimals) so output can be compared side by side.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lookaside::metrics {
+
+/// Builds and prints a right-aligned table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string text);
+  /// Integer cell with thousand separators ("67,838").
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  /// Fixed-decimal cell ("38.16").
+  Table& cell(double value, int decimals = 2);
+  /// Percentage cell ("18.68%").
+  Table& percent_cell(double fraction, int decimals = 2);
+
+  /// Renders the table (header, rule, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats an integer with thousand separators.
+  static std::string with_commas(std::uint64_t value);
+  /// Formats a double with `decimals` fixed digits.
+  static std::string fixed(double value, int decimals);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lookaside::metrics

@@ -1,0 +1,151 @@
+#include "resolver/cache.h"
+
+#include <algorithm>
+
+namespace lookaside::resolver {
+
+void ResolverCache::store(const dns::RRset& rrset, bool validated,
+                          std::vector<dns::ResourceRecord> rrsigs) {
+  if (rrset.empty()) return;
+  PositiveEntry entry;
+  entry.rrset = rrset;
+  entry.expires_us = ttl_to_deadline(now(), rrset.ttl());
+  entry.validated = validated;
+  entry.rrsigs = std::move(rrsigs);
+  positive_[{rrset.name(), rrset.type()}] = std::move(entry);
+}
+
+const dns::RRset* ResolverCache::find(const dns::Name& name,
+                                      dns::RRType type) {
+  const auto entry = find_entry(name, type);
+  return entry.has_value() ? entry->rrset : nullptr;
+}
+
+std::optional<ResolverCache::Entry> ResolverCache::find_entry(
+    const dns::Name& name, dns::RRType type) {
+  const auto it = positive_.find({name, type});
+  if (it == positive_.end() || it->second.expires_us <= now()) {
+    if (it != positive_.end()) positive_.erase(it);
+    counters_.add("cache.miss");
+    return std::nullopt;
+  }
+  counters_.add("cache.hit");
+  return Entry{&it->second.rrset, it->second.validated, &it->second.rrsigs};
+}
+
+const dns::RRset* ResolverCache::find_validated(const dns::Name& name,
+                                                dns::RRType type) {
+  const auto entry = find_entry(name, type);
+  return entry.has_value() && entry->validated ? entry->rrset : nullptr;
+}
+
+void ResolverCache::mark_validated(const dns::Name& name, dns::RRType type) {
+  const auto it = positive_.find({name, type});
+  if (it != positive_.end()) it->second.validated = true;
+}
+
+void ResolverCache::store_negative(const dns::Name& name, dns::RRType type,
+                                   std::uint32_t ttl, bool nxdomain) {
+  negative_[{name, type}] = NegativeRecord{ttl_to_deadline(now(), ttl), nxdomain};
+}
+
+NegativeEntry ResolverCache::find_negative(const dns::Name& name,
+                                           dns::RRType type) {
+  // NXDOMAIN entries apply regardless of type, so check the stored type too.
+  const auto exact = negative_.find({name, type});
+  if (exact != negative_.end() && exact->second.expires_us > now()) {
+    counters_.add("cache.negative_hit");
+    return exact->second.nxdomain ? NegativeEntry::kNxDomain
+                                  : NegativeEntry::kNoData;
+  }
+  // Any unexpired NXDOMAIN entry for this name covers every type.
+  const auto lower = negative_.lower_bound({name, static_cast<dns::RRType>(0)});
+  for (auto it = lower; it != negative_.end() && it->first.first == name; ++it) {
+    if (it->second.nxdomain && it->second.expires_us > now()) {
+      counters_.add("cache.negative_hit");
+      return NegativeEntry::kNxDomain;
+    }
+  }
+  return NegativeEntry::kNone;
+}
+
+void ResolverCache::store_nsec(const dns::Name& zone_apex,
+                               const dns::ResourceRecord& nsec_record) {
+  const auto* nsec = std::get_if<dns::NsecRdata>(&nsec_record.rdata);
+  if (nsec == nullptr) return;
+  NsecEntry entry;
+  entry.next = nsec->next;
+  entry.types = nsec->types;
+  entry.expires_us = ttl_to_deadline(now(), nsec_record.ttl);
+  nsec_by_zone_[zone_apex][nsec_record.name] = std::move(entry);
+}
+
+NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
+                                       const dns::Name& qname,
+                                       dns::RRType qtype) {
+  const auto zone_it = nsec_by_zone_.find(zone_apex);
+  if (zone_it == nsec_by_zone_.end()) return NsecCoverage::kNoProof;
+  auto& chain = zone_it->second;
+  if (!qname.is_subdomain_of(zone_apex)) return NsecCoverage::kNoProof;
+
+  // Greatest owner <= qname.
+  auto it = chain.upper_bound(qname);
+  if (it == chain.begin()) return NsecCoverage::kNoProof;
+  --it;
+  const dns::Name& owner = it->first;
+  const NsecEntry& entry = it->second;
+  if (entry.expires_us <= now()) {
+    chain.erase(it);
+    return NsecCoverage::kNoProof;
+  }
+
+  if (owner == qname) {
+    // Exact NSEC: name exists; the bitmap decides the type.
+    if (std::find(entry.types.begin(), entry.types.end(), qtype) ==
+        entry.types.end()) {
+      counters_.add("cache.nsec_hit");
+      return NsecCoverage::kTypeAbsent;
+    }
+    return NsecCoverage::kNoProof;
+  }
+
+  // Covering NSEC: owner < qname < next proves nonexistence. The chain's
+  // last record wraps: next == apex means "everything after owner".
+  const bool wraps = entry.next == zone_apex;
+  if (wraps || qname.canonical_compare(entry.next) < 0) {
+    counters_.add("cache.nsec_hit");
+    return NsecCoverage::kNameCovered;
+  }
+  return NsecCoverage::kNoProof;
+}
+
+std::size_t ResolverCache::nsec_count(const dns::Name& zone_apex) const {
+  const auto it = nsec_by_zone_.find(zone_apex);
+  return it == nsec_by_zone_.end() ? 0 : it->second.size();
+}
+
+void ResolverCache::store_zone_cut(const dns::Name& apex, std::uint32_t ttl) {
+  zone_cuts_[apex] = ttl_to_deadline(now(), ttl);
+}
+
+dns::Name ResolverCache::deepest_known_cut(const dns::Name& qname) {
+  dns::Name candidate = qname;
+  for (;;) {
+    const auto it = zone_cuts_.find(candidate);
+    if (it != zone_cuts_.end()) {
+      if (it->second > now()) return candidate;
+      zone_cuts_.erase(it);
+    }
+    if (candidate.is_root()) return candidate;
+    candidate = candidate.parent();
+  }
+}
+
+void ResolverCache::clear() {
+  positive_.clear();
+  negative_.clear();
+  nsec_by_zone_.clear();
+  zone_cuts_.clear();
+}
+
+}  // namespace lookaside::resolver

@@ -1,0 +1,102 @@
+#include "resolver/config.h"
+
+namespace lookaside::resolver {
+
+namespace {
+const char* mode_name(ValidationMode mode) {
+  switch (mode) {
+    case ValidationMode::kNo: return "no";
+    case ValidationMode::kYes: return "yes";
+    case ValidationMode::kAuto: return "auto";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string ResolverConfig::summary() const {
+  std::string out = "dnssec-enable=";
+  out += dnssec_enable ? "yes" : "no";
+  out += " dnssec-validation=";
+  out += mode_name(dnssec_validation);
+  out += " dnssec-lookaside=";
+  out += dnssec_lookaside ? "auto" : "no";
+  out += " root-anchor=";
+  out += root_trust_anchor_included ? "included" : "missing";
+  out += " dlv-anchor=";
+  out += dlv_trust_anchor_included ? "included" : "missing";
+  return out;
+}
+
+ResolverConfig ResolverConfig::bind_apt_get() {
+  ResolverConfig config;
+  config.dnssec_validation = ValidationMode::kAuto;
+  config.dnssec_lookaside = false;
+  config.root_trust_anchor_included = false;  // auto mode provides it
+  return config;
+}
+
+ResolverConfig ResolverConfig::bind_apt_get_dagger() {
+  ResolverConfig config;
+  config.dnssec_validation = ValidationMode::kYes;
+  config.dnssec_lookaside = true;
+  config.root_trust_anchor_included = false;  // the step users miss
+  return config;
+}
+
+ResolverConfig ResolverConfig::bind_yum() {
+  ResolverConfig config;
+  config.dnssec_validation = ValidationMode::kYes;
+  config.dnssec_lookaside = true;              // contradicts the ARM
+  config.root_trust_anchor_included = true;    // include "/etc/bind.keys"
+  config.dlv_trust_anchor_included = true;
+  return config;
+}
+
+ResolverConfig ResolverConfig::bind_manual() {
+  ResolverConfig config;
+  config.dnssec_validation = ValidationMode::kYes;
+  config.dnssec_lookaside = true;
+  config.root_trust_anchor_included = false;  // no include in a fresh config
+  return config;
+}
+
+ResolverConfig ResolverConfig::bind_manual_correct() {
+  ResolverConfig config;
+  config.dnssec_validation = ValidationMode::kYes;
+  config.dnssec_lookaside = true;
+  config.root_trust_anchor_included = true;
+  config.dlv_trust_anchor_included = true;
+  return config;
+}
+
+ResolverConfig ResolverConfig::unbound_package() {
+  // Unbound enables features by configuring anchors; package installs ship
+  // the root anchor but not the DLV anchor.
+  ResolverConfig config;
+  config.dnssec_validation = ValidationMode::kYes;
+  config.root_trust_anchor_included = true;
+  config.dnssec_lookaside = false;
+  config.dlv_trust_anchor_included = false;
+  return config;
+}
+
+ResolverConfig ResolverConfig::unbound_manual() {
+  // Fresh unbound.conf: the anchor lines exist but are commented out, so
+  // neither validation nor DLV is active.
+  ResolverConfig config;
+  config.dnssec_validation = ValidationMode::kNo;
+  config.root_trust_anchor_included = false;
+  config.dnssec_lookaside = false;
+  return config;
+}
+
+ResolverConfig ResolverConfig::unbound_correct() {
+  ResolverConfig config;
+  config.dnssec_validation = ValidationMode::kYes;
+  config.root_trust_anchor_included = true;
+  config.dlv_trust_anchor_included = true;  // dlv-anchor-file line
+  config.dnssec_lookaside = false;          // Unbound has no such option
+  return config;
+}
+
+}  // namespace lookaside::resolver

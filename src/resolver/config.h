@@ -1,0 +1,147 @@
+// Resolver configuration surface, modeled on BIND's named.conf options and
+// Unbound's anchor-file style (paper §2.4, §4.3, §4.4).
+//
+// The paper's central finding is that *these knobs*, as shipped by different
+// installers, decide whether a resolver leaks every query to a DLV server.
+// The factory functions reproduce the exact default configurations of
+// Figs. 4-7 and Table 2, including the ones that contradict BIND's
+// administrator manual.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+
+namespace lookaside::resolver {
+
+/// BIND's dnssec-validation option values.
+enum class ValidationMode {
+  kNo,    // validation disabled
+  kYes,   // validate, trust anchor must be configured manually
+  kAuto,  // validate with the built-in trust anchor
+};
+
+/// A resolver configuration. Field names follow BIND's option names; the
+/// Unbound factories map Unbound's implicit style onto the same fields.
+struct ResolverConfig {
+  /// BIND `dnssec-enable`.
+  bool dnssec_enable = true;
+
+  /// BIND `dnssec-validation` (yes requires `root_trust_anchor_included`).
+  ValidationMode dnssec_validation = ValidationMode::kYes;
+
+  /// BIND `dnssec-lookaside auto`.
+  bool dnssec_lookaside = false;
+
+  /// Whether the configuration file includes the root trust anchor
+  /// (`include "/etc/bind.keys"` / Unbound `auto-trust-anchor-file`).
+  bool root_trust_anchor_included = false;
+
+  /// Whether the DLV trust anchor is configured
+  /// (bind.keys DLV section / Unbound `dlv-anchor-file`).
+  bool dlv_trust_anchor_included = false;
+
+  /// The DLV domain to use ("dlv.isc.org" by ISC convention).
+  dns::Name dlv_domain = dns::Name::parse("dlv.isc.org");
+
+  /// Additional DLV registries, consulted in order when earlier ones have
+  /// no record (RFC 5074 permits several; the paper lists
+  /// dlv.secspider.cs.ucla.edu, dlv.trusted-keys.de, dlv.cert.ru, ... and
+  /// notes "ISC is only one of many used in the wild", §7.3.2). Every
+  /// registry consulted is an additional third party observing the query.
+  std::vector<dns::Name> additional_dlv_domains;
+
+  /// RFC 5074 §5: validators implement aggressive negative caching against
+  /// the DLV zone's NSEC records. Turn off to model NSEC3/NSEC5 registries
+  /// (paper §7.3), where every query hits the DLV server.
+  bool aggressive_negative_caching = true;
+
+  /// §6.2.1 remedies: only send a DLV query when the authoritative side
+  /// signaled a deposited DLV record.
+  bool honor_txt_dlv_signal = false;  // TXT "dlv=1"/"dlv=0"
+  bool honor_z_bit_signal = false;    // spare header bit
+
+  /// §6.2.2 remedy: query hash(domain).<dlv_domain> instead of the name.
+  bool hashed_dlv_queries = false;
+
+  /// RFC 7816 qname minimization (referenced in the paper's threat model
+  /// §3): iterative queries to non-terminal authorities carry only the
+  /// label needed for the next referral (qtype NS), so the root and TLDs
+  /// never see full names. Note the asymmetry this exposes: minimization
+  /// protects against *on-path* observers but does nothing about the DLV
+  /// leak — the look-aside query still carries the full domain.
+  bool qname_minimization = false;
+
+  /// Probability of refreshing a delegation's NS RRset after resolving
+  /// through it (models BIND's NS fetches; contributes Table 4's NS query
+  /// counts). Deterministic per-domain hash, not random.
+  double ns_fetch_probability = 0.0;
+
+  /// Maximum CNAME chase depth.
+  int max_cname_depth = 8;
+
+  // -- Effective behavior (what the knobs combine to) -----------------------
+
+  /// Validation is attempted at all.
+  [[nodiscard]] bool validation_enabled() const {
+    return dnssec_enable && dnssec_validation != ValidationMode::kNo;
+  }
+
+  /// A usable root trust anchor is available (auto mode ships one; yes mode
+  /// needs the include).
+  [[nodiscard]] bool root_anchor_available() const {
+    return validation_enabled() &&
+           (dnssec_validation == ValidationMode::kAuto ||
+            root_trust_anchor_included);
+  }
+
+  /// DLV look-aside will be used (the paper's leak precondition). BIND's
+  /// `dnssec-lookaside auto` ships a built-in DLV anchor, so either the
+  /// option or an explicit DLV anchor (Unbound style) enables it.
+  [[nodiscard]] bool dlv_enabled() const {
+    return validation_enabled() &&
+           (dnssec_lookaside || dlv_trust_anchor_included);
+  }
+
+  /// Short human-readable summary for experiment tables.
+  [[nodiscard]] std::string summary() const;
+
+  // -- Paper defaults (Figs. 4-7, Table 2) ----------------------------------
+
+  /// Fig. 4: Debian/Ubuntu `apt-get install bind9`. `dnssec-validation
+  /// auto`, no DLV, no explicit anchor (auto provides one). Non-compliant
+  /// with the ARM (which documents a default of `yes`).
+  static ResolverConfig bind_apt_get();
+
+  /// Table 3's "apt-get†": the user read the ARM and changed
+  /// dnssec-validation to `yes` — but the anchor include is still missing —
+  /// and enabled DLV to use look-aside.
+  static ResolverConfig bind_apt_get_dagger();
+
+  /// Fig. 5: CentOS/Fedora `yum install bind`. Validation yes + bind.keys
+  /// included + `dnssec-lookaside auto`. Non-compliant with the ARM
+  /// (which documents DLV off by default).
+  static ResolverConfig bind_yum();
+
+  /// Fig. 6's starting point: manual source install, user-written config
+  /// with DLV enabled but no trust-anchor include.
+  static ResolverConfig bind_manual();
+
+  /// Fig. 6 done right: anchors included, DLV enabled.
+  static ResolverConfig bind_manual_correct();
+
+  /// Unbound via package installer: DNSSEC on via anchor file; DLV off until
+  /// the dlv-anchor-file line is added.
+  static ResolverConfig unbound_package();
+
+  /// Unbound manual install: everything commented out until the user acts.
+  static ResolverConfig unbound_manual();
+
+  /// Fig. 7: Unbound with both anchor files configured.
+  static ResolverConfig unbound_correct();
+};
+
+}  // namespace lookaside::resolver

@@ -1,0 +1,795 @@
+#include "resolver/resolver.h"
+
+#include <algorithm>
+
+namespace lookaside::resolver {
+
+namespace {
+
+constexpr int kMaxFetchDepth = 12;
+constexpr int kMaxReferralHops = 16;
+constexpr std::uint32_t kDefaultNegativeTtl = 3600;
+
+std::uint32_t soa_negative_ttl(const GroupedSection& authority) {
+  for (const dns::RRset& rrset : authority.rrsets) {
+    if (rrset.type() != dns::RRType::kSoa || rrset.empty()) continue;
+    const auto* soa =
+        std::get_if<dns::SoaRdata>(&rrset.records().front().rdata);
+    if (soa != nullptr) return soa->minimum_ttl;
+  }
+  return kDefaultNegativeTtl;
+}
+
+double hash_unit_interval(const dns::Name& name) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : name.internal_text()) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* status_name(ValidationStatus status) {
+  switch (status) {
+    case ValidationStatus::kSecure: return "secure";
+    case ValidationStatus::kInsecure: return "insecure";
+    case ValidationStatus::kBogus: return "bogus";
+    case ValidationStatus::kIndeterminate: return "indeterminate";
+  }
+  return "?";
+}
+
+RecursiveResolver::RecursiveResolver(sim::Network& network,
+                                     server::ServerDirectory& directory,
+                                     ResolverConfig config)
+    : network_(&network),
+      directory_(&directory),
+      config_(std::move(config)),
+      cache_(network.clock()),
+      validator_(network.clock()) {}
+
+bool RecursiveResolver::ns_fetch_coin(const dns::Name& zone) const {
+  return config_.ns_fetch_probability > 0.0 &&
+         hash_unit_interval(zone) < config_.ns_fetch_probability;
+}
+
+// ---------------------------------------------------------------------------
+// Iterative fetching
+// ---------------------------------------------------------------------------
+
+RecursiveResolver::Fetched RecursiveResolver::fetch_from_cache(
+    const dns::Name& qname, dns::RRType qtype) {
+  Fetched out;
+  switch (cache_.find_negative(qname, qtype)) {
+    case NegativeEntry::kNxDomain:
+      out.kind = Fetched::Kind::kNxDomain;
+      out.from_cache = true;
+      return out;
+    case NegativeEntry::kNoData:
+      out.kind = Fetched::Kind::kNoData;
+      out.from_cache = true;
+      return out;
+    case NegativeEntry::kNone:
+      break;
+  }
+  auto entry = cache_.find_entry(qname, qtype);
+  if (!entry.has_value() && qtype != dns::RRType::kCname) {
+    // A cached CNAME answers any qtype.
+    entry = cache_.find_entry(qname, dns::RRType::kCname);
+  }
+  if (entry.has_value()) {
+    out.kind = Fetched::Kind::kAnswer;
+    out.from_cache = true;
+    out.cached_validated = entry->validated;
+    out.answer.rrsets.push_back(*entry->rrset);
+    out.answer.rrsigs = *entry->rrsigs;
+    out.auth_zone = cache_.deepest_known_cut(qname);
+    return out;
+  }
+  out.kind = Fetched::Kind::kFail;
+  return out;
+}
+
+RecursiveResolver::Fetched RecursiveResolver::fetch(const dns::Name& qname,
+                                                    dns::RRType qtype,
+                                                    int depth) {
+  if (depth > kMaxFetchDepth) return Fetched{};
+
+  Fetched cached = fetch_from_cache(qname, qtype);
+  if (cached.kind != Fetched::Kind::kFail) return cached;
+
+  // DS is served by the parent side of a cut; route accordingly.
+  const dns::Name routing_name =
+      (qtype == dns::RRType::kDs && !qname.is_root()) ? qname.parent() : qname;
+
+  dns::Name zone_apex = cache_.deepest_known_cut(routing_name);
+  sim::Endpoint* endpoint = directory_->authority_for_zone(zone_apex);
+  if (endpoint == nullptr) {
+    zone_apex = dns::Name::root();
+    endpoint = directory_->authority_for_zone(zone_apex);
+    if (endpoint == nullptr) return Fetched{};
+  }
+
+  const bool dnssec_ok =
+      config_.validation_enabled() || config_.dlv_enabled();
+
+  Fetched out;
+  std::size_t minimize_extra = 0;  // RFC 7816 NODATA extension counter
+  for (int hop = 0; hop < kMaxReferralHops; ++hop) {
+    // RFC 7816: against non-terminal authorities, ask only for the next
+    // zone cut (one label below the current zone, qtype NS). A NODATA
+    // reply to a minimized query (empty non-terminal, in-zone host) widens
+    // the name by one label and retries.
+    dns::Name send_name = qname;
+    dns::RRType send_type = qtype;
+    const std::size_t min_labels =
+        zone_apex.label_count() + 1 + minimize_extra;
+    if (config_.qname_minimization && qname.label_count() > min_labels &&
+        qname.is_subdomain_of(zone_apex)) {
+      while (send_name.label_count() > min_labels) {
+        send_name = send_name.parent();
+      }
+      send_type = dns::RRType::kNs;
+    }
+    const bool minimized = send_name != qname;
+    const dns::Message query = dns::Message::make_query(
+        next_id_++, send_name, send_type, /*recursion_desired=*/false,
+        dnssec_ok);
+    const auto response = network_->exchange(endpoint_id(), *endpoint, query);
+    if (current_ != nullptr) ++current_->upstream_exchanges;
+    if (!response.has_value()) return Fetched{};
+
+    out.answer = group_section(response->answers);
+    out.authority = group_section(response->authorities);
+    out.auth_zone = zone_apex;
+    out.z_bit = response->header.z;
+
+    if (response->header.rcode == dns::RCode::kNxDomain) {
+      // NXDOMAIN of an ancestor implies NXDOMAIN of the full name.
+      out.kind = Fetched::Kind::kNxDomain;
+      cache_.store_negative(send_name, send_type,
+                            soa_negative_ttl(out.authority),
+                            /*nxdomain=*/true);
+      if (minimized) {
+        cache_.store_negative(qname, qtype, soa_negative_ttl(out.authority),
+                              /*nxdomain=*/true);
+      }
+      return out;
+    }
+    if (response->header.rcode != dns::RCode::kNoError) {
+      out.kind = Fetched::Kind::kFail;
+      return out;
+    }
+
+    // Minimized NS query answered authoritatively at the cut: step down a
+    // zone level and keep going.
+    if (minimized) {
+      const dns::RRset* cut_ns =
+          find_rrset(out.answer, send_name, dns::RRType::kNs);
+      if (cut_ns != nullptr) {
+        cache_.store(*cut_ns, /*validated=*/false);
+        cache_.store_zone_cut(send_name, cut_ns->ttl());
+        sim::Endpoint* next = directory_->authority_for_zone(send_name);
+        if (next == nullptr) return Fetched{};
+        endpoint = next;
+        zone_apex = send_name;
+        minimize_extra = 0;
+        continue;
+      }
+    }
+
+    // Answer present?
+    const dns::RRset* direct = find_rrset(out.answer, qname, qtype);
+    const dns::RRset* cname =
+        direct == nullptr && qtype != dns::RRType::kCname
+            ? find_rrset(out.answer, qname, dns::RRType::kCname)
+            : nullptr;
+    if (direct != nullptr || cname != nullptr) {
+      out.kind = Fetched::Kind::kAnswer;
+      const dns::RRset& rrset = direct != nullptr ? *direct : *cname;
+      std::vector<dns::ResourceRecord> covering;
+      for (const dns::ResourceRecord& sig : out.answer.rrsigs) {
+        const auto* rdata = std::get_if<dns::RrsigRdata>(&sig.rdata);
+        if (rdata != nullptr && sig.name == rrset.name() &&
+            rdata->type_covered == rrset.type()) {
+          covering.push_back(sig);
+        }
+      }
+      cache_.store(rrset, /*validated=*/false, std::move(covering));
+      return out;
+    }
+
+    // Referral? (NS in authority, not at this server's apex)
+    const dns::RRset* referral_ns = nullptr;
+    for (const dns::RRset& rrset : out.authority.rrsets) {
+      if (rrset.type() == dns::RRType::kNs && rrset.name() != zone_apex) {
+        referral_ns = &rrset;
+        break;
+      }
+    }
+    if (referral_ns != nullptr) {
+      const dns::Name cut = referral_ns->name();
+      cache_.store(*referral_ns, /*validated=*/false);
+      cache_.store_zone_cut(cut, referral_ns->ttl());
+      // Cache any glue that rode along.
+      GroupedSection additional = group_section(response->additionals);
+      for (const dns::RRset& glue : additional.rrsets) {
+        if (glue.type() == dns::RRType::kA) {
+          cache_.store(glue, /*validated=*/false);
+        }
+      }
+      // Glue chasing: resolve the first NS host we have no address for.
+      for (const dns::ResourceRecord& ns : referral_ns->records()) {
+        const auto* rdata = std::get_if<dns::NsRdata>(&ns.rdata);
+        if (rdata == nullptr) continue;
+        const dns::Name& host = rdata->nameserver;
+        if (find_rrset(additional, host, dns::RRType::kA) != nullptr) break;
+        if (cache_.find(host, dns::RRType::kA) != nullptr) break;
+        if (host.is_subdomain_of(cut)) break;  // would be glue if it existed
+        (void)fetch(host, dns::RRType::kA, depth + 1);
+        break;
+      }
+
+      sim::Endpoint* next = directory_->authority_for_zone(cut);
+      if (next == nullptr) return Fetched{};
+      endpoint = next;
+      zone_apex = cut;
+      minimize_extra = 0;
+      continue;
+    }
+
+    // NOERROR without answer or referral: NODATA. For a minimized query
+    // this only means the intermediate label is an empty non-terminal or a
+    // host — widen the name and retry (RFC 7816 §3).
+    if (minimized) {
+      ++minimize_extra;
+      continue;
+    }
+    out.kind = Fetched::Kind::kNoData;
+    cache_.store_negative(qname, qtype, soa_negative_ttl(out.authority),
+                          /*nxdomain=*/false);
+    return out;
+  }
+  return Fetched{};
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+ValidationStatus RecursiveResolver::validate_zone_keys(
+    const dns::Name& zone, const dns::DsRdata* ds,
+    const dns::DnskeyRdata* anchor, int depth, dns::RRset* out_keys) {
+  if (const dns::RRset* cached =
+          cache_.find_validated(zone, dns::RRType::kDnskey)) {
+    *out_keys = *cached;
+    return ValidationStatus::kSecure;
+  }
+  Fetched keys_fetch = fetch(zone, dns::RRType::kDnskey, depth + 1);
+  if (keys_fetch.kind != Fetched::Kind::kAnswer) {
+    // DS (or an anchor) says the zone is signed but no DNSKEY is served.
+    return ValidationStatus::kBogus;
+  }
+  const dns::RRset* keys = nullptr;
+  for (const dns::RRset& rrset : keys_fetch.answer.rrsets) {
+    if (rrset.type() == dns::RRType::kDnskey && rrset.name() == zone) {
+      keys = &rrset;
+      break;
+    }
+  }
+  if (keys == nullptr) return ValidationStatus::kBogus;
+
+  // The securing key must be endorsed by the DS or equal the trust anchor.
+  bool endorsed = false;
+  if (ds != nullptr) {
+    endorsed = Validator::find_ds_endorsed_key(zone, *keys, *ds) != nullptr;
+  } else if (anchor != nullptr) {
+    for (const dns::ResourceRecord& record : keys->records()) {
+      const auto* key = std::get_if<dns::DnskeyRdata>(&record.rdata);
+      if (key != nullptr && *key == *anchor) {
+        endorsed = true;
+        break;
+      }
+    }
+  }
+  if (!endorsed) return ValidationStatus::kBogus;
+
+  if (validator_.verify_rrset(*keys, keys_fetch.answer.rrsigs, *keys) !=
+      SigCheck::kValid) {
+    return ValidationStatus::kBogus;
+  }
+  cache_.store(*keys, /*validated=*/true, keys_fetch.answer.rrsigs);
+  *out_keys = *keys;
+  return ValidationStatus::kSecure;
+}
+
+ValidationStatus RecursiveResolver::validate_descent(
+    const dns::Name& from_zone, dns::RRset trusted, const dns::Name& to_zone,
+    int depth, dns::RRset* out_keys) {
+  // Build the list of zones strictly below from_zone down to to_zone,
+  // assuming cuts at label boundaries (true throughout this simulator).
+  std::vector<dns::Name> descent;
+  dns::Name walk = to_zone;
+  while (walk != from_zone) {
+    descent.push_back(walk);
+    if (walk.is_root()) return ValidationStatus::kBogus;  // not an ancestor
+    walk = walk.parent();
+  }
+  std::reverse(descent.begin(), descent.end());
+
+  dns::Name parent = from_zone;
+  for (const dns::Name& child : descent) {
+    if (const dns::RRset* cached =
+            cache_.find_validated(child, dns::RRType::kDnskey)) {
+      trusted = *cached;
+      parent = child;
+      continue;
+    }
+
+    Fetched ds_fetch = fetch(child, dns::RRType::kDs, depth + 1);
+    if (ds_fetch.kind == Fetched::Kind::kNoData ||
+        ds_fetch.kind == Fetched::Kind::kNxDomain) {
+      // Proven (or cached) absence of DS: the delegation is insecure.
+      if (!ds_fetch.from_cache) {
+        cache_validated_nsecs(ds_fetch.authority, parent, trusted);
+      }
+      return ValidationStatus::kInsecure;
+    }
+    if (ds_fetch.kind != Fetched::Kind::kAnswer) {
+      return ValidationStatus::kIndeterminate;
+    }
+    const dns::RRset* ds_rrset = nullptr;
+    for (const dns::RRset& rrset : ds_fetch.answer.rrsets) {
+      if (rrset.type() == dns::RRType::kDs && rrset.name() == child) {
+        ds_rrset = &rrset;
+        break;
+      }
+    }
+    if (ds_rrset == nullptr) return ValidationStatus::kIndeterminate;
+    if (!(ds_fetch.from_cache && ds_fetch.cached_validated)) {
+      if (validator_.verify_rrset(*ds_rrset, ds_fetch.answer.rrsigs,
+                                  trusted) != SigCheck::kValid) {
+        return ValidationStatus::kBogus;
+      }
+      cache_.store(*ds_rrset, /*validated=*/true, ds_fetch.answer.rrsigs);
+    }
+
+    const auto* ds =
+        std::get_if<dns::DsRdata>(&ds_rrset->records().front().rdata);
+    if (ds == nullptr) return ValidationStatus::kBogus;
+    dns::RRset child_keys;
+    const ValidationStatus key_status =
+        validate_zone_keys(child, ds, nullptr, depth, &child_keys);
+    if (key_status != ValidationStatus::kSecure) return key_status;
+    trusted = std::move(child_keys);
+    parent = child;
+  }
+  *out_keys = std::move(trusted);
+  return ValidationStatus::kSecure;
+}
+
+ValidationStatus RecursiveResolver::validate_chain(const dns::Name& zone,
+                                                   int depth,
+                                                   dns::RRset* out_keys) {
+  if (!config_.root_anchor_available() || !root_anchor_.has_value()) {
+    return ValidationStatus::kIndeterminate;
+  }
+  dns::RRset root_keys;
+  const ValidationStatus root_status = validate_zone_keys(
+      dns::Name::root(), nullptr, &*root_anchor_, depth, &root_keys);
+  if (root_status != ValidationStatus::kSecure) return root_status;
+  return validate_descent(dns::Name::root(), std::move(root_keys), zone,
+                          depth, out_keys);
+}
+
+void RecursiveResolver::cache_validated_nsecs(const GroupedSection& section,
+                                              const dns::Name& zone,
+                                              const dns::RRset& keys) {
+  if (!config_.aggressive_negative_caching) return;
+  for (const dns::RRset& rrset : section.rrsets) {
+    if (rrset.type() != dns::RRType::kNsec) continue;
+    if (validator_.verify_rrset(rrset, section.rrsigs, keys) !=
+        SigCheck::kValid) {
+      continue;
+    }
+    for (const dns::ResourceRecord& record : rrset.records()) {
+      cache_.store_nsec(zone, record);
+      stats_.add("nsec.cached");
+    }
+  }
+}
+
+ValidationStatus RecursiveResolver::validate_response(const Fetched& fetched,
+                                                      const dns::Name& qname,
+                                                      int depth) {
+  (void)qname;
+  if (fetched.from_cache) {
+    return fetched.cached_validated ? ValidationStatus::kSecure
+                                    : ValidationStatus::kInsecure;
+  }
+  dns::RRset zone_keys;
+  const ValidationStatus chain =
+      validate_chain(fetched.auth_zone, depth, &zone_keys);
+  if (chain != ValidationStatus::kSecure) return chain;
+
+  for (const dns::RRset& rrset : fetched.answer.rrsets) {
+    if (validator_.verify_rrset(rrset, fetched.answer.rrsigs, zone_keys) !=
+        SigCheck::kValid) {
+      return ValidationStatus::kBogus;
+    }
+    cache_.mark_validated(rrset.name(), rrset.type());
+  }
+  // Negative responses: verify the denial (SOA + NSEC) and feed the
+  // aggressive cache.
+  if (fetched.kind == Fetched::Kind::kNxDomain ||
+      fetched.kind == Fetched::Kind::kNoData) {
+    for (const dns::RRset& rrset : fetched.authority.rrsets) {
+      if (rrset.type() != dns::RRType::kSoa &&
+          rrset.type() != dns::RRType::kNsec) {
+        continue;
+      }
+      if (validator_.verify_rrset(rrset, fetched.authority.rrsigs,
+                                  zone_keys) != SigCheck::kValid) {
+        return ValidationStatus::kBogus;
+      }
+    }
+    cache_validated_nsecs(fetched.authority, fetched.auth_zone, zone_keys);
+  }
+  return ValidationStatus::kSecure;
+}
+
+// ---------------------------------------------------------------------------
+// DLV look-aside (RFC 5074)
+// ---------------------------------------------------------------------------
+
+const dns::RRset* RecursiveResolver::dlv_zone_keys(const dns::Name& apex,
+                                                   int depth) {
+  (void)depth;
+  if (const dns::RRset* cached =
+          cache_.find_validated(apex, dns::RRType::kDnskey)) {
+    return cached;
+  }
+  const auto anchor_it = dlv_anchors_.find(apex);
+  if (anchor_it == dlv_anchors_.end()) return nullptr;
+  const dns::DnskeyRdata& anchor = anchor_it->second;
+  // The DLV domain is configuration, not referral-discovered: ask the
+  // registry directly for its DNSKEY RRset and anchor-validate it.
+  sim::Endpoint* registry = directory_->authority_for_zone(apex);
+  if (registry == nullptr) return nullptr;
+  const dns::Message query = dns::Message::make_query(
+      next_id_++, apex, dns::RRType::kDnskey,
+      /*recursion_desired=*/false, /*dnssec_ok=*/true);
+  const auto response = network_->exchange(endpoint_id(), *registry, query);
+  if (current_ != nullptr) ++current_->upstream_exchanges;
+  if (!response.has_value()) return nullptr;
+
+  const GroupedSection answer = group_section(response->answers);
+  const dns::RRset* keys = find_rrset(answer, apex, dns::RRType::kDnskey);
+  if (keys == nullptr) return nullptr;
+  bool anchored = false;
+  for (const dns::ResourceRecord& record : keys->records()) {
+    const auto* key = std::get_if<dns::DnskeyRdata>(&record.rdata);
+    if (key != nullptr && *key == anchor) {
+      anchored = true;
+      break;
+    }
+  }
+  if (!anchored) return nullptr;
+  if (validator_.verify_rrset(*keys, answer.rrsigs, *keys) != SigCheck::kValid) {
+    return nullptr;
+  }
+  cache_.store(*keys, /*validated=*/true, answer.rrsigs);
+  return cache_.find_validated(apex, dns::RRType::kDnskey);
+}
+
+RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup(
+    const dns::Name& domain, ResolveResult& result, int depth) {
+  // Consult registries in configured order; each one contacted is one more
+  // third party that observes the query (paper §7.3.2).
+  DlvOutcome outcome = dlv_lookup_at(config_.dlv_domain, domain, result, depth);
+  for (const dns::Name& apex : config_.additional_dlv_domains) {
+    if (outcome.found) break;
+    outcome = dlv_lookup_at(apex, domain, result, depth);
+  }
+  return outcome;
+}
+
+RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
+    const dns::Name& apex, const dns::Name& domain, ResolveResult& result,
+    int depth) {
+  DlvOutcome outcome;
+  sim::Endpoint* registry = directory_->authority_for_zone(apex);
+  if (registry == nullptr) return outcome;
+
+  const dns::RRset* dlv_keys = dlv_zone_keys(apex, depth);
+
+  // Candidate DLV names: RFC 5074 label stripping ("the validator removes
+  // the leading label from the query and tries again"). Hashed mode has a
+  // single flat candidate (hash labels are not hierarchical).
+  std::vector<std::pair<dns::Name, dns::Name>> candidates;  // (dlv name, domain)
+  if (config_.hashed_dlv_queries) {
+    candidates.emplace_back(dlv::hashed_dlv_name(domain, apex), domain);
+  } else {
+    dns::Name walk = domain;
+    for (;;) {
+      candidates.emplace_back(dlv::clear_dlv_name(walk, apex), walk);
+      if (walk.label_count() <= 2) break;  // stop at the registrable suffix
+      walk = walk.parent();
+    }
+  }
+
+  for (const auto& [candidate, candidate_domain] : candidates) {
+    if (cache_.find_negative(candidate, dns::RRType::kDlv) !=
+        NegativeEntry::kNone) {
+      result.dlv_suppressed_by_nsec = true;
+      stats_.add("dlv.suppressed.negative");
+      continue;
+    }
+    if (config_.aggressive_negative_caching &&
+        cache_.nsec_check(apex, candidate, dns::RRType::kDlv) !=
+            NsecCoverage::kNoProof) {
+      result.dlv_suppressed_by_nsec = true;
+      stats_.add("dlv.suppressed.nsec");
+      continue;
+    }
+
+    const dns::Message query = dns::Message::make_query(
+        next_id_++, candidate, dns::RRType::kDlv,
+        /*recursion_desired=*/false, /*dnssec_ok=*/true);
+    const auto response = network_->exchange(endpoint_id(), *registry, query);
+    if (current_ != nullptr) ++current_->upstream_exchanges;
+    result.dlv_used = true;
+    result.dlv_query_names.push_back(candidate);
+    stats_.add("dlv.queries");
+    if (!response.has_value()) continue;  // registry outage (§8.4)
+
+    GroupedSection answer = group_section(response->answers);
+    GroupedSection authority = group_section(response->authorities);
+
+    const dns::RRset* dlv_rrset =
+        find_rrset(answer, candidate, dns::RRType::kDlv);
+    if (response->header.rcode == dns::RCode::kNoError &&
+        dlv_rrset != nullptr) {
+      // "No error": a record is deposited (Case-1 observation).
+      if (dlv_keys != nullptr &&
+          validator_.verify_rrset(*dlv_rrset, answer.rrsigs, *dlv_keys) !=
+              SigCheck::kValid) {
+        stats_.add("dlv.bogus_answer");
+        continue;
+      }
+      const auto* ds =
+          std::get_if<dns::DsRdata>(&dlv_rrset->records().front().rdata);
+      if (ds == nullptr) continue;
+      outcome.found = true;
+      outcome.ds = *ds;
+      outcome.matched_domain = candidate_domain;
+      stats_.add("dlv.found");
+      return outcome;
+    }
+
+    // "No such name" (or NODATA): cache the denial, then keep stripping.
+    cache_.store_negative(candidate, dns::RRType::kDlv,
+                          soa_negative_ttl(authority),
+                          response->header.rcode == dns::RCode::kNxDomain);
+    if (dlv_keys != nullptr) {
+      cache_validated_nsecs(authority, apex, *dlv_keys);
+    }
+  }
+  return outcome;
+}
+
+std::optional<bool> RecursiveResolver::fetch_txt_signal(
+    const dns::Name& domain, int depth) {
+  Fetched fetched = fetch(domain, dns::RRType::kTxt, depth + 1);
+  if (fetched.kind != Fetched::Kind::kAnswer) return std::nullopt;
+  for (const dns::RRset& rrset : fetched.answer.rrsets) {
+    if (rrset.type() != dns::RRType::kTxt) continue;
+    for (const dns::ResourceRecord& record : rrset.records()) {
+      const auto* txt = std::get_if<dns::TxtRdata>(&record.rdata);
+      if (txt == nullptr) continue;
+      for (const std::string& s : txt->strings) {
+        if (s == "dlv=1") return true;
+        if (s == "dlv=0") return false;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Front door
+// ---------------------------------------------------------------------------
+
+ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
+                                         dns::RRType qtype) {
+  ResolveResult result;
+  current_ = &result;
+
+  result.response.header.qr = true;
+  result.response.header.ra = true;
+  result.response.questions.push_back(
+      dns::Question{qname, qtype, dns::RRClass::kIn});
+
+  dns::Name current_name = qname;
+  int chased = 0;
+  for (;;) {
+    Fetched fetched = fetch(current_name, qtype, 0);
+    result.from_cache = fetched.from_cache;
+
+    if (fetched.kind == Fetched::Kind::kFail) {
+      result.response.header.rcode = dns::RCode::kServFail;
+      result.status = ValidationStatus::kIndeterminate;
+      break;
+    }
+    if (fetched.kind == Fetched::Kind::kNxDomain ||
+        fetched.kind == Fetched::Kind::kNoData) {
+      result.response.header.rcode = fetched.kind == Fetched::Kind::kNxDomain
+                                         ? dns::RCode::kNxDomain
+                                         : dns::RCode::kNoError;
+      result.status = config_.validation_enabled()
+                          ? validate_response(fetched, current_name, 0)
+                          : ValidationStatus::kIndeterminate;
+      if (result.status == ValidationStatus::kBogus) {
+        result.response.header.rcode = dns::RCode::kServFail;
+        result.response.answers.clear();
+      }
+      break;
+    }
+
+    // kAnswer.
+    ValidationStatus leg_status =
+        config_.validation_enabled()
+            ? validate_response(fetched, current_name, 0)
+            : ValidationStatus::kIndeterminate;
+
+    // RFC 5074: look aside when the chain of trust did not conclude secure.
+    if (config_.dlv_enabled() && !fetched.from_cache &&
+        (leg_status == ValidationStatus::kInsecure ||
+         leg_status == ValidationStatus::kIndeterminate)) {
+      bool consult_dlv = true;
+      if (config_.honor_z_bit_signal && !fetched.z_bit) {
+        consult_dlv = false;
+        result.dlv_suppressed_by_signal = true;
+        stats_.add("dlv.suppressed.zbit");
+      }
+      if (consult_dlv && config_.honor_txt_dlv_signal) {
+        const std::optional<bool> signal =
+            fetch_txt_signal(current_name, 0);
+        if (signal.has_value() && !*signal) {
+          consult_dlv = false;
+          result.dlv_suppressed_by_signal = true;
+          stats_.add("dlv.suppressed.txt");
+        }
+      }
+      if (consult_dlv) {
+        const DlvOutcome dlv = dlv_lookup(current_name, result, 0);
+        if (dlv.found) {
+          result.dlv_record_found = true;
+          dns::RRset anchor_keys;
+          ValidationStatus via_dlv = validate_zone_keys(
+              dlv.matched_domain, &dlv.ds, nullptr, 0, &anchor_keys);
+          if (via_dlv == ValidationStatus::kSecure &&
+              dlv.matched_domain != fetched.auth_zone) {
+            via_dlv = validate_descent(dlv.matched_domain,
+                                       std::move(anchor_keys),
+                                       fetched.auth_zone, 0, &anchor_keys);
+          }
+          if (via_dlv == ValidationStatus::kSecure) {
+            bool all_valid = true;
+            for (const dns::RRset& rrset : fetched.answer.rrsets) {
+              if (validator_.verify_rrset(rrset, fetched.answer.rrsigs,
+                                          anchor_keys) != SigCheck::kValid) {
+                all_valid = false;
+                break;
+              }
+            }
+            leg_status = all_valid ? ValidationStatus::kSecure
+                                   : ValidationStatus::kBogus;
+            result.secured_by_dlv = all_valid;
+          } else if (via_dlv == ValidationStatus::kBogus) {
+            leg_status = ValidationStatus::kBogus;
+          }
+        }
+      }
+    }
+
+    result.status = leg_status;
+    if (leg_status == ValidationStatus::kBogus) {
+      result.response.header.rcode = dns::RCode::kServFail;
+      result.response.answers.clear();
+      break;
+    }
+    if (leg_status == ValidationStatus::kSecure) {
+      for (const dns::RRset& rrset : fetched.answer.rrsets) {
+        cache_.mark_validated(rrset.name(), rrset.type());
+      }
+    }
+
+    // Copy answers out (records first, then covering signatures).
+    const dns::RRset* cname_rrset = nullptr;
+    for (const dns::RRset& rrset : fetched.answer.rrsets) {
+      for (const dns::ResourceRecord& record : rrset.records()) {
+        result.response.answers.push_back(record);
+      }
+      if (rrset.type() == dns::RRType::kCname && qtype != dns::RRType::kCname) {
+        cname_rrset = &rrset;
+      }
+    }
+    for (const dns::ResourceRecord& sig : fetched.answer.rrsigs) {
+      result.response.answers.push_back(sig);
+    }
+
+    if (cname_rrset != nullptr &&
+        find_rrset(fetched.answer, current_name, qtype) == nullptr) {
+      if (++chased > config_.max_cname_depth) {
+        result.response.header.rcode = dns::RCode::kServFail;
+        break;
+      }
+      current_name =
+          std::get<dns::CnameRdata>(cname_rrset->records().front().rdata)
+              .target;
+      continue;
+    }
+
+    // Optional NS refresh fetch (models BIND re-querying the child zone's
+    // authoritative NS set after resolving through a referral; contributes
+    // the paper's Table 4 NS query counts). The parent-side NS set learned
+    // from the referral is deliberately not trusted as authoritative.
+    if (!fetched.from_cache && !fetched.auth_zone.is_root() &&
+        ns_fetch_coin(fetched.auth_zone)) {
+      const dns::Message ns_query = dns::Message::make_query(
+          next_id_++, fetched.auth_zone, dns::RRType::kNs,
+          /*recursion_desired=*/false,
+          config_.validation_enabled() || config_.dlv_enabled());
+      sim::Endpoint* child =
+          directory_->authority_for_zone(fetched.auth_zone);
+      if (child != nullptr) {
+        (void)network_->exchange(endpoint_id(), *child, ns_query);
+        if (current_ != nullptr) ++current_->upstream_exchanges;
+      }
+    }
+    break;
+  }
+
+  result.response.header.ad =
+      result.status == ValidationStatus::kSecure;
+  stats_.add(std::string("resolve.status.") + status_name(result.status));
+  if (result.dlv_used) stats_.add("resolve.dlv_used");
+  if (result.dlv_suppressed_by_nsec) stats_.add("resolve.dlv_suppressed_nsec");
+  if (result.dlv_suppressed_by_signal) {
+    stats_.add("resolve.dlv_suppressed_signal");
+  }
+
+  last_result_ = std::move(result);
+  current_ = nullptr;
+  return last_result_;
+}
+
+dns::Message RecursiveResolver::handle_query(const dns::Message& query) {
+  const dns::Question& question = query.question();
+  const ResolveResult result = resolve(question.name, question.type);
+  dns::Message response = result.response;
+  response.header.id = query.header.id;
+  response.header.rd = query.header.rd;
+  response.edns = query.edns;
+  response.dnssec_ok = query.dnssec_ok;
+  // AD reaches the stub only when it asked for DNSSEC data (paper §2.2:
+  // "If the DO bit is set in the initial query from a stub, AD will be set").
+  if (!query.dnssec_ok) {
+    response.header.ad = false;
+    // Strip DNSSEC records from the answer for plain stubs.
+    std::vector<dns::ResourceRecord> plain;
+    for (const dns::ResourceRecord& record : response.answers) {
+      if (record.type != dns::RRType::kRrsig &&
+          record.type != dns::RRType::kNsec) {
+        plain.push_back(record);
+      }
+    }
+    response.answers = std::move(plain);
+  }
+  return response;
+}
+
+}  // namespace lookaside::resolver

@@ -1,0 +1,186 @@
+// The recursive, validating, DLV-capable resolver.
+//
+// One engine models both BIND and Unbound: the paper found their *protocol*
+// behavior identical, with leakage determined entirely by configuration
+// (ResolverConfig reproduces the per-installer defaults). The engine
+// implements:
+//   - iterative resolution from the root with referral/zone-cut caching,
+//     glue chasing and CNAME chasing;
+//   - RFC 4035 chain-of-trust validation with the four statuses of paper
+//     §2.2 (secure / insecure / bogus / indeterminate);
+//   - RFC 5074 DLV look-aside: <domain>.<dlv-domain> queries of type 32769,
+//     label stripping for enclosing records, and aggressive negative caching
+//     of the DLV zone's NSEC records;
+//   - the paper's §6.2 remedies (TXT dlv=0/1 signaling, Z-bit signaling,
+//     hashed DLV query names).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dlv/registry.h"
+#include "resolver/cache.h"
+#include "resolver/config.h"
+#include "resolver/validator.h"
+#include "server/directory.h"
+#include "sim/network.h"
+
+namespace lookaside::resolver {
+
+/// DNSSEC validation status (paper §2.2).
+enum class ValidationStatus {
+  kSecure,
+  kInsecure,
+  kBogus,
+  kIndeterminate,
+};
+
+[[nodiscard]] const char* status_name(ValidationStatus status);
+
+/// Everything a caller (or experiment harness) wants to know about one
+/// resolution.
+struct ResolveResult {
+  dns::Message response;  // stub-facing response (SERVFAIL on bogus)
+  ValidationStatus status = ValidationStatus::kIndeterminate;
+  bool from_cache = false;
+  bool secured_by_dlv = false;
+
+  bool dlv_used = false;                    // >= 1 DLV query actually sent
+  std::vector<dns::Name> dlv_query_names;   // names sent to the DLV server
+  bool dlv_record_found = false;
+  bool dlv_suppressed_by_nsec = false;      // aggressive-negative-cache save
+  bool dlv_suppressed_by_signal = false;    // TXT / Z-bit remedy save
+  int upstream_exchanges = 0;
+};
+
+/// The recursive resolver. Also a sim::Endpoint so stubs reach it over the
+/// simulated network (1 ms hop) and its stub-side traffic is accounted too.
+class RecursiveResolver : public sim::Endpoint {
+ public:
+  RecursiveResolver(sim::Network& network, server::ServerDirectory& directory,
+                    ResolverConfig config);
+
+  /// Installs the root trust-anchor material (the simulated IANA key). The
+  /// configuration decides whether it is actually *used* (auto mode or an
+  /// explicit include) — providing it here models the key file existing on
+  /// disk, which is exactly the distinction the paper's misconfigurations
+  /// hinge on.
+  void set_root_trust_anchor(const dns::DnskeyRdata& anchor) {
+    root_anchor_ = anchor;
+  }
+
+  /// Installs the DLV trust anchor (the registry's KSK; BIND ships this as
+  /// the built-in anchor behind `dnssec-lookaside auto`).
+  void set_dlv_trust_anchor(const dns::DnskeyRdata& anchor) {
+    dlv_anchors_[config_.dlv_domain] = anchor;
+  }
+
+  /// Installs the trust anchor for one of the additional DLV registries
+  /// (config_.additional_dlv_domains).
+  void set_dlv_trust_anchor(const dns::Name& apex,
+                            const dns::DnskeyRdata& anchor) {
+    dlv_anchors_[apex] = anchor;
+  }
+
+  /// Resolves (qname, qtype) on behalf of a stub.
+  [[nodiscard]] ResolveResult resolve(const dns::Name& qname,
+                                      dns::RRType qtype);
+
+  // -- sim::Endpoint ---------------------------------------------------------
+
+  [[nodiscard]] std::string endpoint_id() const override { return "recursive"; }
+  [[nodiscard]] dns::Message handle_query(const dns::Message& query) override;
+
+  // -- Introspection -----------------------------------------------------------
+
+  [[nodiscard]] ResolverCache& cache() { return cache_; }
+  [[nodiscard]] const ResolverConfig& config() const { return config_; }
+  [[nodiscard]] metrics::CounterSet& stats() { return stats_; }
+  /// Result of the most recent resolve() (valid until the next one).
+  [[nodiscard]] const ResolveResult& last_result() const { return last_result_; }
+
+ private:
+  /// What one iterative fetch produced.
+  struct Fetched {
+    enum class Kind { kAnswer, kNxDomain, kNoData, kFail };
+    Kind kind = Kind::kFail;
+    GroupedSection answer;
+    GroupedSection authority;
+    dns::Name auth_zone;   // apex of the zone that produced the outcome
+    bool from_cache = false;
+    bool cached_validated = false;
+    bool z_bit = false;    // Z bit seen on the final answer (remedy §6.2.1)
+  };
+
+  Fetched fetch(const dns::Name& qname, dns::RRType qtype, int depth);
+  Fetched fetch_from_cache(const dns::Name& qname, dns::RRType qtype);
+
+  /// Validates the chain of trust from the root anchor down to `zone`,
+  /// returning the zone's validated DNSKEY RRset in `out_keys` on success.
+  ValidationStatus validate_chain(const dns::Name& zone, int depth,
+                                  dns::RRset* out_keys);
+
+  /// Walks DS/DNSKEY links from `from_zone` (whose validated keys are
+  /// `trusted`) down to `to_zone`; on success `out_keys` holds `to_zone`'s
+  /// validated DNSKEY RRset. Shared by root-anchored and DLV-anchored paths.
+  ValidationStatus validate_descent(const dns::Name& from_zone,
+                                    dns::RRset trusted,
+                                    const dns::Name& to_zone, int depth,
+                                    dns::RRset* out_keys);
+
+  /// Fetches `zone`'s DNSKEY RRset and verifies it against a DS (or a
+  /// configured trust-anchor DNSKEY). On success caches it as validated and
+  /// returns it through `out_keys`.
+  ValidationStatus validate_zone_keys(const dns::Name& zone,
+                                      const dns::DsRdata* ds,
+                                      const dns::DnskeyRdata* anchor,
+                                      int depth, dns::RRset* out_keys);
+
+  /// Validates a fetched answer end to end.
+  ValidationStatus validate_response(const Fetched& fetched,
+                                     const dns::Name& qname, int depth);
+
+  /// RFC 5074 look-aside. Returns the DS found (if any); logs every DLV
+  /// query into `result`. Consults the primary DLV domain, then each
+  /// additional registry in order.
+  struct DlvOutcome {
+    bool found = false;
+    dns::DsRdata ds;
+    dns::Name matched_domain;
+  };
+  DlvOutcome dlv_lookup(const dns::Name& domain, ResolveResult& result,
+                        int depth);
+  DlvOutcome dlv_lookup_at(const dns::Name& apex, const dns::Name& domain,
+                           ResolveResult& result, int depth);
+
+  /// Fetches + validates one DLV zone's DNSKEY RRset (cached). Returns
+  /// nullptr when unavailable or failing validation.
+  const dns::RRset* dlv_zone_keys(const dns::Name& apex, int depth);
+
+  /// Caches validated NSEC records from `section` into the aggressive store
+  /// for `zone` when `keys` verify them.
+  void cache_validated_nsecs(const GroupedSection& section,
+                             const dns::Name& zone, const dns::RRset& keys);
+
+  /// §6.2.1 TXT remedy: returns the signal for `domain`
+  /// (true=deposit exists, false=none, nullopt=no TXT record configured).
+  std::optional<bool> fetch_txt_signal(const dns::Name& domain, int depth);
+
+  /// Deterministic per-name coin flip for NS refresh fetches.
+  [[nodiscard]] bool ns_fetch_coin(const dns::Name& zone) const;
+
+  sim::Network* network_;
+  server::ServerDirectory* directory_;
+  ResolverConfig config_;
+  std::optional<dns::DnskeyRdata> root_anchor_;
+  std::map<dns::Name, dns::DnskeyRdata> dlv_anchors_;
+  ResolverCache cache_;
+  Validator validator_;
+  metrics::CounterSet stats_;
+  ResolveResult last_result_;
+  ResolveResult* current_ = nullptr;  // in-flight result for nested counting
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace lookaside::resolver

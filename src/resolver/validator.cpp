@@ -1,0 +1,123 @@
+#include "resolver/validator.h"
+
+#include "crypto/dnssec_algo.h"
+#include "zone/keys.h"
+
+namespace lookaside::resolver {
+
+SigCheck Validator::verify_rrset(
+    const dns::RRset& rrset, const std::vector<dns::ResourceRecord>& rrsigs,
+    const dns::RRset& dnskeys) {
+  SigCheck best = SigCheck::kNoSignature;
+  auto better = [&best](SigCheck candidate) {
+    // kValid short-circuits; otherwise keep the most informative failure.
+    if (static_cast<int>(candidate) < static_cast<int>(best) ||
+        best == SigCheck::kNoSignature) {
+      best = candidate;
+    }
+  };
+
+  const auto now_seconds =
+      static_cast<std::uint32_t>(clock_->now_us() / 1'000'000ULL);
+
+  for (const dns::ResourceRecord& record : rrsigs) {
+    const auto* sig = std::get_if<dns::RrsigRdata>(&record.rdata);
+    if (sig == nullptr) continue;
+    if (record.name != rrset.name()) continue;
+    if (sig->type_covered != rrset.type()) continue;
+
+    if (!crypto::algorithm_supported(sig->algorithm)) {
+      better(SigCheck::kUnsupported);
+      continue;
+    }
+    if (now_seconds < sig->inception || now_seconds > sig->expiration) {
+      better(SigCheck::kExpired);
+      continue;
+    }
+
+    bool key_found = false;
+    for (const dns::ResourceRecord& key_record : dnskeys.records()) {
+      const auto* key = std::get_if<dns::DnskeyRdata>(&key_record.rdata);
+      if (key == nullptr) continue;
+      if (key->algorithm != sig->algorithm) continue;
+      if (key->key_tag() != sig->key_tag) continue;
+      key_found = true;
+      const crypto::RsaPublicKey* rsa = parse_key(*key);
+      if (rsa == nullptr) continue;
+      const dns::Bytes signed_data = dns::rrsig_signed_data(*sig, rrset);
+      if (crypto::verify_message(*rsa, signed_data, sig->signature)) {
+        return SigCheck::kValid;
+      }
+      better(SigCheck::kInvalid);
+    }
+    if (!key_found) better(SigCheck::kNoMatchingKey);
+  }
+  return best;
+}
+
+bool Validator::key_matches_ds(const dns::Name& owner,
+                               const dns::DnskeyRdata& key,
+                               const dns::DsRdata& ds) {
+  if (key.algorithm != ds.algorithm) return false;
+  if (key.key_tag() != ds.key_tag) return false;
+  if (ds.digest_type != 2) return false;  // only SHA-256 DS in this library
+  return zone::make_ds(owner, key).digest == ds.digest;
+}
+
+const dns::DnskeyRdata* Validator::find_ds_endorsed_key(
+    const dns::Name& owner, const dns::RRset& dnskeys,
+    const dns::DsRdata& ds) {
+  for (const dns::ResourceRecord& record : dnskeys.records()) {
+    const auto* key = std::get_if<dns::DnskeyRdata>(&record.rdata);
+    if (key != nullptr && key_matches_ds(owner, *key, ds)) return key;
+  }
+  return nullptr;
+}
+
+const crypto::RsaPublicKey* Validator::parse_key(const dns::DnskeyRdata& key) {
+  const std::string cache_key(key.public_key.begin(), key.public_key.end());
+  const auto it = key_cache_.find(cache_key);
+  if (it != key_cache_.end()) return it->second.get();
+  auto parsed = crypto::RsaPublicKey::from_wire(key.public_key);
+  if (!parsed.has_value()) {
+    key_cache_.emplace(cache_key, nullptr);
+    return nullptr;
+  }
+  auto owned = std::make_unique<crypto::RsaPublicKey>(std::move(*parsed));
+  const crypto::RsaPublicKey* raw = owned.get();
+  key_cache_.emplace(cache_key, std::move(owned));
+  return raw;
+}
+
+GroupedSection group_section(const std::vector<dns::ResourceRecord>& section) {
+  GroupedSection out;
+  for (const dns::ResourceRecord& record : section) {
+    if (record.type == dns::RRType::kRrsig) {
+      out.rrsigs.push_back(record);
+      continue;
+    }
+    dns::RRset* target = nullptr;
+    for (dns::RRset& existing : out.rrsets) {
+      if (existing.name() == record.name && existing.type() == record.type) {
+        target = &existing;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      out.rrsets.emplace_back(record.name, record.type);
+      target = &out.rrsets.back();
+    }
+    target->add(record);
+  }
+  return out;
+}
+
+const dns::RRset* find_rrset(const GroupedSection& section,
+                             const dns::Name& name, dns::RRType type) {
+  for (const dns::RRset& rrset : section.rrsets) {
+    if (rrset.name() == name && rrset.type() == type) return &rrset;
+  }
+  return nullptr;
+}
+
+}  // namespace lookaside::resolver

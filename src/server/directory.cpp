@@ -1,0 +1,32 @@
+#include "server/directory.h"
+
+namespace lookaside::server {
+
+void ServerDirectory::register_zone(const dns::Name& apex,
+                                    std::shared_ptr<sim::Endpoint> endpoint) {
+  zones_[apex] = std::move(endpoint);
+}
+
+sim::Endpoint* ServerDirectory::authority_for_zone(
+    const dns::Name& apex) const {
+  const auto it = zones_.find(apex);
+  if (it != zones_.end()) return it->second.get();
+  return fallback_ ? fallback_(apex) : nullptr;
+}
+
+sim::Endpoint* ServerDirectory::deepest_authority(
+    const dns::Name& qname, dns::Name* matched_apex) const {
+  // Walk suffixes of qname from deepest to the root.
+  dns::Name candidate = qname;
+  for (;;) {
+    const auto it = zones_.find(candidate);
+    if (it != zones_.end()) {
+      if (matched_apex != nullptr) *matched_apex = candidate;
+      return it->second.get();
+    }
+    if (candidate.is_root()) return nullptr;
+    candidate = candidate.parent();
+  }
+}
+
+}  // namespace lookaside::server

@@ -1,0 +1,56 @@
+// Server directory: maps zone apexes to the endpoints serving them.
+//
+// This abstracts IP addressing: a real resolver learns nameserver *hosts*
+// from referrals and resolves them to addresses; here the referral records
+// still flow on the wire (and missing glue still costs visible A/AAAA
+// lookups, accounted by the resolver), but the final "connect to the server
+// for zone X" step is a directory lookup.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "dns/name.h"
+#include "sim/network.h"
+
+namespace lookaside::server {
+
+/// Registry of authoritative endpoints by zone apex.
+class ServerDirectory {
+ public:
+  /// Registers `endpoint` as authoritative for `apex` (replacing any
+  /// previous registration).
+  void register_zone(const dns::Name& apex,
+                     std::shared_ptr<sim::Endpoint> endpoint);
+
+  /// Endpoint for exactly `apex`, or nullptr. When a fallback is installed
+  /// it is consulted for apexes with no explicit registration (this is how
+  /// the synthetic million-domain universe serves SLD zones without
+  /// materializing a million registrations).
+  [[nodiscard]] sim::Endpoint* authority_for_zone(const dns::Name& apex) const;
+
+  /// Installs the fallback hook; it may return nullptr to decline.
+  void set_fallback(std::function<sim::Endpoint*(const dns::Name&)> fallback) {
+    fallback_ = std::move(fallback);
+  }
+
+  /// Endpoint serving the deepest registered zone enclosing `qname`
+  /// (at most `max_labels` labels deep); the root must be registered.
+  /// Outputs the matched apex through `matched_apex` when non-null.
+  [[nodiscard]] sim::Endpoint* deepest_authority(
+      const dns::Name& qname, dns::Name* matched_apex = nullptr) const;
+
+  [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
+
+ private:
+  struct CanonicalLess {
+    bool operator()(const dns::Name& a, const dns::Name& b) const {
+      return a.canonical_compare(b) < 0;
+    }
+  };
+  std::map<dns::Name, std::shared_ptr<sim::Endpoint>, CanonicalLess> zones_;
+  std::function<sim::Endpoint*(const dns::Name&)> fallback_;
+};
+
+}  // namespace lookaside::server

@@ -1,0 +1,107 @@
+#include "server/zone_authority.h"
+
+namespace lookaside::server {
+
+ZoneAuthority::ZoneAuthority(std::string endpoint_id,
+                             std::shared_ptr<zone::SignedZone> zone)
+    : id_(std::move(endpoint_id)), signed_zone_(std::move(zone)) {}
+
+ZoneAuthority::ZoneAuthority(std::string endpoint_id,
+                             std::shared_ptr<zone::Zone> zone)
+    : id_(std::move(endpoint_id)), plain_zone_(std::move(zone)) {}
+
+void ZoneAuthority::append_rrset(std::vector<dns::ResourceRecord>& section,
+                                 const dns::RRset& rrset, bool want_dnssec) {
+  for (const dns::ResourceRecord& record : rrset.records()) {
+    section.push_back(record);
+  }
+  if (want_dnssec && signed_zone_) {
+    section.push_back(signed_zone_->rrsig_for(rrset));
+  }
+}
+
+void ZoneAuthority::append_nxdomain_sections(dns::Message& response,
+                                             const dns::Name& qname,
+                                             bool want_dnssec) {
+  const zone::Zone& z = zone_data();
+  append_rrset(response.authorities, z.soa_rrset(), want_dnssec);
+  if (want_dnssec && signed_zone_) {
+    zone::NsecProof proof = signed_zone_->nxdomain_proof(qname);
+    response.authorities.push_back(std::move(proof.nsec));
+    response.authorities.push_back(std::move(proof.rrsig));
+  }
+}
+
+void ZoneAuthority::append_glue(dns::Message& response,
+                                const dns::RRset& ns_set, bool want_dnssec) {
+  const zone::Zone& z = zone_data();
+  for (const dns::ResourceRecord& ns : ns_set.records()) {
+    const auto& rdata = std::get<dns::NsRdata>(ns.rdata);
+    // Glue only exists for nameserver hosts inside this zone.
+    if (const dns::RRset* glue = z.find(rdata.nameserver, dns::RRType::kA)) {
+      // Glue is unsigned even in signed zones (it is non-authoritative).
+      for (const dns::ResourceRecord& record : glue->records()) {
+        response.additionals.push_back(record);
+      }
+    }
+  }
+  (void)want_dnssec;
+}
+
+dns::Message ZoneAuthority::handle_query(const dns::Message& query) {
+  dns::Message response = dns::Message::make_response(query);
+  response.header.aa = true;
+  response.header.z = z_bit_signal_;
+  const dns::Question& question = query.question();
+  const bool want_dnssec = query.dnssec_ok;
+  const zone::Zone& z = zone_data();
+
+  // Apex DNSKEY is served from the signing state, not the zone store.
+  if (question.type == dns::RRType::kDnskey && signed_zone_ &&
+      question.name == z.apex()) {
+    append_rrset(response.answers, signed_zone_->dnskey_rrset(), want_dnssec);
+    return response;
+  }
+
+  const zone::LookupResult result = z.lookup(question.name, question.type);
+  switch (result.kind) {
+    case zone::LookupKind::kAnswer: {
+      append_rrset(response.answers, *result.rrset, want_dnssec);
+      break;
+    }
+    case zone::LookupKind::kReferral: {
+      response.header.aa = false;
+      append_rrset(response.authorities, *result.rrset, /*want_dnssec=*/false);
+      if (want_dnssec && signed_zone_) {
+        if (result.ds != nullptr) {
+          append_rrset(response.authorities, *result.ds, want_dnssec);
+        } else {
+          // Signed parent, unsigned delegation: prove DS absence (this is
+          // what makes the child "insecure" rather than "bogus").
+          zone::NsecProof proof = signed_zone_->nodata_proof(result.cut);
+          response.authorities.push_back(std::move(proof.nsec));
+          response.authorities.push_back(std::move(proof.rrsig));
+        }
+      }
+      append_glue(response, *result.rrset, want_dnssec);
+      break;
+    }
+    case zone::LookupKind::kNoData: {
+      append_rrset(response.authorities, z.soa_rrset(), want_dnssec);
+      if (want_dnssec && signed_zone_) {
+        zone::NsecProof proof = signed_zone_->nodata_proof(question.name);
+        response.authorities.push_back(std::move(proof.nsec));
+        response.authorities.push_back(std::move(proof.rrsig));
+      }
+      break;
+    }
+    case zone::LookupKind::kNxDomain: {
+      response.header.rcode = dns::RCode::kNxDomain;
+      append_nxdomain_sections(response, question.name, want_dnssec);
+      break;
+    }
+  }
+  return response;
+}
+
+}  // namespace lookaside::server

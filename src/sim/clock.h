@@ -1,0 +1,29 @@
+// Deterministic simulation clock.
+//
+// All latency in the simulator is virtual: the network advances this clock
+// by modeled per-hop delays, so the paper's "response time (seconds)" metric
+// is exactly reproducible run to run.
+#pragma once
+
+#include <cstdint>
+
+namespace lookaside::sim {
+
+/// Monotonic virtual clock with microsecond resolution.
+class SimClock {
+ public:
+  [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
+  [[nodiscard]] double now_seconds() const {
+    return static_cast<double>(now_us_) / 1e6;
+  }
+
+  void advance_us(std::uint64_t delta_us) { now_us_ += delta_us; }
+  void advance_seconds(double seconds) {
+    advance_us(static_cast<std::uint64_t>(seconds * 1e6));
+  }
+
+ private:
+  std::uint64_t now_us_ = 0;
+};
+
+}  // namespace lookaside::sim

@@ -1,0 +1,35 @@
+// Per-endpoint latency model.
+//
+// Defaults follow DESIGN.md's calibration: root 30 ms, TLDs 25 ms, DLV 40 ms,
+// SLD authoritative servers a deterministic hash of their id in [10, 80] ms,
+// stub<->recursive 1 ms. All values are one-way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lookaside::sim {
+
+/// Maps endpoint ids to one-way latency in microseconds.
+class LatencyModel {
+ public:
+  LatencyModel();
+
+  /// One-way latency to reach `endpoint_id`.
+  [[nodiscard]] std::uint64_t one_way_us(std::string_view endpoint_id) const;
+
+  /// Overrides the latency for a specific endpoint.
+  void set_latency_us(std::string endpoint_id, std::uint64_t one_way_us);
+
+  /// Default hash-derived latency for endpoints without an override;
+  /// exposed for tests.
+  [[nodiscard]] static std::uint64_t hashed_default_us(
+      std::string_view endpoint_id);
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> overrides_;
+};
+
+}  // namespace lookaside::sim

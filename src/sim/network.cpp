@@ -1,0 +1,84 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace lookaside::sim {
+
+void Network::set_unreachable(const std::string& endpoint_id,
+                              bool unreachable) {
+  const auto it =
+      std::find(unreachable_.begin(), unreachable_.end(), endpoint_id);
+  if (unreachable && it == unreachable_.end()) {
+    unreachable_.push_back(endpoint_id);
+  } else if (!unreachable && it != unreachable_.end()) {
+    unreachable_.erase(it);
+  }
+}
+
+void Network::record(PacketRecord packet) {
+  if (observer_) observer_(packet);
+  if (capture_enabled_) capture_.push_back(std::move(packet));
+}
+
+std::optional<dns::Message> Network::exchange(const std::string& from,
+                                              Endpoint& server,
+                                              const dns::Message& query) {
+  const std::string to = server.endpoint_id();
+  const std::size_t query_bytes = dns::wire_size(query);
+
+  counters_.add("packets.query");
+  counters_.add("bytes.query", query_bytes);
+  counters_.add("bytes.total", query_bytes);
+  if (!query.questions.empty()) {
+    counters_.add("query." + dns::rr_type_name(query.question().type));
+  }
+  counters_.add("dest." + to + ".queries");
+
+  PacketRecord query_record;
+  query_record.time_us = clock_->now_us();
+  query_record.from = from;
+  query_record.to = to;
+  query_record.bytes = query_bytes;
+  query_record.is_query = true;
+  if (!query.questions.empty()) {
+    query_record.qname = query.question().name;
+    query_record.qtype = query.question().type;
+  }
+  record(query_record);
+
+  if (std::find(unreachable_.begin(), unreachable_.end(), to) !=
+      unreachable_.end()) {
+    clock_->advance_us(timeout_us_);
+    counters_.add("timeouts");
+    return std::nullopt;
+  }
+
+  std::uint64_t one_way = server.latency_override_us(query);
+  if (one_way == 0) one_way = latency_.one_way_us(to);
+  clock_->advance_us(one_way);
+  const dns::Message response = server.handle_query(query);
+  clock_->advance_us(one_way);
+
+  const std::size_t response_bytes = dns::wire_size(response);
+  counters_.add("packets.response");
+  counters_.add("bytes.response", response_bytes);
+  counters_.add("bytes.total", response_bytes);
+  counters_.add("rcode." + dns::rcode_name(response.header.rcode));
+
+  PacketRecord response_record;
+  response_record.time_us = clock_->now_us();
+  response_record.from = to;
+  response_record.to = from;
+  response_record.bytes = response_bytes;
+  response_record.is_query = false;
+  if (!query.questions.empty()) {
+    response_record.qname = query.question().name;
+    response_record.qtype = query.question().type;
+  }
+  response_record.rcode = response.header.rcode;
+  record(response_record);
+
+  return response;
+}
+
+}  // namespace lookaside::sim

@@ -1,0 +1,111 @@
+// Simulated network: synchronous query/response exchanges between endpoints
+// with byte-accurate accounting and an optional packet capture.
+//
+// This replaces the paper's real testbed (campus hosts, DigitalOcean/EC2
+// VPSes). Leakage is a protocol property; the network's job is to (1) move
+// wire-encoded messages, (2) advance the virtual clock by per-hop latency,
+// and (3) account every query/byte so the overhead tables can be rebuilt.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/codec.h"
+#include "dns/message.h"
+#include "metrics/counters.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+
+namespace lookaside::sim {
+
+/// Anything that answers DNS queries: authoritative servers, DLV registries.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Stable identifier used for latency lookup and capture records.
+  [[nodiscard]] virtual std::string endpoint_id() const = 0;
+
+  /// Produces the response for `query`. Implementations are deterministic.
+  [[nodiscard]] virtual dns::Message handle_query(const dns::Message& query) = 0;
+
+  /// Optional per-query one-way latency override (microseconds). Lets a
+  /// single endpoint object impersonate many servers with different
+  /// latencies (the synthetic SLD universe). Zero means "use the model".
+  [[nodiscard]] virtual std::uint64_t latency_override_us(
+      const dns::Message& query) const {
+    (void)query;
+    return 0;
+  }
+};
+
+/// One captured packet (a query or a response).
+struct PacketRecord {
+  std::uint64_t time_us = 0;
+  std::string from;
+  std::string to;
+  std::size_t bytes = 0;
+  bool is_query = false;
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::kA;
+  dns::RCode rcode = dns::RCode::kNoError;  // responses only
+};
+
+/// The simulated network fabric.
+class Network {
+ public:
+  explicit Network(SimClock& clock) : clock_(&clock) {}
+
+  /// Performs a full query/response exchange with `server`:
+  /// advances the clock by the round trip, accounts packets and bytes, and
+  /// returns the decoded response. Returns nullopt (after a timeout's worth
+  /// of virtual time) when the server id has been marked unreachable.
+  [[nodiscard]] std::optional<dns::Message> exchange(
+      const std::string& from, Endpoint& server, const dns::Message& query);
+
+  /// Marks/unmarks a server id as unreachable (models DLV outages, §8.4).
+  void set_unreachable(const std::string& endpoint_id, bool unreachable);
+
+  /// Toggles in-memory packet capture (off by default; million-domain
+  /// benches keep it off and rely on counters).
+  void set_capture_enabled(bool enabled) { capture_enabled_ = enabled; }
+  [[nodiscard]] const std::vector<PacketRecord>& capture() const {
+    return capture_;
+  }
+  void clear_capture() { capture_.clear(); }
+
+  /// Optional streaming observer invoked for every packet (even when the
+  /// stored capture is disabled).
+  void set_observer(std::function<void(const PacketRecord&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Counters: "query.<TYPE>", "packets.query", "packets.response",
+  /// "bytes.query", "bytes.response", "bytes.total",
+  /// "dest.<endpoint>.queries", "rcode.<NAME>", "timeouts".
+  [[nodiscard]] const metrics::CounterSet& counters() const { return counters_; }
+  [[nodiscard]] metrics::CounterSet& counters() { return counters_; }
+
+  [[nodiscard]] LatencyModel& latency() { return latency_; }
+  [[nodiscard]] SimClock& clock() { return *clock_; }
+
+  /// Query timeout charged when a server is unreachable (default 5 s).
+  void set_timeout_us(std::uint64_t timeout_us) { timeout_us_ = timeout_us; }
+
+ private:
+  void record(PacketRecord record);
+
+  SimClock* clock_;
+  LatencyModel latency_;
+  metrics::CounterSet counters_;
+  std::vector<PacketRecord> capture_;
+  bool capture_enabled_ = false;
+  std::function<void(const PacketRecord&)> observer_;
+  std::vector<std::string> unreachable_;
+  std::uint64_t timeout_us_ = 5'000'000;
+};
+
+}  // namespace lookaside::sim

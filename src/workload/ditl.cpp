@@ -1,0 +1,50 @@
+#include "workload/ditl.h"
+
+#include <cmath>
+
+#include "crypto/rng.h"
+
+namespace lookaside::workload {
+
+std::vector<std::uint64_t> ditl_per_minute_rates(const DitlOptions& options) {
+  crypto::SplitMix64 rng(options.seed);
+  // Center the series on the average rate the target total implies, so
+  // normalization barely perturbs the envelope.
+  const double mid = static_cast<double>(options.total_queries) /
+                     static_cast<double>(options.minutes);
+  const double swing =
+      std::min(mid - static_cast<double>(options.min_rate),
+               static_cast<double>(options.max_rate) - mid);
+
+  std::vector<double> shape(options.minutes);
+  double shape_total = 0;
+  for (std::uint32_t minute = 0; minute < options.minutes; ++minute) {
+    const double phase =
+        2.0 * 3.14159265358979 * static_cast<double>(minute) /
+        static_cast<double>(options.minutes);
+    // Slow swell + secondary ripple + bounded noise.
+    double value = mid + swing * (0.55 * std::sin(phase - 1.2) +
+                                  0.25 * std::sin(3.1 * phase) +
+                                  0.20 * (rng.next_double() * 2.0 - 1.0));
+    value = std::min(static_cast<double>(options.max_rate),
+                     std::max(static_cast<double>(options.min_rate), value));
+    shape[minute] = value;
+    shape_total += value;
+  }
+
+  // Normalize to the exact target total.
+  std::vector<std::uint64_t> out(options.minutes);
+  std::uint64_t emitted = 0;
+  for (std::uint32_t minute = 0; minute < options.minutes; ++minute) {
+    const double scaled = shape[minute] *
+                          static_cast<double>(options.total_queries) /
+                          shape_total;
+    out[minute] = static_cast<std::uint64_t>(scaled);
+    emitted += out[minute];
+  }
+  // Fold the rounding remainder into the last minute.
+  out.back() += options.total_queries - emitted;
+  return out;
+}
+
+}  // namespace lookaside::workload

@@ -1,0 +1,29 @@
+// DITL-like recursive-resolver trace generator (paper §6.2.3, Fig. 12).
+//
+// The paper used a 7-hour Day-In-The-Life capture at a large recursive:
+// 160k-360k queries/minute, 92,705,013 queries total. That capture is not
+// redistributable, so this generator synthesizes a per-minute rate series
+// with the same envelope: a diurnal-ish slow swell plus deterministic noise,
+// normalized to the target total.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lookaside::workload {
+
+/// Trace-generation knobs; defaults match the paper's capture.
+struct DitlOptions {
+  std::uint64_t seed = 2015;
+  std::uint32_t minutes = 420;               // 7 hours
+  std::uint64_t min_rate = 160'000;          // queries per minute
+  std::uint64_t max_rate = 360'000;
+  std::uint64_t total_queries = 92'705'013;  // normalization target
+};
+
+/// Per-minute query counts; sums exactly to `total_queries` and every value
+/// stays within [min_rate, max_rate] (up to the final rounding adjustment).
+[[nodiscard]] std::vector<std::uint64_t> ditl_per_minute_rates(
+    const DitlOptions& options);
+
+}  // namespace lookaside::workload

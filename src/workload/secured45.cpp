@@ -1,0 +1,50 @@
+#include "workload/secured45.h"
+
+namespace lookaside::workload {
+
+namespace {
+
+const char* tld_for_index(std::size_t index) {
+  switch (index % 4) {
+    case 0: return "com";
+    case 1: return "org";
+    case 2: return "net";
+    default: return "edu";
+  }
+}
+
+bool is_island_index(std::size_t index) {
+  // Five islands spread through the list (indices 3, 12, 21, 30, 39).
+  return index % 9 == 3;
+}
+
+std::string domain_name(std::size_t index) {
+  std::string number = std::to_string(index + 1);
+  if (number.size() < 2) number = "0" + number;
+  return "secure" + number + "." + tld_for_index(index);
+}
+
+}  // namespace
+
+std::vector<server::SldSpec> secured_45_specs() {
+  std::vector<server::SldSpec> out;
+  out.reserve(kSecuredDomainCount);
+  for (std::size_t i = 0; i < kSecuredDomainCount; ++i) {
+    server::SldSpec spec;
+    spec.name = domain_name(i);
+    spec.dnssec_signed = true;
+    spec.ds_in_parent = !is_island_index(i);
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<std::string> secured_45_island_names() {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < kSecuredDomainCount; ++i) {
+    if (is_island_index(i)) out.push_back(domain_name(i));
+  }
+  return out;
+}
+
+}  // namespace lookaside::workload

@@ -1,0 +1,26 @@
+// The 45 DNSSEC-secured domains dataset (paper §4.2, after Huque's list).
+//
+// The original list is gone with its source; what the paper's §5.2 uses is
+// its *structure*: 45 domains that are all signed, of which 5 could not be
+// validated on-path ("islands of security" — signed but no DS in the parent
+// zone) and 40 have complete chains of trust. This module reproduces that
+// structure deterministically.
+#pragma once
+
+#include <vector>
+
+#include "server/testbed.h"
+
+namespace lookaside::workload {
+
+/// Number of domains in the dataset and how many are islands.
+inline constexpr std::size_t kSecuredDomainCount = 45;
+inline constexpr std::size_t kSecuredIslandCount = 5;
+
+/// Builds the 45 SLD specifications: 40 signed-and-chained, 5 islands.
+[[nodiscard]] std::vector<server::SldSpec> secured_45_specs();
+
+/// The subset of names that are islands (candidates for DLV deposit).
+[[nodiscard]] std::vector<std::string> secured_45_island_names();
+
+}  // namespace lookaside::workload

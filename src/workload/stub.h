@@ -1,0 +1,53 @@
+// Stub-resolver client driving browsing-shaped query streams at the
+// recursive resolver (paper §4.1's query-initiation hosts).
+//
+// For each "visited" domain the stub asks A and (usually) AAAA, and with a
+// small probability issues a PTR lookup for the address it got back — the
+// mix behind Table 4's per-type query counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "resolver/resolver.h"
+#include "sim/network.h"
+
+namespace lookaside::workload {
+
+/// Stub behavior knobs.
+struct StubOptions {
+  bool query_aaaa = true;
+  double ptr_probability = 0.02;  // Table 4: PTR ~2 per 100 domains
+  bool dnssec_ok = false;         // plain stub by default
+};
+
+/// Per-visit outcome summary.
+struct VisitOutcome {
+  dns::RCode rcode = dns::RCode::kNoError;
+  bool got_address = false;
+};
+
+/// A stub resolver wired to one recursive resolver over the simulated
+/// network (so the stub<->recursive hop is accounted too).
+class StubClient {
+ public:
+  StubClient(sim::Network& network, resolver::RecursiveResolver& resolver,
+             StubOptions options = {});
+
+  /// Simulates visiting `domain`: A (+AAAA, + occasional PTR).
+  VisitOutcome visit(const dns::Name& domain);
+
+  /// Number of queries this stub has issued.
+  [[nodiscard]] std::uint64_t queries_sent() const { return queries_sent_; }
+
+ private:
+  [[nodiscard]] dns::Message ask(const dns::Name& name, dns::RRType type);
+
+  sim::Network* network_;
+  resolver::RecursiveResolver* resolver_;
+  StubOptions options_;
+  std::uint16_t next_id_ = 1;
+  std::uint64_t queries_sent_ = 0;
+};
+
+}  // namespace lookaside::workload

@@ -1,0 +1,89 @@
+// Server-side assembly of the synthetic universe: a real signed root zone,
+// one synthetic authority per TLD, a single shared authority impersonating
+// every SLD server, a reverse-lookup authority, and a DLV registry populated
+// from the universe's deposit model.
+//
+// Synthetic authorities answer byte-accurate, correctly signed messages
+// without materializing a million Zone objects; signatures are computed
+// lazily and cached (see zone::SignedZone for the same idea on real zones).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dlv/registry.h"
+#include "server/directory.h"
+#include "server/zone_authority.h"
+#include "workload/universe.h"
+#include "zone/keys.h"
+
+namespace lookaside::workload {
+
+/// Signs synthetic RRsets with one zone's keys, caching by (owner, type).
+class SyntheticSigner {
+ public:
+  SyntheticSigner(dns::Name zone_apex, zone::ZoneKeys keys);
+
+  /// RRSIG over `rrset`; `with_ksk` selects the KSK (DNSKEY sets only).
+  [[nodiscard]] dns::ResourceRecord sign(const dns::RRset& rrset,
+                                         bool with_ksk = false);
+
+  [[nodiscard]] const zone::ZoneKeys& keys() const { return keys_; }
+  [[nodiscard]] const dns::Name& apex() const { return apex_; }
+
+  /// The apex DNSKEY RRset (ZSK + KSK) with standard TTL.
+  [[nodiscard]] dns::RRset dnskey_rrset() const;
+
+ private:
+  dns::Name apex_;
+  zone::ZoneKeys keys_;
+  std::map<std::pair<std::string, dns::RRType>, dns::Bytes> cache_;
+};
+
+/// World-level options.
+struct WorldOptions {
+  UniverseOptions universe;
+  std::uint64_t seed = 7;
+  std::size_t key_bits = 256;    // fast-simulation default (DESIGN.md)
+  std::size_t key_pool_size = 8; // shared SLD key pool
+  std::uint32_t record_ttl = 3600;
+  std::uint32_t negative_ttl = 3600;
+  bool txt_signaling = false;    // §6.2.1 TXT remedy served by SLDs
+  bool z_bit_signaling = false;  // §6.2.1 Z-bit remedy
+  dlv::DlvRegistry::Options dlv;
+  /// Deposit scan cap: only ranks <= this are registered in the DLV zone
+  /// (use the universe size for full-fidelity runs).
+  std::uint64_t deposit_scan_limit = 0;  // 0 => universe size
+};
+
+/// Owns every server-side object of a universe experiment.
+class UniverseWorld {
+ public:
+  explicit UniverseWorld(WorldOptions options);
+
+  [[nodiscard]] server::ServerDirectory& directory() { return directory_; }
+  [[nodiscard]] dlv::DlvRegistry& registry() { return *registry_; }
+  [[nodiscard]] const Universe& universe() const { return universe_; }
+  [[nodiscard]] const dns::DnskeyRdata& root_trust_anchor() const {
+    return root_anchor_;
+  }
+  [[nodiscard]] const WorldOptions& options() const { return options_; }
+
+  /// Key pool shared by synthetic SLD zones (exposed for tests).
+  [[nodiscard]] const zone::KeyPool& sld_keys() const { return *sld_keys_; }
+
+ private:
+  WorldOptions options_;
+  Universe universe_;
+  std::unique_ptr<zone::KeyPool> sld_keys_;
+  server::ServerDirectory directory_;
+  std::unique_ptr<dlv::DlvRegistry> registry_;
+  std::shared_ptr<server::ZoneAuthority> root_authority_;
+  dns::DnskeyRdata root_anchor_;
+  std::vector<std::shared_ptr<sim::Endpoint>> tld_authorities_;
+  std::shared_ptr<sim::Endpoint> sld_authority_;
+  std::shared_ptr<sim::Endpoint> ptr_authority_;
+};
+
+}  // namespace lookaside::workload

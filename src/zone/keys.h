@@ -1,0 +1,84 @@
+// Zone key material: ZSK/KSK pairs, DNSKEY records, and DS digests.
+//
+// Mirrors the paper's Fig. 2: the KSK signs the DNSKEY RRset, the ZSK signs
+// everything else, and the parent zone publishes a DS record holding a hash
+// of the child's KSK.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "crypto/rsa.h"
+#include "dns/name.h"
+#include "dns/rdata.h"
+
+namespace lookaside::zone {
+
+/// A zone's signing keys. Copyable handle (keys are shared immutable state).
+class ZoneKeys {
+ public:
+  /// Generates a fresh ZSK/KSK pair with `modulus_bits`-bit RSA keys.
+  static ZoneKeys generate(std::size_t modulus_bits, crypto::SplitMix64& rng);
+
+  [[nodiscard]] const crypto::RsaPrivateKey& zsk_private() const {
+    return keys_->zsk.private_key;
+  }
+  [[nodiscard]] const crypto::RsaPrivateKey& ksk_private() const {
+    return keys_->ksk.private_key;
+  }
+
+  /// DNSKEY RDATA for the ZSK (flags 0x0100).
+  [[nodiscard]] const dns::DnskeyRdata& zsk_record() const {
+    return keys_->zsk_rdata;
+  }
+  /// DNSKEY RDATA for the KSK (flags 0x0101, SEP set).
+  [[nodiscard]] const dns::DnskeyRdata& ksk_record() const {
+    return keys_->ksk_rdata;
+  }
+
+  [[nodiscard]] std::uint16_t zsk_tag() const { return keys_->zsk_tag; }
+  [[nodiscard]] std::uint16_t ksk_tag() const { return keys_->ksk_tag; }
+
+ private:
+  struct Shared {
+    crypto::RsaKeyPair zsk;
+    crypto::RsaKeyPair ksk;
+    dns::DnskeyRdata zsk_rdata;
+    dns::DnskeyRdata ksk_rdata;
+    std::uint16_t zsk_tag = 0;
+    std::uint16_t ksk_tag = 0;
+  };
+
+  explicit ZoneKeys(std::shared_ptr<const Shared> keys)
+      : keys_(std::move(keys)) {}
+
+  std::shared_ptr<const Shared> keys_;
+};
+
+/// RFC 4034 §5.1.4 DS digest (type 2 / SHA-256) binding `owner`'s DNSKEY
+/// into its parent zone — or into a DLV registry (RFC 4431 uses the same
+/// computation).
+[[nodiscard]] dns::DsRdata make_ds(const dns::Name& owner,
+                                   const dns::DnskeyRdata& dnskey);
+
+/// A pool of pregenerated key pairs. Key generation dominates setup cost at
+/// million-domain scale, so synthetic zones draw (deterministically) from a
+/// small shared pool instead of generating per-zone keys. Validation
+/// semantics are unaffected: the resolver still checks real signatures.
+class KeyPool {
+ public:
+  KeyPool(std::size_t pool_size, std::size_t modulus_bits, std::uint64_t seed);
+
+  /// Deterministic key assignment for a zone index.
+  [[nodiscard]] const ZoneKeys& keys_for(std::uint64_t zone_index) const {
+    return pool_[zone_index % pool_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+
+ private:
+  std::vector<ZoneKeys> pool_;
+};
+
+}  // namespace lookaside::zone

@@ -1,0 +1,84 @@
+#include "zone/signed_zone.h"
+
+#include "crypto/dnssec_algo.h"
+
+namespace lookaside::zone {
+
+SignedZone::SignedZone(Zone zone, ZoneKeys keys, Policy policy)
+    : zone_(std::move(zone)),
+      keys_(std::move(keys)),
+      policy_(policy),
+      dnskeys_(zone_.apex(), dns::RRType::kDnskey) {
+  dnskeys_.add(dns::ResourceRecord::make(zone_.apex(), 3600,
+                                         dns::Rdata{keys_.zsk_record()}));
+  dnskeys_.add(dns::ResourceRecord::make(zone_.apex(), 3600,
+                                         dns::Rdata{keys_.ksk_record()}));
+}
+
+dns::DsRdata SignedZone::ds_for_parent() const {
+  return make_ds(zone_.apex(), keys_.ksk_record());
+}
+
+dns::ResourceRecord SignedZone::rrsig_for(const dns::RRset& rrset) {
+  const bool is_dnskey = rrset.type() == dns::RRType::kDnskey;
+
+  dns::RrsigRdata rrsig;
+  rrsig.type_covered = rrset.type();
+  rrsig.algorithm = 8;
+  rrsig.labels = static_cast<std::uint8_t>(rrset.name().label_count());
+  rrsig.original_ttl = rrset.ttl();
+  rrsig.expiration = policy_.expiration;
+  rrsig.inception = policy_.inception;
+  rrsig.key_tag = is_dnskey ? keys_.ksk_tag() : keys_.zsk_tag();
+  rrsig.signer = zone_.apex();
+
+  const auto cache_key =
+      std::make_pair(rrset.name().internal_text(), rrset.type());
+  const auto it = corrupt_ ? signature_cache_.end()
+                           : signature_cache_.find(cache_key);
+  if (it != signature_cache_.end()) {
+    rrsig.signature = it->second;
+  } else {
+    const dns::Bytes signed_data = dns::rrsig_signed_data(rrsig, rrset);
+    const crypto::RsaPrivateKey& key =
+        is_dnskey ? keys_.ksk_private() : keys_.zsk_private();
+    rrsig.signature = crypto::sign_message(key, signed_data);
+    if (corrupt_) {
+      rrsig.signature[rrsig.signature.size() / 2] ^= 0x01;
+    } else {
+      signature_cache_.emplace(cache_key, rrsig.signature);
+    }
+  }
+  return dns::ResourceRecord::make(rrset.name(), rrset.ttl(),
+                                   dns::Rdata{rrsig});
+}
+
+dns::ResourceRecord SignedZone::make_nsec(const dns::Name& owner) {
+  dns::NsecRdata nsec;
+  nsec.next = zone_.canonical_successor(owner);
+  nsec.types = zone_.types_at(owner);
+  nsec.types.push_back(dns::RRType::kRrsig);
+  nsec.types.push_back(dns::RRType::kNsec);
+  return dns::ResourceRecord::make(owner, zone_.negative_ttl(),
+                                   dns::Rdata{nsec});
+}
+
+NsecProof SignedZone::nxdomain_proof(const dns::Name& qname) {
+  const dns::Name& predecessor = zone_.canonical_predecessor(qname);
+  dns::ResourceRecord nsec = make_nsec(predecessor);
+
+  dns::RRset nsec_set(predecessor, dns::RRType::kNsec);
+  nsec_set.add(nsec);
+  dns::ResourceRecord rrsig = rrsig_for(nsec_set);
+  return NsecProof{std::move(nsec), std::move(rrsig)};
+}
+
+NsecProof SignedZone::nodata_proof(const dns::Name& qname) {
+  dns::ResourceRecord nsec = make_nsec(qname);
+  dns::RRset nsec_set(qname, dns::RRType::kNsec);
+  nsec_set.add(nsec);
+  dns::ResourceRecord rrsig = rrsig_for(nsec_set);
+  return NsecProof{std::move(nsec), std::move(rrsig)};
+}
+
+}  // namespace lookaside::zone

@@ -1,0 +1,85 @@
+// DNSSEC-signed zone: lazy RRSIG generation with caching, NSEC denial
+// proofs, and failure-injection hooks.
+//
+// Signatures are computed on first use and cached. This is how the simulator
+// affords real RSA signatures at million-domain scale: a zone only ever signs
+// the RRsets that queries actually touch (the paper's workloads touch a
+// small, heavily-reused set of NSEC ranges thanks to canonical-order
+// clustering).
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "zone/keys.h"
+#include "zone/zone.h"
+
+namespace lookaside::zone {
+
+/// A denial proof: the NSEC record plus its RRSIG.
+struct NsecProof {
+  dns::ResourceRecord nsec;
+  dns::ResourceRecord rrsig;
+};
+
+/// Wraps a Zone with signing state.
+class SignedZone {
+ public:
+  /// Signature validity window (absolute sim-seconds).
+  struct Policy {
+    std::uint32_t inception = 0;
+    std::uint32_t expiration = 0x7FFFFFFF;
+  };
+
+  SignedZone(Zone zone, ZoneKeys keys) : SignedZone(std::move(zone), std::move(keys), Policy{}) {}
+  SignedZone(Zone zone, ZoneKeys keys, Policy policy);
+
+  [[nodiscard]] const Zone& zone() const { return zone_; }
+  [[nodiscard]] Zone& zone() { return zone_; }
+  [[nodiscard]] const ZoneKeys& keys() const { return keys_; }
+
+  /// The apex DNSKEY RRset (ZSK + KSK).
+  [[nodiscard]] const dns::RRset& dnskey_rrset() const { return dnskeys_; }
+
+  /// DS RDATA the parent (or a DLV registry) should publish for this zone.
+  [[nodiscard]] dns::DsRdata ds_for_parent() const;
+
+  /// RRSIG record covering `rrset` (which must belong to this zone).
+  /// DNSKEY RRsets are signed with the KSK, everything else with the ZSK.
+  [[nodiscard]] dns::ResourceRecord rrsig_for(const dns::RRset& rrset);
+
+  /// NSEC proof that `qname` does not exist (covering NSEC from the
+  /// canonical predecessor).
+  [[nodiscard]] NsecProof nxdomain_proof(const dns::Name& qname);
+
+  /// NSEC proof that `qname` exists but `qtype` does not (exact-match NSEC
+  /// whose type bitmap omits the type).
+  [[nodiscard]] NsecProof nodata_proof(const dns::Name& qname);
+
+  /// Failure injection: when set, emitted signatures are flipped in one byte
+  /// so validators see bogus data (paper §2.2 "bogus" status).
+  void set_corrupt_signatures(bool corrupt) { corrupt_ = corrupt; }
+  [[nodiscard]] bool corrupt_signatures() const { return corrupt_; }
+
+  /// Drops the signature cache (after zone mutation).
+  void invalidate_signature_cache() { signature_cache_.clear(); }
+
+  /// Cache statistics: number of distinct RRsets signed so far.
+  [[nodiscard]] std::size_t signatures_computed() const {
+    return signature_cache_.size();
+  }
+
+ private:
+  [[nodiscard]] dns::ResourceRecord make_nsec(const dns::Name& owner);
+
+  Zone zone_;
+  ZoneKeys keys_;
+  Policy policy_;
+  dns::RRset dnskeys_;
+  bool corrupt_ = false;
+  // Cache key: (owner text, type). Signatures of corrupted zones are not
+  // cached so toggling corruption mid-test behaves.
+  std::map<std::pair<std::string, dns::RRType>, dns::Bytes> signature_cache_;
+};
+
+}  // namespace lookaside::zone

@@ -1,0 +1,42 @@
+// RFC 1035-style master-file parser: turns zone text into a Zone.
+//
+// Supports the subset the simulator speaks: $ORIGIN, $TTL, relative and
+// absolute owner names, '@', blank-owner continuation, comments, and the
+// record types A, AAAA, NS, CNAME, PTR, MX, TXT, SOA, DS, DLV. DNSSEC
+// records beyond DS (RRSIG/NSEC/DNSKEY) are generated, not parsed: signing
+// is SignedZone's job.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "zone/zone.h"
+
+namespace lookaside::zone {
+
+/// One parse diagnostic (1-based line numbers).
+struct ZoneFileError {
+  int line = 0;
+  std::string message;
+};
+
+/// Parse outcome: a zone or errors.
+struct ZoneFileResult {
+  std::optional<Zone> zone;
+  std::vector<ZoneFileError> errors;
+
+  [[nodiscard]] bool ok() const { return zone.has_value() && errors.empty(); }
+};
+
+/// Parses master-file `text`. The zone apex is taken from the SOA owner
+/// (the first SOA record is mandatory). `default_origin` seeds $ORIGIN
+/// handling before any $ORIGIN directive appears.
+[[nodiscard]] ZoneFileResult parse_zone_file(
+    std::string_view text, const dns::Name& default_origin = dns::Name::root());
+
+/// Renders a zone back to master-file text (stable order, absolute names).
+[[nodiscard]] std::string render_zone_file(const Zone& zone);
+
+}  // namespace lookaside::zone

@@ -1,0 +1,105 @@
+// CNAME-chasing tests: alias answers, chase depth limits, caching of
+// aliases, and the NameHash utility.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "dlv/registry.h"
+#include "resolver/resolver.h"
+#include "server/testbed.h"
+#include "sim/clock.h"
+
+namespace lookaside::resolver {
+namespace {
+
+class CnameFixture {
+ public:
+  CnameFixture()
+      : network_(clock_),
+        testbed_(server::TestbedOptions{},
+                 {{"target.com", false, false, false, {}},
+                  {"aliases.com", false, false, false, {}}}),
+        registry_(dlv::DlvRegistry::Options{}) {
+    testbed_.directory().register_zone(
+        registry_.apex(),
+        std::shared_ptr<sim::Endpoint>(&registry_, [](sim::Endpoint*) {}));
+    // alias -> target.com (cross-zone), loop1 -> loop2 -> loop1.
+    auto zone = testbed_.authority("aliases.com")->plain_zone();
+    zone->add(dns::ResourceRecord::make(
+        dns::Name::parse("alias.aliases.com"), 3600,
+        dns::CnameRdata{dns::Name::parse("target.com")}));
+    zone->add(dns::ResourceRecord::make(
+        dns::Name::parse("loop1.aliases.com"), 3600,
+        dns::CnameRdata{dns::Name::parse("loop2.aliases.com")}));
+    zone->add(dns::ResourceRecord::make(
+        dns::Name::parse("loop2.aliases.com"), 3600,
+        dns::CnameRdata{dns::Name::parse("loop1.aliases.com")}));
+
+    resolver_ = std::make_unique<RecursiveResolver>(
+        network_, testbed_.directory(),
+        ResolverConfig::bind_manual_correct());
+    resolver_->set_root_trust_anchor(testbed_.root_trust_anchor());
+    resolver_->set_dlv_trust_anchor(registry_.trust_anchor());
+  }
+
+  sim::SimClock clock_;
+  sim::Network network_;
+  server::Testbed testbed_;
+  dlv::DlvRegistry registry_;
+  std::unique_ptr<RecursiveResolver> resolver_;
+};
+
+TEST(CnameTest, CrossZoneChaseDeliversAddress) {
+  CnameFixture fixture;
+  const auto result = fixture.resolver_->resolve(
+      dns::Name::parse("alias.aliases.com"), dns::RRType::kA);
+  EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
+  // Answer carries both the CNAME and the chased A record.
+  bool has_cname = false, has_a = false;
+  for (const auto& record : result.response.answers) {
+    has_cname |= record.type == dns::RRType::kCname;
+    has_a |= record.type == dns::RRType::kA &&
+             record.name == dns::Name::parse("target.com");
+  }
+  EXPECT_TRUE(has_cname);
+  EXPECT_TRUE(has_a);
+}
+
+TEST(CnameTest, QueryForCnameTypeDoesNotChase) {
+  CnameFixture fixture;
+  const auto result = fixture.resolver_->resolve(
+      dns::Name::parse("alias.aliases.com"), dns::RRType::kCname);
+  ASSERT_NE(result.response.first_answer(dns::RRType::kCname), nullptr);
+  EXPECT_EQ(result.response.first_answer(dns::RRType::kA), nullptr);
+}
+
+TEST(CnameTest, LoopTerminatesWithServfail) {
+  CnameFixture fixture;
+  const auto result = fixture.resolver_->resolve(
+      dns::Name::parse("loop1.aliases.com"), dns::RRType::kA);
+  EXPECT_EQ(result.response.header.rcode, dns::RCode::kServFail);
+}
+
+TEST(CnameTest, SecondChaseServedFromCache) {
+  CnameFixture fixture;
+  (void)fixture.resolver_->resolve(dns::Name::parse("alias.aliases.com"),
+                                   dns::RRType::kA);
+  const auto before = fixture.network_.counters().value("packets.query");
+  const auto result = fixture.resolver_->resolve(
+      dns::Name::parse("alias.aliases.com"), dns::RRType::kA);
+  EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(fixture.network_.counters().value("packets.query"), before);
+}
+
+TEST(NameHashTest, WorksAsUnorderedMapKey) {
+  std::unordered_map<dns::Name, int, dns::NameHash> map;
+  map[dns::Name::parse("a.com")] = 1;
+  map[dns::Name::parse("B.COM")] = 2;  // case-normalized
+  map[dns::Name::parse("b.com")] = 3;  // overwrites
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map[dns::Name::parse("b.com")], 3);
+}
+
+}  // namespace
+}  // namespace lookaside::resolver

@@ -1,0 +1,163 @@
+// Tests for configuration-file rendering/parsing (the paper's Figs. 4-7 as
+// literal file contents).
+#include <gtest/gtest.h>
+
+#include "config/conf_file.h"
+
+namespace lookaside::config {
+namespace {
+
+TEST(RenderBindConfTest, Fig4AptGetShape) {
+  const std::string text =
+      render_bind_conf(resolver::ResolverConfig::bind_apt_get());
+  EXPECT_NE(text.find("dnssec-validation auto;"), std::string::npos);
+  EXPECT_EQ(text.find("dnssec-lookaside"), std::string::npos);
+  EXPECT_EQ(text.find("bind.keys"), std::string::npos);
+}
+
+TEST(RenderBindConfTest, Fig5YumShape) {
+  const std::string text = render_bind_conf(resolver::ResolverConfig::bind_yum());
+  EXPECT_NE(text.find("dnssec-enable yes;"), std::string::npos);
+  EXPECT_NE(text.find("dnssec-validation yes;"), std::string::npos);
+  EXPECT_NE(text.find("dnssec-lookaside auto;"), std::string::npos);
+  EXPECT_NE(text.find("include \"/etc/bind.keys\";"), std::string::npos);
+}
+
+TEST(RenderUnboundConfTest, Fig7CorrectShape) {
+  const std::string text =
+      render_unbound_conf(resolver::ResolverConfig::unbound_correct());
+  EXPECT_NE(text.find("auto-trust-anchor-file:"), std::string::npos);
+  EXPECT_NE(text.find("dlv-anchor-file:"), std::string::npos);
+  EXPECT_EQ(text.find("# auto-trust"), std::string::npos);  // not commented
+}
+
+TEST(RenderUnboundConfTest, ManualInstallIsAllCommented) {
+  const std::string text =
+      render_unbound_conf(resolver::ResolverConfig::unbound_manual());
+  EXPECT_NE(text.find("# auto-trust-anchor-file:"), std::string::npos);
+  EXPECT_NE(text.find("# dlv-anchor-file:"), std::string::npos);
+}
+
+TEST(ParseBindConfTest, RoundTripsRenderedConfigs) {
+  for (const auto& config :
+       {resolver::ResolverConfig::bind_apt_get(),
+        resolver::ResolverConfig::bind_yum(),
+        resolver::ResolverConfig::bind_manual(),
+        resolver::ResolverConfig::bind_manual_correct()}) {
+    const auto parsed = parse_bind_conf(render_bind_conf(config));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->config.dnssec_enable, config.dnssec_enable);
+    EXPECT_EQ(parsed->config.dnssec_validation, config.dnssec_validation);
+    EXPECT_EQ(parsed->config.dnssec_lookaside, config.dnssec_lookaside);
+    EXPECT_EQ(parsed->config.root_trust_anchor_included,
+              config.root_trust_anchor_included);
+  }
+}
+
+TEST(ParseBindConfTest, ParsesThePaperFig6Verbatim) {
+  const char* fig6 = R"(
+options{
+        ...
+        dnssec-enable yes;
+        dnssec-validation yes;
+        dnssec-lookaside auto;
+};
+include "/etc/bind.keys";
+)";
+  // "..." is not valid named.conf; strip it as real admins would.
+  std::string text = fig6;
+  const auto pos = text.find("        ...\n");
+  text.erase(pos, 12);
+  const auto parsed = parse_bind_conf(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->config.dnssec_enable);
+  EXPECT_EQ(parsed->config.dnssec_validation, resolver::ValidationMode::kYes);
+  EXPECT_TRUE(parsed->config.dnssec_lookaside);
+  EXPECT_TRUE(parsed->config.root_trust_anchor_included);
+  EXPECT_TRUE(parsed->config.dlv_enabled());
+  EXPECT_TRUE(parsed->config.root_anchor_available());
+}
+
+TEST(ParseBindConfTest, HandlesCommentsEverywhere) {
+  const char* text = R"(
+// managed by config management
+options {
+    dnssec-enable yes;      # keep on
+    /* the next line matters */
+    dnssec-validation yes;
+    dnssec-lookaside auto;  // ISC DLV
+};
+)";
+  const auto parsed = parse_bind_conf(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->config.dnssec_lookaside);
+  EXPECT_FALSE(parsed->config.root_trust_anchor_included);
+}
+
+TEST(ParseBindConfTest, WarnsAboutThePaperMisconfiguration) {
+  // dnssec-validation yes + lookaside auto + no anchor include: the
+  // configuration that leaks everything.
+  const auto parsed = parse_bind_conf(
+      "options { dnssec-validation yes; dnssec-lookaside auto; };");
+  ASSERT_TRUE(parsed.has_value());
+  bool warned = false;
+  for (const auto& warning : parsed->warnings) {
+    warned |= warning.find("DLV") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+  EXPECT_TRUE(parsed->config.dlv_enabled());
+  EXPECT_FALSE(parsed->config.root_anchor_available());
+}
+
+TEST(ParseBindConfTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(parse_bind_conf("options { dnssec-enable yes; ").has_value());
+  EXPECT_FALSE(parse_bind_conf("options } {").has_value());
+  EXPECT_FALSE(parse_bind_conf("dnssec-enable yes").has_value());  // no ';'
+}
+
+TEST(ParseBindConfTest, UnknownOptionsWarnNotFail) {
+  const auto parsed =
+      parse_bind_conf("options { recursion yes; dnssec-enable yes; };");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->warnings.empty());
+  EXPECT_TRUE(parsed->config.dnssec_enable);
+}
+
+TEST(ParseUnboundConfTest, RoundTripsRenderedConfigs) {
+  for (const auto& config : {resolver::ResolverConfig::unbound_correct(),
+                             resolver::ResolverConfig::unbound_package(),
+                             resolver::ResolverConfig::unbound_manual()}) {
+    const auto parsed = parse_unbound_conf(render_unbound_conf(config));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->config.root_trust_anchor_included,
+              config.root_trust_anchor_included && config.validation_enabled());
+    EXPECT_EQ(parsed->config.dlv_trust_anchor_included,
+              config.dlv_trust_anchor_included);
+  }
+}
+
+TEST(ParseUnboundConfTest, CommentedLinesLeaveFeaturesOff) {
+  const auto parsed = parse_unbound_conf(R"(
+server:
+    # auto-trust-anchor-file: "/usr/local/etc/unbound/root.key"
+    # dlv-anchor-file: "dlv.isc.org.key"
+)");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->config.validation_enabled());
+  EXPECT_FALSE(parsed->config.dlv_enabled());
+}
+
+TEST(ParseUnboundConfTest, UncommentingEnables) {
+  const auto parsed = parse_unbound_conf(R"(
+server:
+    auto-trust-anchor-file: "/usr/local/etc/unbound/root.key"
+    dlv-anchor-file: "dlv.isc.org.key"
+)");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->config.validation_enabled());
+  EXPECT_TRUE(parsed->config.root_anchor_available());
+  EXPECT_TRUE(parsed->config.dlv_enabled());
+}
+
+}  // namespace
+}  // namespace lookaside::config

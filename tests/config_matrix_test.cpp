@@ -1,0 +1,122 @@
+// Tests for the 16-environment install matrix (Table 1), Table 2's default
+// configurations, and the ARM-compliance checker.
+#include <gtest/gtest.h>
+
+#include "config/install_matrix.h"
+
+namespace lookaside::config {
+namespace {
+
+TEST(InstallMatrixTest, SixteenPackageEnvironments) {
+  const auto package_only = install_matrix(/*include_manual=*/false);
+  EXPECT_EQ(package_only.size(), 16u);  // 8 OSes x 2 resolvers
+  const auto with_manual = install_matrix(/*include_manual=*/true);
+  EXPECT_EQ(with_manual.size(), 32u);
+}
+
+TEST(InstallMatrixTest, Table1Versions) {
+  Environment env{OperatingSystem::kDebian7, ResolverSoftware::kBind,
+                  InstallMethod::kPackage};
+  EXPECT_EQ(env.resolver_version(), "9.8.4");
+  env.method = InstallMethod::kManual;
+  EXPECT_EQ(env.resolver_version(), "9.10.3");
+  env = {OperatingSystem::kFedora22, ResolverSoftware::kBind,
+         InstallMethod::kPackage};
+  EXPECT_EQ(env.resolver_version(), "9.10.2");
+  env = {OperatingSystem::kUbuntu1204, ResolverSoftware::kUnbound,
+         InstallMethod::kPackage};
+  EXPECT_EQ(env.resolver_version(), "1.4.16");
+  env.method = InstallMethod::kManual;
+  EXPECT_EQ(env.resolver_version(), "1.5.7");
+}
+
+TEST(InstallMatrixTest, InstallerNames) {
+  Environment debian{OperatingSystem::kDebian8, ResolverSoftware::kBind,
+                     InstallMethod::kPackage};
+  EXPECT_EQ(debian.installer_name(), "apt-get");
+  Environment centos{OperatingSystem::kCentOs71, ResolverSoftware::kBind,
+                     InstallMethod::kPackage};
+  EXPECT_EQ(centos.installer_name(), "yum");
+  centos.method = InstallMethod::kManual;
+  EXPECT_EQ(centos.installer_name(), "manual");
+}
+
+TEST(InstallMatrixTest, DefaultConfigsMatchPaper) {
+  // apt-get: validation auto, no DLV (Fig. 4).
+  const auto apt = Environment{OperatingSystem::kUbuntu1404,
+                               ResolverSoftware::kBind,
+                               InstallMethod::kPackage}
+                       .default_config();
+  EXPECT_EQ(apt.dnssec_validation, resolver::ValidationMode::kAuto);
+  EXPECT_FALSE(apt.dlv_enabled());
+  EXPECT_TRUE(apt.root_anchor_available());  // auto ships the anchor
+
+  // yum: validation yes + anchors + lookaside auto (Fig. 5).
+  const auto yum = Environment{OperatingSystem::kFedora21,
+                               ResolverSoftware::kBind,
+                               InstallMethod::kPackage}
+                       .default_config();
+  EXPECT_EQ(yum.dnssec_validation, resolver::ValidationMode::kYes);
+  EXPECT_TRUE(yum.dlv_enabled());
+  EXPECT_TRUE(yum.root_anchor_available());
+
+  // BIND manual: DLV on, anchor missing -> the catastrophic leak config.
+  const auto manual = Environment{OperatingSystem::kDebian8,
+                                  ResolverSoftware::kBind,
+                                  InstallMethod::kManual}
+                          .default_config();
+  EXPECT_TRUE(manual.dlv_enabled());
+  EXPECT_FALSE(manual.root_anchor_available());
+
+  // Unbound package: validation on via anchor file, no DLV.
+  const auto unbound = Environment{OperatingSystem::kCentOs67,
+                                   ResolverSoftware::kUnbound,
+                                   InstallMethod::kPackage}
+                           .default_config();
+  EXPECT_TRUE(unbound.root_anchor_available());
+  EXPECT_FALSE(unbound.dlv_enabled());
+
+  // Unbound manual: nothing enabled until the user uncomments.
+  const auto unbound_manual = Environment{OperatingSystem::kCentOs67,
+                                          ResolverSoftware::kUnbound,
+                                          InstallMethod::kManual}
+                                  .default_config();
+  EXPECT_FALSE(unbound_manual.validation_enabled());
+  EXPECT_FALSE(unbound_manual.dlv_enabled());
+}
+
+TEST(InstallMatrixTest, Table2RowsReproduced) {
+  const auto rows = table2_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].installer, "apt-get");
+  EXPECT_EQ(rows[0].validation, "Auto");
+  EXPECT_FALSE(rows[0].arm_compliant);
+  EXPECT_EQ(rows[1].installer, "yum");
+  EXPECT_EQ(rows[1].dlv, "Auto");
+  EXPECT_FALSE(rows[1].arm_compliant);
+  EXPECT_EQ(rows[2].installer, "manual");
+  EXPECT_TRUE(rows[2].arm_compliant);
+}
+
+TEST(ComplianceTest, FlagsAptGetAndYumDeviations) {
+  const auto apt_issues =
+      check_arm_compliance(resolver::ResolverConfig::bind_apt_get());
+  ASSERT_EQ(apt_issues.size(), 1u);
+  EXPECT_EQ(apt_issues[0].option, "dnssec-validation");
+  EXPECT_EQ(apt_issues[0].shipped, "auto");
+  EXPECT_EQ(apt_issues[0].documented, "yes");
+
+  const auto yum_issues =
+      check_arm_compliance(resolver::ResolverConfig::bind_yum());
+  ASSERT_EQ(yum_issues.size(), 1u);
+  EXPECT_EQ(yum_issues[0].option, "dnssec-lookaside");
+
+  // A config matching the ARM exactly has no issues.
+  resolver::ResolverConfig arm;
+  arm.dnssec_validation = resolver::ValidationMode::kYes;
+  arm.dnssec_lookaside = false;
+  EXPECT_TRUE(check_arm_compliance(arm).empty());
+}
+
+}  // namespace
+}  // namespace lookaside::config

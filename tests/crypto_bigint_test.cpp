@@ -1,0 +1,197 @@
+// Unit and property tests for BigUint and Montgomery arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "crypto/bigint.h"
+#include "crypto/rng.h"
+
+namespace lookaside::crypto {
+namespace {
+
+using U128 = unsigned __int128;
+
+BigUint from_u128(U128 v) {
+  Bytes be(16);
+  for (int i = 0; i < 16; ++i) {
+    be[15 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return BigUint::from_bytes_be(be);
+}
+
+U128 to_u128(const BigUint& v) {
+  U128 out = 0;
+  const Bytes be = v.to_bytes_be(16);
+  EXPECT_LE(be.size(), 16u);
+  for (std::uint8_t b : be) out = (out << 8) | b;
+  return out;
+}
+
+TEST(BigUintTest, ZeroBasics) {
+  BigUint zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_odd());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_bytes_be(), Bytes{0});
+  EXPECT_EQ(BigUint::from_bytes_be({}), zero);
+  EXPECT_EQ(BigUint::from_bytes_be({0, 0, 0}), zero);
+}
+
+TEST(BigUintTest, ByteRoundTrip) {
+  const Bytes bytes = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  const BigUint v = BigUint::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_bytes_be(), bytes);
+  EXPECT_EQ(v.bit_length(), 65u);
+}
+
+TEST(BigUintTest, LeadingZerosStripped) {
+  const BigUint a = BigUint::from_bytes_be({0x00, 0x00, 0x12, 0x34});
+  const BigUint b = BigUint::from_bytes_be({0x12, 0x34});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_bytes_be(4), Bytes({0x00, 0x00, 0x12, 0x34}));
+}
+
+TEST(BigUintTest, CompareOrdering) {
+  EXPECT_LT(BigUint(1), BigUint(2));
+  EXPECT_LT(BigUint(0xFFFFFFFFULL), BigUint(0x100000000ULL));
+  EXPECT_EQ(BigUint(42).compare(BigUint(42)), 0);
+  EXPECT_GT(BigUint(0x100000000ULL), BigUint(5));
+}
+
+TEST(BigUintTest, SubUnderflowThrows) {
+  EXPECT_THROW(BigUint::sub(BigUint(1), BigUint(2)), std::invalid_argument);
+}
+
+TEST(BigUintTest, DivisionByZeroThrows) {
+  BigUint q, r;
+  EXPECT_THROW(BigUint::divmod(BigUint(1), BigUint{}, q, r),
+               std::invalid_argument);
+}
+
+TEST(BigUintPropertyTest, AddSubMulDivAgainstU128) {
+  SplitMix64 rng(0xbeefcafe);
+  for (int i = 0; i < 2000; ++i) {
+    const U128 a = (static_cast<U128>(rng.next()) << 32) | rng.next() % 997;
+    const U128 b = (static_cast<U128>(rng.next() % 0xFFFFFFFF) << 16) | 1;
+    const BigUint big_a = from_u128(a);
+    const BigUint big_b = from_u128(b);
+
+    EXPECT_EQ(to_u128(BigUint::add(big_a, big_b)), a + b);
+    if (a >= b) {
+      EXPECT_EQ(to_u128(BigUint::sub(big_a, big_b)), a - b);
+    }
+    // Keep the product within 128 bits by masking the operands.
+    const U128 small_a = a & 0xFFFFFFFFFFFFULL;
+    const U128 small_b = b & 0xFFFFFFFFFFFFULL;
+    EXPECT_EQ(to_u128(BigUint::mul(from_u128(small_a), from_u128(small_b))),
+              small_a * small_b);
+
+    BigUint q, r;
+    BigUint::divmod(big_a, big_b, q, r);
+    EXPECT_EQ(to_u128(q), a / b);
+    EXPECT_EQ(to_u128(r), a % b);
+    // a == q*b + r reconstruction.
+    EXPECT_EQ(BigUint::add(BigUint::mul(q, big_b), r), big_a);
+  }
+}
+
+TEST(BigUintPropertyTest, ShiftsMatchMultiplication) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.next();
+    const std::size_t shift = rng.next_below(60);
+    const BigUint big(v);
+    EXPECT_EQ(big.shifted_left(shift),
+              BigUint::mul(big, BigUint(1).shifted_left(shift)));
+    EXPECT_EQ(big.shifted_left(shift).shifted_right(shift), big);
+  }
+}
+
+TEST(BigUintTest, ModU32) {
+  const BigUint v = BigUint::from_bytes_be(
+      {0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22});
+  // Reference via divmod.
+  for (std::uint32_t d : {3u, 7u, 65537u, 0xFFFFFFFFu}) {
+    BigUint q, r;
+    BigUint::divmod(v, BigUint(d), q, r);
+    EXPECT_EQ(v.mod_u32(d), r.low_u64());
+  }
+}
+
+TEST(BigUintTest, GcdKnownValues) {
+  EXPECT_EQ(BigUint::gcd(BigUint(48), BigUint(18)), BigUint(6));
+  EXPECT_EQ(BigUint::gcd(BigUint(17), BigUint(13)), BigUint(1));
+  EXPECT_EQ(BigUint::gcd(BigUint(0), BigUint(5)), BigUint(5));
+}
+
+TEST(BigUintTest, ModInverseProperty) {
+  SplitMix64 rng(99);
+  const BigUint m(1000003);  // prime
+  for (int i = 0; i < 100; ++i) {
+    const BigUint a(1 + rng.next_below(1000002));
+    const BigUint inv = BigUint::mod_inverse(a, m);
+    EXPECT_EQ(BigUint::mod(BigUint::mul(a, inv), m), BigUint(1));
+  }
+}
+
+TEST(BigUintTest, ModInverseNotCoprimeThrows) {
+  EXPECT_THROW(BigUint::mod_inverse(BigUint(6), BigUint(9)), std::domain_error);
+}
+
+TEST(MontgomeryTest, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigUint(10)), std::invalid_argument);
+  EXPECT_THROW(Montgomery(BigUint(1)), std::invalid_argument);
+}
+
+TEST(MontgomeryTest, MulMatchesDivmod) {
+  SplitMix64 rng(4242);
+  const BigUint m(0xFFFFFFFFFFFFFFC5ULL);  // large odd (prime) modulus
+  const Montgomery mont(m);
+  for (int i = 0; i < 500; ++i) {
+    const BigUint a(rng.next());
+    const BigUint b(rng.next());
+    EXPECT_EQ(mont.mul(a, b), BigUint::mod(BigUint::mul(a, b), m));
+  }
+}
+
+TEST(MontgomeryTest, ExpMatchesRepeatedMul) {
+  const BigUint m(1000003);
+  const Montgomery mont(m);
+  const BigUint base(7);
+  BigUint expect(1);
+  for (std::uint64_t e = 0; e < 50; ++e) {
+    EXPECT_EQ(mont.exp(base, BigUint(e)), expect) << "e=" << e;
+    expect = BigUint::mod(BigUint::mul(expect, base), m);
+  }
+}
+
+TEST(MontgomeryTest, FermatLittleTheorem) {
+  // a^(p-1) ≡ 1 mod p for prime p.
+  const BigUint p(0xFFFFFFFFFFFFFFC5ULL);
+  const Montgomery mont(p);
+  SplitMix64 rng(31337);
+  for (int i = 0; i < 20; ++i) {
+    const BigUint a(2 + rng.next_below(1'000'000'000));
+    EXPECT_EQ(mont.exp(a, BigUint::sub(p, BigUint(1))), BigUint(1));
+  }
+}
+
+TEST(MontgomeryTest, MultiLimbModulus) {
+  // 128-bit modulus; cross-check exp against square-and-multiply with divmod.
+  const BigUint m = BigUint::from_bytes_be(from_hex(
+      "f23ab61937c4ad1b00593dbd7d87ba15"));  // odd 128-bit number
+  const Montgomery mont(m);
+  SplitMix64 rng(555);
+  for (int i = 0; i < 30; ++i) {
+    const BigUint base(rng.next());
+    const BigUint exponent(rng.next_below(1000));
+    BigUint expect(1);
+    for (std::uint64_t e = 0; e < exponent.low_u64(); ++e) {
+      expect = BigUint::mod(BigUint::mul(expect, base), m);
+    }
+    EXPECT_EQ(mont.exp(base, exponent), expect);
+  }
+}
+
+}  // namespace
+}  // namespace lookaside::crypto

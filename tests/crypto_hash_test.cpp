@@ -1,0 +1,109 @@
+// Unit tests for SHA-256, SHA-1 and HMAC-SHA256 against published vectors.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace lookaside::crypto {
+namespace {
+
+TEST(Sha256Test, EmptyMessage) {
+  EXPECT_EQ(to_hex(Sha256::digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(to_hex(Sha256::digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string message =
+      "the quick brown fox jumps over the lazy dog 0123456789";
+  for (std::size_t split = 0; split <= message.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(std::string_view(message).substr(0, split));
+    ctx.update(std::string_view(message).substr(split));
+    EXPECT_EQ(ctx.finish(), Sha256::digest(message)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes cross the padding edge cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    Sha256 b;
+    for (char c : msg) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(a.finish(), b.finish()) << "len=" << len;
+  }
+}
+
+TEST(Sha1Test, EmptyMessage) {
+  EXPECT_EQ(to_hex(Sha1::digest("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(to_hex(Sha1::digest("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha1::digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(bytes_of("Jefe"),
+                               bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, bytes_of("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HexTest, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(HexTest, RejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lookaside::crypto

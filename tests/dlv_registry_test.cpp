@@ -1,0 +1,146 @@
+// Unit tests for the DLV registry: deposits, name mapping (clear and
+// hashed), query answering, the observation log, and the ISC phase-out.
+#include <gtest/gtest.h>
+
+#include "dlv/registry.h"
+
+namespace lookaside::dlv {
+namespace {
+
+dns::Message dlv_query(const std::string& name) {
+  return dns::Message::make_query(7, dns::Name::parse(name), dns::RRType::kDlv,
+                                  false, true);
+}
+
+dns::DsRdata sample_ds(std::uint8_t fill = 0x42) {
+  return dns::DsRdata{1234, 8, 2, dns::Bytes(32, fill)};
+}
+
+TEST(DlvNameMappingTest, ClearMapping) {
+  const dns::Name apex = dns::Name::parse("dlv.isc.org");
+  EXPECT_EQ(clear_dlv_name(dns::Name::parse("example.com"), apex),
+            dns::Name::parse("example.com.dlv.isc.org"));
+  EXPECT_EQ(clear_dlv_name(dns::Name::parse("bbs.sub1.example.com"), apex)
+                .to_text(),
+            "bbs.sub1.example.com.dlv.isc.org.");
+}
+
+TEST(DlvNameMappingTest, HashedMappingIsOpaqueAndStable) {
+  const dns::Name apex = dns::Name::parse("dlv.isc.org");
+  const dns::Name hashed =
+      hashed_dlv_name(dns::Name::parse("example.com"), apex);
+  EXPECT_TRUE(hashed.is_subdomain_of(apex));
+  EXPECT_EQ(hashed.label_count(), apex.label_count() + 1);
+  EXPECT_EQ(hashed.label(0).size(), 32u);  // 128-bit hex label
+  // Stable and collision-free for distinct names.
+  EXPECT_EQ(hashed, hashed_dlv_name(dns::Name::parse("example.com"), apex));
+  EXPECT_NE(hashed, hashed_dlv_name(dns::Name::parse("example.net"), apex));
+  // The clear name must not be recoverable by inspection.
+  EXPECT_EQ(hashed.internal_text().find("example"), std::string::npos);
+}
+
+TEST(DlvRegistryTest, DepositAndAnswer) {
+  DlvRegistry registry(DlvRegistry::Options{});
+  registry.deposit(dns::Name::parse("island.com"), sample_ds());
+  EXPECT_TRUE(registry.has_record(dns::Name::parse("island.com")));
+  EXPECT_FALSE(registry.has_record(dns::Name::parse("other.com")));
+  EXPECT_EQ(registry.record_count(), 1u);
+
+  const dns::Message hit =
+      registry.handle_query(dlv_query("island.com.dlv.isc.org"));
+  EXPECT_EQ(hit.header.rcode, dns::RCode::kNoError);  // "No error"
+  ASSERT_EQ(hit.answers.size(), 2u);                  // DLV + RRSIG
+  EXPECT_EQ(hit.answers[0].type, dns::RRType::kDlv);
+  EXPECT_EQ(std::get<dns::DsRdata>(hit.answers[0].rdata), sample_ds());
+
+  const dns::Message miss =
+      registry.handle_query(dlv_query("other.com.dlv.isc.org"));
+  EXPECT_EQ(miss.header.rcode, dns::RCode::kNxDomain);  // "No such name"
+  // Denial carries SOA + NSEC (+RRSIGs) for aggressive caching.
+  bool has_nsec = false;
+  for (const auto& record : miss.authorities) {
+    has_nsec |= record.type == dns::RRType::kNsec;
+  }
+  EXPECT_TRUE(has_nsec);
+}
+
+TEST(DlvRegistryTest, ObservationsClassifyCases) {
+  DlvRegistry registry(DlvRegistry::Options{});
+  registry.deposit(dns::Name::parse("island.com"), sample_ds());
+  (void)registry.handle_query(dlv_query("island.com.dlv.isc.org"));
+  (void)registry.handle_query(dlv_query("leak.com.dlv.isc.org"));
+  ASSERT_EQ(registry.observations().size(), 2u);
+  EXPECT_TRUE(registry.observations()[0].had_record);
+  EXPECT_EQ(registry.observations()[0].domain, dns::Name::parse("island.com"));
+  EXPECT_FALSE(registry.observations()[1].had_record);
+  EXPECT_EQ(registry.observations()[1].domain, dns::Name::parse("leak.com"));
+  EXPECT_EQ(registry.total_queries(), 2u);
+  EXPECT_EQ(registry.queries_with_record(), 1u);
+}
+
+TEST(DlvRegistryTest, ApexInfrastructureNotObserved) {
+  DlvRegistry registry(DlvRegistry::Options{});
+  (void)registry.handle_query(dns::Message::make_query(
+      1, dns::Name::parse("dlv.isc.org"), dns::RRType::kDnskey, false, true));
+  (void)registry.handle_query(dns::Message::make_query(
+      2, dns::Name::parse("dlv.isc.org"), dns::RRType::kSoa, false, true));
+  EXPECT_TRUE(registry.observations().empty());
+  EXPECT_EQ(registry.total_queries(), 0u);
+}
+
+TEST(DlvRegistryTest, StorageToggleKeepsTotals) {
+  DlvRegistry registry(DlvRegistry::Options{});
+  registry.set_store_observations(false);
+  int streamed = 0;
+  registry.set_observer([&streamed](const Observation&) { ++streamed; });
+  (void)registry.handle_query(dlv_query("a.com.dlv.isc.org"));
+  EXPECT_TRUE(registry.observations().empty());
+  EXPECT_EQ(registry.total_queries(), 1u);
+  EXPECT_EQ(streamed, 1);
+}
+
+TEST(DlvRegistryTest, HashedModeHidesDomains) {
+  DlvRegistry::Options options;
+  options.hashed_registration = true;
+  DlvRegistry registry(options);
+  registry.deposit(dns::Name::parse("island.com"), sample_ds());
+  EXPECT_TRUE(registry.has_record(dns::Name::parse("island.com")));
+
+  const dns::Name query_name =
+      registry.dlv_name_for(dns::Name::parse("island.com"));
+  const dns::Message hit = registry.handle_query(
+      dns::Message::make_query(1, query_name, dns::RRType::kDlv, false, true));
+  EXPECT_EQ(hit.header.rcode, dns::RCode::kNoError);
+  ASSERT_EQ(registry.observations().size(), 1u);
+  EXPECT_TRUE(registry.observations()[0].domain.is_root());  // unrecoverable
+}
+
+TEST(DlvRegistryTest, PhaseOutKeepsAnsweringEmptyZone) {
+  DlvRegistry registry(DlvRegistry::Options{});
+  registry.deposit(dns::Name::parse("island.com"), sample_ds());
+  registry.remove_all_records();
+  EXPECT_EQ(registry.record_count(), 0u);
+  EXPECT_FALSE(registry.has_record(dns::Name::parse("island.com")));
+  const dns::Message response =
+      registry.handle_query(dlv_query("island.com.dlv.isc.org"));
+  EXPECT_EQ(response.header.rcode, dns::RCode::kNxDomain);
+  // The trust anchor stays stable across the phase-out (same keys).
+  EXPECT_EQ(registry.trust_anchor().key_tag(), registry.trust_anchor().key_tag());
+  // Queries are still observed — the paper's §7.3.2 point — and every one
+  // of them is now Case-2 by construction.
+  EXPECT_EQ(registry.total_queries(), 1u);
+  EXPECT_EQ(registry.queries_with_record(), 0u);
+}
+
+TEST(DlvRegistryTest, CustomApex) {
+  DlvRegistry::Options options;
+  options.apex = dns::Name::parse("dlv.trusted-keys.de");
+  DlvRegistry registry(options);
+  EXPECT_EQ(registry.endpoint_id(), "dlv:dlv.trusted-keys.de");
+  registry.deposit(dns::Name::parse("x.com"), sample_ds());
+  EXPECT_EQ(registry.dlv_name_for(dns::Name::parse("x.com")).to_text(),
+            "x.com.dlv.trusted-keys.de.");
+}
+
+}  // namespace
+}  // namespace lookaside::dlv

@@ -1,0 +1,166 @@
+// Unit and property tests for dns::Name: parsing, hierarchy ops, canonical
+// ordering (RFC 4034 §6.1) and wire form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "dns/name.h"
+
+namespace lookaside::dns {
+namespace {
+
+TEST(NameTest, ParseBasics) {
+  const Name name = Name::parse("www.Example.COM");
+  EXPECT_EQ(name.to_text(), "www.example.com.");
+  EXPECT_EQ(name.label_count(), 3u);
+  EXPECT_EQ(name.label(0), "www");
+  EXPECT_EQ(name.label(1), "example");
+  EXPECT_EQ(name.label(2), "com");
+  EXPECT_FALSE(name.is_root());
+}
+
+TEST(NameTest, TrailingDotIgnored) {
+  EXPECT_EQ(Name::parse("example.com."), Name::parse("example.com"));
+}
+
+TEST(NameTest, RootForms) {
+  EXPECT_TRUE(Name::parse("").is_root());
+  EXPECT_TRUE(Name::parse(".").is_root());
+  EXPECT_EQ(Name::root().to_text(), ".");
+  EXPECT_EQ(Name::root().label_count(), 0u);
+}
+
+TEST(NameTest, RejectsBadNames) {
+  EXPECT_THROW(Name::parse("a..b"), std::invalid_argument);
+  EXPECT_THROW(Name::parse(".a"), std::invalid_argument);
+  EXPECT_THROW(Name::parse(std::string(64, 'x') + ".com"),
+               std::invalid_argument);
+  // Total wire length > 255.
+  std::string long_name;
+  for (int i = 0; i < 10; ++i) long_name += std::string(30, 'a') + ".";
+  long_name += "com";
+  EXPECT_THROW(Name::parse(long_name), std::invalid_argument);
+}
+
+TEST(NameTest, MaxLabelLengthAccepted) {
+  EXPECT_NO_THROW(Name::parse(std::string(63, 'x') + ".com"));
+}
+
+TEST(NameTest, ParentChain) {
+  Name name = Name::parse("a.b.c.example.com");
+  name = name.parent();
+  EXPECT_EQ(name.to_text(), "b.c.example.com.");
+  EXPECT_EQ(name.parent().parent().to_text(), "example.com.");
+  EXPECT_TRUE(Name::parse("com").parent().is_root());
+  EXPECT_THROW(Name::root().parent(), std::logic_error);
+}
+
+TEST(NameTest, PrefixAndConcat) {
+  const Name base = Name::parse("example.com");
+  EXPECT_EQ(base.with_prefix_label("www").to_text(), "www.example.com.");
+  EXPECT_EQ(Name::root().with_prefix_label("org").to_text(), "org.");
+
+  const Name dlv = Name::parse("dlv.isc.org");
+  EXPECT_EQ(base.concat(dlv).to_text(), "example.com.dlv.isc.org.");
+  EXPECT_EQ(Name::root().concat(dlv), dlv);
+  EXPECT_EQ(dlv.concat(Name::root()), dlv);
+}
+
+TEST(NameTest, SubdomainChecks) {
+  const Name com = Name::parse("com");
+  const Name example = Name::parse("example.com");
+  EXPECT_TRUE(example.is_subdomain_of(com));
+  EXPECT_TRUE(example.is_subdomain_of(example));
+  EXPECT_TRUE(example.is_subdomain_of(Name::root()));
+  EXPECT_FALSE(com.is_subdomain_of(example));
+  // Label-boundary matters: notexample.com is not under example.com.
+  EXPECT_FALSE(Name::parse("notexample.com").is_subdomain_of(example));
+  EXPECT_TRUE(Name::parse("a.example.com").is_subdomain_of(example));
+}
+
+TEST(NameTest, WithoutSuffix) {
+  const Name full = Name::parse("example.com.dlv.isc.org");
+  const Name dlv = Name::parse("dlv.isc.org");
+  EXPECT_EQ(full.without_suffix(dlv).to_text(), "example.com.");
+  EXPECT_TRUE(dlv.without_suffix(dlv).is_root());
+  EXPECT_EQ(full.without_suffix(Name::root()), full);
+  EXPECT_THROW(Name::parse("a.com").without_suffix(Name::parse("b.org")),
+               std::invalid_argument);
+}
+
+TEST(NameTest, CanonicalOrderingRfc4034Example) {
+  // RFC 4034 §6.1 gives this exact sorted sequence.
+  std::vector<Name> names = {
+      Name::parse("example"),       Name::parse("a.example"),
+      Name::parse("yljkjljk.a.example"), Name::parse("z.a.example"),
+      Name::parse("zabc.a.example"), Name::parse("z.example"),
+  };
+  std::vector<Name> shuffled = {names[3], names[0], names[5],
+                                names[2], names[4], names[1]};
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, names);
+}
+
+TEST(NameTest, CanonicalCompareRootFirst) {
+  EXPECT_LT(Name::root().canonical_compare(Name::parse("com")), 0);
+  EXPECT_EQ(Name::parse("a.com").canonical_compare(Name::parse("A.COM")), 0);
+}
+
+TEST(NameTest, CanonicalOrderClustersByTld) {
+  // The paper's DLV clustering effect relies on this: all .com names sort
+  // together under the DLV apex.
+  const Name a = Name::parse("zzz.com.dlv.isc.org");
+  const Name b = Name::parse("aaa.net.dlv.isc.org");
+  const Name c = Name::parse("aaa.com.dlv.isc.org");
+  EXPECT_LT(c.canonical_compare(a), 0);
+  EXPECT_LT(a.canonical_compare(b), 0);  // all com.* before net.*
+}
+
+TEST(NameTest, WireForm) {
+  const Name name = Name::parse("example.com");
+  const Bytes wire = name.to_wire();
+  const Bytes expected = {7, 'e', 'x', 'a', 'm', 'p', 'l', 'e',
+                          3, 'c', 'o', 'm', 0};
+  EXPECT_EQ(wire, expected);
+  EXPECT_EQ(wire.size(), name.wire_length());
+  EXPECT_EQ(Name::root().to_wire(), Bytes{0});
+  EXPECT_EQ(Name::root().wire_length(), 1u);
+}
+
+TEST(NamePropertyTest, CanonicalCompareIsTotalOrder) {
+  crypto::SplitMix64 rng(123);
+  std::vector<Name> names;
+  const char* tlds[] = {"com", "net", "org"};
+  for (int i = 0; i < 60; ++i) {
+    std::string text = "d" + std::to_string(rng.next_below(30));
+    if (rng.next_below(2) == 0) text = "sub" + std::to_string(i % 5) + "." + text;
+    names.push_back(Name::parse(text + "." + tlds[rng.next_below(3)]));
+  }
+  for (const Name& a : names) {
+    for (const Name& b : names) {
+      const int ab = a.canonical_compare(b);
+      const int ba = b.canonical_compare(a);
+      EXPECT_EQ(ab, -ba);
+      EXPECT_EQ(ab == 0, a == b || a.to_text() == b.to_text());
+      for (const Name& c : names) {
+        if (ab < 0 && b.canonical_compare(c) < 0) {
+          EXPECT_LT(a.canonical_compare(c), 0);  // transitivity
+        }
+      }
+    }
+  }
+}
+
+TEST(NamePropertyTest, ParentIsPrefixInverse) {
+  crypto::SplitMix64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Name base = Name::parse("x" + std::to_string(rng.next()) + ".com");
+    const std::string label = "l" + std::to_string(rng.next_below(1000));
+    EXPECT_EQ(base.with_prefix_label(label).parent(), base);
+  }
+}
+
+}  // namespace
+}  // namespace lookaside::dns

@@ -1,0 +1,106 @@
+// Tests for RFC 7816 qname minimization and its interaction with the DLV
+// leak (paper threat model §3: minimization changes which on-path parties
+// see full names — but not what the DLV server sees).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dlv/registry.h"
+#include "resolver/resolver.h"
+#include "server/testbed.h"
+#include "sim/clock.h"
+
+namespace lookaside::resolver {
+namespace {
+
+class QminFixture {
+ public:
+  explicit QminFixture(bool minimize) : network_(clock_),
+        testbed_(server::TestbedOptions{},
+                 {{"example.com", false, false, false, {"www", "deep"}}}),
+        registry_(dlv::DlvRegistry::Options{}) {
+    testbed_.directory().register_zone(
+        registry_.apex(),
+        std::shared_ptr<sim::Endpoint>(&registry_, [](sim::Endpoint*) {}));
+    ResolverConfig config = ResolverConfig::bind_manual_correct();
+    config.qname_minimization = minimize;
+    resolver_ = std::make_unique<RecursiveResolver>(
+        network_, testbed_.directory(), config);
+    resolver_->set_root_trust_anchor(testbed_.root_trust_anchor());
+    resolver_->set_dlv_trust_anchor(registry_.trust_anchor());
+    network_.set_capture_enabled(true);
+  }
+
+  /// Longest qname sent to `endpoint` (by label count).
+  std::size_t deepest_name_seen(const std::string& endpoint) const {
+    std::size_t deepest = 0;
+    for (const auto& packet : network_.capture()) {
+      if (packet.is_query && packet.to == endpoint) {
+        deepest = std::max(deepest, packet.qname.label_count());
+      }
+    }
+    return deepest;
+  }
+
+  sim::SimClock clock_;
+  sim::Network network_;
+  server::Testbed testbed_;
+  dlv::DlvRegistry registry_;
+  std::unique_ptr<RecursiveResolver> resolver_;
+};
+
+TEST(QnameMinimizationTest, ResolutionStillSucceeds) {
+  QminFixture fixture(true);
+  const auto result = fixture.resolver_->resolve(
+      dns::Name::parse("www.example.com"), dns::RRType::kA);
+  EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
+  ASSERT_NE(result.response.first_answer(dns::RRType::kA), nullptr);
+}
+
+TEST(QnameMinimizationTest, RootAndTldSeeOnlyMinimalNames) {
+  QminFixture fixture(true);
+  (void)fixture.resolver_->resolve(dns::Name::parse("www.example.com"),
+                                   dns::RRType::kA);
+  // Root sees at most 1 label ("com"), the TLD at most 2 ("example.com").
+  EXPECT_LE(fixture.deepest_name_seen("root"), 1u);
+  EXPECT_LE(fixture.deepest_name_seen("tld:com"), 2u);
+  // The authoritative server must still see the full name.
+  EXPECT_EQ(fixture.deepest_name_seen("auth:example.com"), 3u);
+}
+
+TEST(QnameMinimizationTest, WithoutMinimizationFullNamesReachRoot) {
+  QminFixture fixture(false);
+  (void)fixture.resolver_->resolve(dns::Name::parse("www.example.com"),
+                                   dns::RRType::kA);
+  EXPECT_EQ(fixture.deepest_name_seen("root"), 3u);
+}
+
+TEST(QnameMinimizationTest, NodataAtIntermediateLabelWidensAndContinues) {
+  // "deep.example.com" exists as a host; resolving a name below it exercises
+  // the RFC 7816 NODATA-widening path ("deep" has no NS).
+  QminFixture fixture(true);
+  const auto result = fixture.resolver_->resolve(
+      dns::Name::parse("x.deep.example.com"), dns::RRType::kA);
+  // The name does not exist; what matters is that resolution terminated
+  // with a definite answer (not SERVFAIL from a bogus NODATA shortcut).
+  EXPECT_EQ(result.response.header.rcode, dns::RCode::kNxDomain);
+}
+
+TEST(QnameMinimizationTest, DlvLeakIsUnaffected) {
+  // The paper's asymmetry: minimization hides names from root/TLD but the
+  // DLV query still carries the full domain to the third party.
+  QminFixture fixture(true);
+  (void)fixture.resolver_->resolve(dns::Name::parse("www.example.com"),
+                                   dns::RRType::kA);
+  bool dlv_saw_full_domain = false;
+  for (const auto& observation : fixture.registry_.observations()) {
+    if (observation.domain ==
+        dns::Name::parse("www.example.com")) {
+      dlv_saw_full_domain = true;
+    }
+  }
+  EXPECT_TRUE(dlv_saw_full_domain);
+}
+
+}  // namespace
+}  // namespace lookaside::resolver

@@ -1,0 +1,206 @@
+// Unit tests for the resolver caches: positive TTLs, RFC 2308 negatives,
+// the aggressive NSEC store (wraps, exact matches, type bitmaps, expiry),
+// and zone-cut tracking.
+#include <gtest/gtest.h>
+
+#include "resolver/cache.h"
+#include "sim/clock.h"
+
+namespace lookaside::resolver {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest() : cache_(clock_) {}
+
+  dns::RRset a_rrset(const std::string& name, std::uint32_t ttl,
+                     std::uint32_t address = 1) {
+    dns::RRset out(dns::Name::parse(name), dns::RRType::kA);
+    out.add(dns::ResourceRecord::make(dns::Name::parse(name), ttl,
+                                      dns::ARdata{address}));
+    return out;
+  }
+
+  void store_nsec(const std::string& zone, const std::string& owner,
+                  const std::string& next, std::uint32_t ttl,
+                  std::vector<dns::RRType> types = {dns::RRType::kNs}) {
+    dns::NsecRdata nsec;
+    nsec.next = dns::Name::parse(next);
+    nsec.types = std::move(types);
+    cache_.store_nsec(dns::Name::parse(zone),
+                      dns::ResourceRecord::make(dns::Name::parse(owner), ttl,
+                                                dns::Rdata{nsec}));
+  }
+
+  sim::SimClock clock_;
+  ResolverCache cache_;
+};
+
+TEST_F(CacheTest, PositiveHitAndTtlExpiry) {
+  cache_.store(a_rrset("a.com", 10), /*validated=*/false);
+  EXPECT_NE(cache_.find(dns::Name::parse("a.com"), dns::RRType::kA), nullptr);
+  clock_.advance_seconds(9.0);
+  EXPECT_NE(cache_.find(dns::Name::parse("a.com"), dns::RRType::kA), nullptr);
+  clock_.advance_seconds(1.5);
+  EXPECT_EQ(cache_.find(dns::Name::parse("a.com"), dns::RRType::kA), nullptr);
+}
+
+TEST_F(CacheTest, ValidatedFlagTracked) {
+  cache_.store(a_rrset("v.com", 100), /*validated=*/true);
+  cache_.store(a_rrset("u.com", 100), /*validated=*/false);
+  EXPECT_NE(cache_.find_validated(dns::Name::parse("v.com"), dns::RRType::kA),
+            nullptr);
+  EXPECT_EQ(cache_.find_validated(dns::Name::parse("u.com"), dns::RRType::kA),
+            nullptr);
+  cache_.mark_validated(dns::Name::parse("u.com"), dns::RRType::kA);
+  EXPECT_NE(cache_.find_validated(dns::Name::parse("u.com"), dns::RRType::kA),
+            nullptr);
+}
+
+TEST_F(CacheTest, EntryKeepsRrsigs) {
+  dns::RrsigRdata sig;
+  sig.type_covered = dns::RRType::kA;
+  sig.signer = dns::Name::parse("com");
+  const auto rrsig_record = dns::ResourceRecord::make(
+      dns::Name::parse("a.com"), 100, dns::Rdata{sig});
+  cache_.store(a_rrset("a.com", 100), false, {rrsig_record});
+  const auto entry = cache_.find_entry(dns::Name::parse("a.com"), dns::RRType::kA);
+  ASSERT_TRUE(entry.has_value());
+  ASSERT_EQ(entry->rrsigs->size(), 1u);
+  EXPECT_EQ((*entry->rrsigs)[0].type, dns::RRType::kRrsig);
+}
+
+TEST_F(CacheTest, NegativeNoDataIsTypeScoped) {
+  cache_.store_negative(dns::Name::parse("a.com"), dns::RRType::kMx, 60,
+                        /*nxdomain=*/false);
+  EXPECT_EQ(cache_.find_negative(dns::Name::parse("a.com"), dns::RRType::kMx),
+            NegativeEntry::kNoData);
+  EXPECT_EQ(cache_.find_negative(dns::Name::parse("a.com"), dns::RRType::kA),
+            NegativeEntry::kNone);
+}
+
+TEST_F(CacheTest, NegativeNxdomainCoversAllTypes) {
+  cache_.store_negative(dns::Name::parse("gone.com"), dns::RRType::kA, 60,
+                        /*nxdomain=*/true);
+  EXPECT_EQ(cache_.find_negative(dns::Name::parse("gone.com"), dns::RRType::kA),
+            NegativeEntry::kNxDomain);
+  EXPECT_EQ(
+      cache_.find_negative(dns::Name::parse("gone.com"), dns::RRType::kDlv),
+      NegativeEntry::kNxDomain);
+}
+
+TEST_F(CacheTest, NegativeExpires) {
+  cache_.store_negative(dns::Name::parse("gone.com"), dns::RRType::kA, 30,
+                        true);
+  clock_.advance_seconds(31);
+  EXPECT_EQ(cache_.find_negative(dns::Name::parse("gone.com"), dns::RRType::kA),
+            NegativeEntry::kNone);
+}
+
+TEST_F(CacheTest, NsecCoversInteriorName) {
+  store_nsec("dlv.isc.org", "alpha.com.dlv.isc.org", "omega.com.dlv.isc.org",
+             300);
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("middle.com.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNameCovered);
+  // Outside the range: no proof.
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("zz.com.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNoProof);
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("aa.com.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNoProof);
+}
+
+TEST_F(CacheTest, NsecWrapCoversTailOfZone) {
+  // Last NSEC in a chain points back to the apex.
+  store_nsec("dlv.isc.org", "zeta.com.dlv.isc.org", "dlv.isc.org", 300);
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("zz.net.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNameCovered);
+}
+
+TEST_F(CacheTest, NsecExactMatchChecksTypeBitmap) {
+  store_nsec("dlv.isc.org", "exist.com.dlv.isc.org", "next.com.dlv.isc.org",
+             300, {dns::RRType::kDlv});
+  // DLV present at the name: no denial.
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("exist.com.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNoProof);
+  // TXT absent at the name: proven.
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("exist.com.dlv.isc.org"),
+                              dns::RRType::kTxt),
+            NsecCoverage::kTypeAbsent);
+}
+
+TEST_F(CacheTest, NsecRespectsZoneScope) {
+  store_nsec("dlv.isc.org", "a.com.dlv.isc.org", "z.com.dlv.isc.org", 300);
+  // Same shape of name in a different zone: no proof.
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("other.org"),
+                              dns::Name::parse("m.com.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNoProof);
+  // Name outside the zone: no proof.
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("m.com"), dns::RRType::kDlv),
+            NsecCoverage::kNoProof);
+}
+
+TEST_F(CacheTest, NsecExpires) {
+  store_nsec("dlv.isc.org", "a.com.dlv.isc.org", "z.com.dlv.isc.org", 40);
+  EXPECT_EQ(cache_.nsec_count(dns::Name::parse("dlv.isc.org")), 1u);
+  clock_.advance_seconds(41);
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("m.com.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNoProof);
+}
+
+TEST_F(CacheTest, ZoneCutsDeepestWins) {
+  cache_.store_zone_cut(dns::Name::parse("com"), 3600);
+  cache_.store_zone_cut(dns::Name::parse("example.com"), 3600);
+  EXPECT_EQ(cache_.deepest_known_cut(dns::Name::parse("www.example.com")),
+            dns::Name::parse("example.com"));
+  EXPECT_EQ(cache_.deepest_known_cut(dns::Name::parse("other.com")),
+            dns::Name::parse("com"));
+  EXPECT_EQ(cache_.deepest_known_cut(dns::Name::parse("other.net")),
+            dns::Name::root());
+}
+
+TEST_F(CacheTest, ZoneCutExpiry) {
+  cache_.store_zone_cut(dns::Name::parse("com"), 10);
+  clock_.advance_seconds(11);
+  EXPECT_EQ(cache_.deepest_known_cut(dns::Name::parse("a.com")),
+            dns::Name::root());
+}
+
+TEST_F(CacheTest, ClearDropsEverything) {
+  cache_.store(a_rrset("a.com", 100), true);
+  cache_.store_negative(dns::Name::parse("b.com"), dns::RRType::kA, 100, true);
+  store_nsec("z", "a.z", "b.z", 100);
+  cache_.store_zone_cut(dns::Name::parse("com"), 100);
+  cache_.clear();
+  EXPECT_EQ(cache_.find(dns::Name::parse("a.com"), dns::RRType::kA), nullptr);
+  EXPECT_EQ(cache_.find_negative(dns::Name::parse("b.com"), dns::RRType::kA),
+            NegativeEntry::kNone);
+  EXPECT_EQ(cache_.nsec_count(dns::Name::parse("z")), 0u);
+  EXPECT_EQ(cache_.deepest_known_cut(dns::Name::parse("a.com")),
+            dns::Name::root());
+}
+
+TEST_F(CacheTest, HitMissCountersTrack) {
+  cache_.store(a_rrset("a.com", 100), false);
+  (void)cache_.find(dns::Name::parse("a.com"), dns::RRType::kA);
+  (void)cache_.find(dns::Name::parse("b.com"), dns::RRType::kA);
+  EXPECT_EQ(cache_.counters().value("cache.hit"), 1u);
+  EXPECT_EQ(cache_.counters().value("cache.miss"), 1u);
+}
+
+}  // namespace
+}  // namespace lookaside::resolver

@@ -1,0 +1,167 @@
+// Unit tests for the simulation fabric: clock, latency model, network
+// accounting, packet capture, failure injection and latency overrides.
+#include <gtest/gtest.h>
+
+#include "dns/codec.h"
+#include "sim/network.h"
+
+namespace lookaside::sim {
+namespace {
+
+/// Echo endpoint answering every query with an empty NOERROR response.
+class EchoServer : public Endpoint {
+ public:
+  explicit EchoServer(std::string id, std::uint64_t latency_override = 0)
+      : id_(std::move(id)), latency_override_(latency_override) {}
+
+  [[nodiscard]] std::string endpoint_id() const override { return id_; }
+
+  [[nodiscard]] dns::Message handle_query(const dns::Message& query) override {
+    ++handled_;
+    return dns::Message::make_response(query);
+  }
+
+  [[nodiscard]] std::uint64_t latency_override_us(
+      const dns::Message&) const override {
+    return latency_override_;
+  }
+
+  int handled_ = 0;
+
+ private:
+  std::string id_;
+  std::uint64_t latency_override_;
+};
+
+dns::Message sample_query(const std::string& name = "example.com",
+                          dns::RRType type = dns::RRType::kA) {
+  return dns::Message::make_query(1, dns::Name::parse(name), type, false,
+                                  false);
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_us(), 0u);
+  clock.advance_us(1500);
+  EXPECT_EQ(clock.now_us(), 1500u);
+  clock.advance_seconds(2.5);
+  EXPECT_EQ(clock.now_us(), 1500u + 2'500'000u);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 2.5015);
+}
+
+TEST(LatencyModelTest, WellKnownEndpoints) {
+  LatencyModel model;
+  EXPECT_EQ(model.one_way_us("root"), 30'000u);
+  EXPECT_EQ(model.one_way_us("tld:com"), 25'000u);
+  EXPECT_EQ(model.one_way_us("dlv:dlv.isc.org"), 40'000u);
+  EXPECT_EQ(model.one_way_us("recursive"), 1'000u);
+}
+
+TEST(LatencyModelTest, HashedDefaultsInBand) {
+  LatencyModel model;
+  for (const char* id : {"auth:a.com", "auth:b.net", "auth:zzz.org"}) {
+    const std::uint64_t latency = model.one_way_us(id);
+    EXPECT_GE(latency, 10'000u);
+    EXPECT_LE(latency, 80'000u);
+    EXPECT_EQ(latency, model.one_way_us(id));  // deterministic
+  }
+}
+
+TEST(LatencyModelTest, OverrideWins) {
+  LatencyModel model;
+  model.set_latency_us("root", 5'000);
+  EXPECT_EQ(model.one_way_us("root"), 5'000u);
+}
+
+TEST(NetworkTest, ExchangeAdvancesClockByRoundTrip) {
+  SimClock clock;
+  Network network(clock);
+  EchoServer server("root");
+  const auto response = network.exchange("stub", server, sample_query());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(clock.now_us(), 60'000u);  // 2 x 30 ms
+  EXPECT_EQ(server.handled_, 1);
+}
+
+TEST(NetworkTest, LatencyOverrideUsedWhenNonZero) {
+  SimClock clock;
+  Network network(clock);
+  EchoServer server("anything", 7'000);
+  (void)network.exchange("stub", server, sample_query());
+  EXPECT_EQ(clock.now_us(), 14'000u);
+}
+
+TEST(NetworkTest, CountsQueriesBytesAndTypes) {
+  SimClock clock;
+  Network network(clock);
+  EchoServer server("root");
+  (void)network.exchange("stub", server, sample_query("a.com", dns::RRType::kA));
+  (void)network.exchange("stub", server,
+                         sample_query("b.com", dns::RRType::kDlv));
+  const auto& counters = network.counters();
+  EXPECT_EQ(counters.value("packets.query"), 2u);
+  EXPECT_EQ(counters.value("packets.response"), 2u);
+  EXPECT_EQ(counters.value("query.A"), 1u);
+  EXPECT_EQ(counters.value("query.DLV"), 1u);
+  EXPECT_EQ(counters.value("dest.root.queries"), 2u);
+  EXPECT_EQ(counters.value("rcode.NOERROR"), 2u);
+  EXPECT_GT(counters.value("bytes.query"), 0u);
+  EXPECT_EQ(counters.value("bytes.total"),
+            counters.value("bytes.query") + counters.value("bytes.response"));
+}
+
+TEST(NetworkTest, ByteAccountingMatchesWireSize) {
+  SimClock clock;
+  Network network(clock);
+  EchoServer server("root");
+  const dns::Message query = sample_query();
+  (void)network.exchange("stub", server, query);
+  EXPECT_EQ(network.counters().value("bytes.query"), dns::wire_size(query));
+}
+
+TEST(NetworkTest, CaptureRecordsBothDirections) {
+  SimClock clock;
+  Network network(clock);
+  network.set_capture_enabled(true);
+  EchoServer server("root");
+  (void)network.exchange("stub", server, sample_query("x.org"));
+  ASSERT_EQ(network.capture().size(), 2u);
+  EXPECT_TRUE(network.capture()[0].is_query);
+  EXPECT_EQ(network.capture()[0].from, "stub");
+  EXPECT_EQ(network.capture()[0].to, "root");
+  EXPECT_EQ(network.capture()[0].qname, dns::Name::parse("x.org"));
+  EXPECT_FALSE(network.capture()[1].is_query);
+  EXPECT_EQ(network.capture()[1].from, "root");
+  network.clear_capture();
+  EXPECT_TRUE(network.capture().empty());
+}
+
+TEST(NetworkTest, ObserverFiresWithoutCapture) {
+  SimClock clock;
+  Network network(clock);
+  int observed = 0;
+  network.set_observer([&observed](const PacketRecord&) { ++observed; });
+  EchoServer server("root");
+  (void)network.exchange("stub", server, sample_query());
+  EXPECT_EQ(observed, 2);
+  EXPECT_TRUE(network.capture().empty());  // storage stayed off
+}
+
+TEST(NetworkTest, UnreachableServerTimesOut) {
+  SimClock clock;
+  Network network(clock);
+  network.set_timeout_us(2'000'000);
+  EchoServer server("dead");
+  network.set_unreachable("dead", true);
+  const auto response = network.exchange("stub", server, sample_query());
+  EXPECT_FALSE(response.has_value());
+  EXPECT_EQ(clock.now_us(), 2'000'000u);
+  EXPECT_EQ(network.counters().value("timeouts"), 1u);
+  EXPECT_EQ(server.handled_, 0);
+
+  network.set_unreachable("dead", false);
+  EXPECT_TRUE(network.exchange("stub", server, sample_query()).has_value());
+}
+
+}  // namespace
+}  // namespace lookaside::sim

@@ -1,0 +1,318 @@
+// Tests for the synthetic universe model, the universe world authorities,
+// the stub driver, the 45-domain dataset and the DITL trace generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "resolver/resolver.h"
+#include "workload/ditl.h"
+#include "workload/secured45.h"
+#include "workload/stub.h"
+#include "workload/universe_world.h"
+
+namespace lookaside::workload {
+namespace {
+
+UniverseOptions small_universe(std::uint64_t size = 10'000) {
+  UniverseOptions options;
+  options.size = size;
+  return options;
+}
+
+TEST(UniverseTest, DeterministicNames) {
+  const Universe a(small_universe());
+  const Universe b(small_universe());
+  for (std::uint64_t rank : {1ull, 5ull, 99ull, 9999ull}) {
+    EXPECT_EQ(a.domain_at(rank), b.domain_at(rank));
+  }
+}
+
+TEST(UniverseTest, RankRoundTrip) {
+  const Universe universe(small_universe());
+  for (std::uint64_t rank = 1; rank <= 2000; ++rank) {
+    const dns::Name name = universe.domain_at(rank);
+    const auto recovered = universe.rank_of(name);
+    ASSERT_TRUE(recovered.has_value()) << name.to_text();
+    EXPECT_EQ(*recovered, rank);
+    // Subdomains also resolve to the owning rank.
+    EXPECT_EQ(universe.rank_of(name.with_prefix_label("www")), rank);
+  }
+}
+
+TEST(UniverseTest, ForeignNamesRejected) {
+  const Universe universe(small_universe());
+  EXPECT_FALSE(universe.rank_of(dns::Name::parse("example.com")).has_value());
+  EXPECT_FALSE(universe.rank_of(dns::Name::parse("com")).has_value());
+  EXPECT_FALSE(
+      universe.rank_of(dns::Name::parse("site-zzzzzzz-xx.com")).has_value());
+}
+
+TEST(UniverseTest, RankBoundsEnforced) {
+  const Universe universe(small_universe(100));
+  EXPECT_THROW((void)universe.domain_at(0), std::invalid_argument);
+  EXPECT_THROW((void)universe.domain_at(101), std::invalid_argument);
+}
+
+TEST(UniverseTest, DeploymentRatesInCalibratedBands) {
+  const Universe universe(small_universe(50'000));
+  std::uint64_t signed_count = 0, chained = 0, deposited = 0, glue = 0;
+  for (std::uint64_t rank = 1; rank <= universe.size(); ++rank) {
+    const DomainInfo info = universe.info(rank);
+    signed_count += info.dnssec_signed;
+    chained += info.ds_in_parent;
+    deposited += info.dlv_deposited;
+    glue += info.glue;
+    if (info.ds_in_parent) EXPECT_TRUE(info.dnssec_signed);
+    if (info.dlv_deposited) {
+      EXPECT_TRUE(info.dnssec_signed);
+      EXPECT_FALSE(info.ds_in_parent);  // deposits are islands
+    }
+  }
+  const double n = static_cast<double>(universe.size());
+  EXPECT_NEAR(static_cast<double>(chained) / n, 0.02, 0.005);
+  // Deposits sit between the bottom and (multiplier-inflated) top rates.
+  EXPECT_GT(static_cast<double>(deposited) / n, 0.03);
+  EXPECT_LT(static_cast<double>(deposited) / n, 0.25);
+  EXPECT_NEAR(static_cast<double>(glue) / n, 0.40, 0.02);
+}
+
+TEST(UniverseTest, DepositRateDecreasesWithRank) {
+  const Universe universe(small_universe(1'000'000));
+  auto deposit_rate = [&](std::uint64_t from, std::uint64_t to) {
+    std::uint64_t count = 0;
+    for (std::uint64_t rank = from; rank < to; ++rank) {
+      count += universe.info(rank).dlv_deposited;
+    }
+    return static_cast<double>(count) / static_cast<double>(to - from);
+  };
+  const double top = deposit_rate(1, 5'000);
+  const double bottom = deposit_rate(900'000, 905'000);
+  EXPECT_GT(top, bottom);
+}
+
+TEST(UniverseTest, ProviderHostsRoundTrip) {
+  const Universe universe(small_universe());
+  const dns::Name host = universe.provider_ns_host(123);
+  const auto provider = universe.provider_of(host);
+  ASSERT_TRUE(provider.has_value());
+  EXPECT_EQ(*provider, 123u);
+  EXPECT_FALSE(universe.provider_of(dns::Name::parse("ns1.other.net")));
+}
+
+TEST(Secured45Test, StructureMatchesPaper) {
+  const auto specs = secured_45_specs();
+  ASSERT_EQ(specs.size(), kSecuredDomainCount);
+  std::size_t islands = 0;
+  std::set<std::string> names;
+  for (const auto& spec : specs) {
+    EXPECT_TRUE(spec.dnssec_signed);
+    if (!spec.ds_in_parent) ++islands;
+    names.insert(spec.name);
+  }
+  EXPECT_EQ(islands, kSecuredIslandCount);
+  EXPECT_EQ(names.size(), kSecuredDomainCount);  // all distinct
+  EXPECT_EQ(secured_45_island_names().size(), kSecuredIslandCount);
+}
+
+TEST(DitlTest, RatesWithinEnvelopeAndTotalExact) {
+  DitlOptions options;
+  const auto rates = ditl_per_minute_rates(options);
+  ASSERT_EQ(rates.size(), options.minutes);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    total += rates[i];
+    if (i + 1 < rates.size()) {  // last minute absorbs rounding
+      EXPECT_GE(rates[i], options.min_rate * 95 / 100);
+      EXPECT_LE(rates[i], options.max_rate * 105 / 100);
+    }
+  }
+  EXPECT_EQ(total, options.total_queries);
+}
+
+TEST(DitlTest, Deterministic) {
+  DitlOptions options;
+  EXPECT_EQ(ditl_per_minute_rates(options), ditl_per_minute_rates(options));
+}
+
+// --- Universe world end-to-end -------------------------------------------
+
+class WorldFixture {
+ public:
+  explicit WorldFixture(std::uint64_t universe_size = 5'000,
+                        resolver::ResolverConfig config =
+                            resolver::ResolverConfig::bind_manual_correct())
+      : network_(clock_) {
+    WorldOptions options;
+    options.universe.size = universe_size;
+    world_ = std::make_unique<UniverseWorld>(options);
+    world_->registry().attach_clock(clock_);
+    resolver_ = std::make_unique<resolver::RecursiveResolver>(
+        network_, world_->directory(), std::move(config));
+    resolver_->set_root_trust_anchor(world_->root_trust_anchor());
+    resolver_->set_dlv_trust_anchor(world_->registry().trust_anchor());
+    stub_ = std::make_unique<StubClient>(network_, *resolver_);
+  }
+
+  sim::SimClock clock_;
+  sim::Network network_;
+  std::unique_ptr<UniverseWorld> world_;
+  std::unique_ptr<resolver::RecursiveResolver> resolver_;
+  std::unique_ptr<StubClient> stub_;
+};
+
+TEST(UniverseWorldTest, ResolvesEveryDeploymentFlavor) {
+  WorldFixture fixture;
+  const Universe& universe = fixture.world_->universe();
+
+  std::uint64_t chained_rank = 0, deposited_rank = 0, unsigned_rank = 0;
+  for (std::uint64_t rank = 1; rank <= universe.size(); ++rank) {
+    const DomainInfo info = universe.info(rank);
+    if (chained_rank == 0 && info.ds_in_parent) chained_rank = rank;
+    if (deposited_rank == 0 && info.dlv_deposited) deposited_rank = rank;
+    if (unsigned_rank == 0 && !info.dnssec_signed && info.glue) {
+      unsigned_rank = rank;
+    }
+    if (chained_rank && deposited_rank && unsigned_rank) break;
+  }
+  ASSERT_NE(chained_rank, 0u);
+  ASSERT_NE(deposited_rank, 0u);
+  ASSERT_NE(unsigned_rank, 0u);
+
+  // Chained: secure without DLV.
+  auto chained = fixture.resolver_->resolve(universe.domain_at(chained_rank),
+                                            dns::RRType::kA);
+  EXPECT_EQ(chained.status, resolver::ValidationStatus::kSecure);
+  EXPECT_FALSE(chained.dlv_used);
+
+  // Deposited island: secure via DLV.
+  auto deposited = fixture.resolver_->resolve(
+      universe.domain_at(deposited_rank), dns::RRType::kA);
+  EXPECT_EQ(deposited.status, resolver::ValidationStatus::kSecure);
+  EXPECT_TRUE(deposited.secured_by_dlv);
+
+  // Unsigned: insecure, leaks to DLV (Case-2).
+  auto plain = fixture.resolver_->resolve(universe.domain_at(unsigned_rank),
+                                          dns::RRType::kA);
+  EXPECT_EQ(plain.status, resolver::ValidationStatus::kInsecure);
+  EXPECT_TRUE(plain.dlv_used || plain.dlv_suppressed_by_nsec);
+}
+
+TEST(UniverseWorldTest, OutOfBailiwickNsForcesExtraALookups) {
+  WorldFixture fixture;
+  const Universe& universe = fixture.world_->universe();
+  std::uint64_t no_glue_rank = 0;
+  for (std::uint64_t rank = 1; rank <= universe.size(); ++rank) {
+    const DomainInfo info = universe.info(rank);
+    if (!info.glue && !info.dnssec_signed) {
+      no_glue_rank = rank;
+      break;
+    }
+  }
+  ASSERT_NE(no_glue_rank, 0u);
+  const auto before = fixture.network_.counters();
+  (void)fixture.resolver_->resolve(universe.domain_at(no_glue_rank),
+                                   dns::RRType::kA);
+  const auto delta = fixture.network_.counters().delta_since(before);
+  // Resolving the provider NS host costs extra A queries beyond the chain.
+  EXPECT_GE(delta.value("query.A"), 3u);
+}
+
+TEST(UniverseWorldTest, StubVisitIssuesAAndAaaa) {
+  WorldFixture fixture;
+  const auto before = fixture.network_.counters();
+  const VisitOutcome outcome =
+      fixture.stub_->visit(fixture.world_->universe().domain_at(42));
+  EXPECT_TRUE(outcome.got_address);
+  const auto delta = fixture.network_.counters().delta_since(before);
+  EXPECT_GE(delta.value("query.A"), 2u);  // stub + iterative legs
+  EXPECT_GE(delta.value("query.AAAA"), 1u);
+}
+
+TEST(UniverseWorldTest, LeakRateIsHighForSmallSamples) {
+  // The paper's headline: ~84% of the top-100 domains leak to the DLV
+  // server. Calibration lives in the bench; here we assert the mechanism:
+  // a large majority of fresh domains produce DLV queries.
+  WorldFixture fixture(20'000);
+  std::set<std::string> leaked;
+  fixture.world_->registry().set_store_observations(false);
+  fixture.world_->registry().set_observer([&](const dlv::Observation& obs) {
+    if (!obs.had_record && !obs.domain.is_root()) {
+      leaked.insert(obs.domain.internal_text());
+    }
+  });
+  for (std::uint64_t rank = 1; rank <= 100; ++rank) {
+    (void)fixture.stub_->visit(fixture.world_->universe().domain_at(rank));
+  }
+  EXPECT_GT(leaked.size(), 60u);
+  EXPECT_LE(leaked.size(), 100u);
+}
+
+TEST(UniverseWorldTest, TxtSignalingWorldSuppressesLeaks) {
+  WorldOptions options;
+  options.universe.size = 5'000;
+  options.txt_signaling = true;
+  sim::SimClock clock;
+  sim::Network network(clock);
+  UniverseWorld world(options);
+  resolver::ResolverConfig config =
+      resolver::ResolverConfig::bind_manual_correct();
+  config.honor_txt_dlv_signal = true;
+  resolver::RecursiveResolver resolver(network, world.directory(), config);
+  resolver.set_root_trust_anchor(world.root_trust_anchor());
+  resolver.set_dlv_trust_anchor(world.registry().trust_anchor());
+
+  std::uint64_t unsigned_rank = 0;
+  for (std::uint64_t rank = 1; rank <= 5'000; ++rank) {
+    if (!world.universe().info(rank).dnssec_signed) {
+      unsigned_rank = rank;
+      break;
+    }
+  }
+  const auto result = resolver.resolve(
+      world.universe().domain_at(unsigned_rank), dns::RRType::kA);
+  EXPECT_FALSE(result.dlv_used);
+  EXPECT_TRUE(result.dlv_suppressed_by_signal);
+  EXPECT_EQ(world.registry().total_queries(), 0u);
+}
+
+TEST(UniverseWorldTest, ZBitSignalingWorldSuppressesLeaks) {
+  WorldOptions options;
+  options.universe.size = 5'000;
+  options.z_bit_signaling = true;
+  sim::SimClock clock;
+  sim::Network network(clock);
+  UniverseWorld world(options);
+  resolver::ResolverConfig config =
+      resolver::ResolverConfig::bind_manual_correct();
+  config.honor_z_bit_signal = true;
+  resolver::RecursiveResolver resolver(network, world.directory(), config);
+  resolver.set_root_trust_anchor(world.root_trust_anchor());
+  resolver.set_dlv_trust_anchor(world.registry().trust_anchor());
+
+  std::uint64_t unsigned_rank = 0, deposited_rank = 0;
+  for (std::uint64_t rank = 1; rank <= 5'000; ++rank) {
+    const DomainInfo info = world.universe().info(rank);
+    if (unsigned_rank == 0 && !info.dnssec_signed) unsigned_rank = rank;
+    if (deposited_rank == 0 && info.dlv_deposited) deposited_rank = rank;
+    if (unsigned_rank && deposited_rank) break;
+  }
+  const auto blocked = resolver.resolve(
+      world.universe().domain_at(unsigned_rank), dns::RRType::kA);
+  EXPECT_FALSE(blocked.dlv_used);
+  EXPECT_TRUE(blocked.dlv_suppressed_by_signal);
+
+  const auto allowed = resolver.resolve(
+      world.universe().domain_at(deposited_rank), dns::RRType::kA);
+  EXPECT_TRUE(allowed.secured_by_dlv);
+}
+
+TEST(UniverseWorldTest, PtrLookupsAnswered) {
+  WorldFixture fixture;
+  const auto result = fixture.resolver_->resolve(
+      dns::Name::parse("34.113.0.203.in-addr.arpa"), dns::RRType::kPtr);
+  EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
+  EXPECT_NE(result.response.first_answer(dns::RRType::kPtr), nullptr);
+}
+
+}  // namespace
+}  // namespace lookaside::workload
