@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nsec.dir/bench_ablation_nsec.cpp.o"
+  "CMakeFiles/bench_ablation_nsec.dir/bench_ablation_nsec.cpp.o.d"
+  "bench_ablation_nsec"
+  "bench_ablation_nsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

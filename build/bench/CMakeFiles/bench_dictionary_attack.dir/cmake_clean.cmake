@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dictionary_attack.dir/bench_dictionary_attack.cpp.o"
+  "CMakeFiles/bench_dictionary_attack.dir/bench_dictionary_attack.cpp.o.d"
+  "bench_dictionary_attack"
+  "bench_dictionary_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dictionary_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_09_leakage.dir/bench_fig08_09_leakage.cpp.o"
+  "CMakeFiles/bench_fig08_09_leakage.dir/bench_fig08_09_leakage.cpp.o.d"
+  "bench_fig08_09_leakage"
+  "bench_fig08_09_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_09_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_remedies.dir/bench_fig11_remedies.cpp.o"
+  "CMakeFiles/bench_fig11_remedies.dir/bench_fig11_remedies.cpp.o.d"
+  "bench_fig11_remedies"
+  "bench_fig11_remedies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_remedies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ditl.dir/bench_fig12_ditl.cpp.o"
+  "CMakeFiles/bench_fig12_ditl.dir/bench_fig12_ditl.cpp.o.d"
+  "bench_fig12_ditl"
+  "bench_fig12_ditl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ditl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_order_matters.dir/bench_order_matters.cpp.o"
+  "CMakeFiles/bench_order_matters.dir/bench_order_matters.cpp.o.d"
+  "bench_order_matters"
+  "bench_order_matters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_order_matters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_utility.dir/bench_sec53_utility.cpp.o"
+  "CMakeFiles/bench_sec53_utility.dir/bench_sec53_utility.cpp.o.d"
+  "bench_sec53_utility"
+  "bench_sec53_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

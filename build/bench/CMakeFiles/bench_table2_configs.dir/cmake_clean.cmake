@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_configs.dir/bench_table2_configs.cpp.o"
+  "CMakeFiles/bench_table2_configs.dir/bench_table2_configs.cpp.o.d"
+  "bench_table2_configs"
+  "bench_table2_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_secured.cpp" "bench/CMakeFiles/bench_table3_secured.dir/bench_table3_secured.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_secured.dir/bench_table3_secured.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lookaside_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/lookaside_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lookaside_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/lookaside_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlv/CMakeFiles/lookaside_dlv.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/lookaside_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/lookaside_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lookaside_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/lookaside_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lookaside_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lookaside_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

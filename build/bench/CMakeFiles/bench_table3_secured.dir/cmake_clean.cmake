@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_secured.dir/bench_table3_secured.cpp.o"
+  "CMakeFiles/bench_table3_secured.dir/bench_table3_secured.cpp.o.d"
+  "bench_table3_secured"
+  "bench_table3_secured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_secured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fig10_overhead.dir/bench_table5_fig10_overhead.cpp.o"
+  "CMakeFiles/bench_table5_fig10_overhead.dir/bench_table5_fig10_overhead.cpp.o.d"
+  "bench_table5_fig10_overhead"
+  "bench_table5_fig10_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fig10_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlv_audit_cli.dir/dlv_audit_cli.cpp.o"
+  "CMakeFiles/dlv_audit_cli.dir/dlv_audit_cli.cpp.o.d"
+  "dlv_audit_cli"
+  "dlv_audit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlv_audit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_audit.dir/leakage_audit.cpp.o"
+  "CMakeFiles/leakage_audit.dir/leakage_audit.cpp.o.d"
+  "leakage_audit"
+  "leakage_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_trace.dir/packet_trace.cpp.o"
+  "CMakeFiles/packet_trace.dir/packet_trace.cpp.o.d"
+  "packet_trace"
+  "packet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remedy_comparison.dir/remedy_comparison.cpp.o"
+  "CMakeFiles/remedy_comparison.dir/remedy_comparison.cpp.o.d"
+  "remedy_comparison"
+  "remedy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remedy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

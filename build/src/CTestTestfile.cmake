@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("metrics")
+subdirs("crypto")
+subdirs("dns")
+subdirs("sim")
+subdirs("zone")
+subdirs("server")
+subdirs("dlv")
+subdirs("resolver")
+subdirs("config")
+subdirs("workload")
+subdirs("core")

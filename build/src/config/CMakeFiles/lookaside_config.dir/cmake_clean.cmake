@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_config.dir/conf_file.cpp.o"
+  "CMakeFiles/lookaside_config.dir/conf_file.cpp.o.d"
+  "CMakeFiles/lookaside_config.dir/install_matrix.cpp.o"
+  "CMakeFiles/lookaside_config.dir/install_matrix.cpp.o.d"
+  "liblookaside_config.a"
+  "liblookaside_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_core.dir/dictionary.cpp.o"
+  "CMakeFiles/lookaside_core.dir/dictionary.cpp.o.d"
+  "CMakeFiles/lookaside_core.dir/ditl_overhead.cpp.o"
+  "CMakeFiles/lookaside_core.dir/ditl_overhead.cpp.o.d"
+  "CMakeFiles/lookaside_core.dir/experiment.cpp.o"
+  "CMakeFiles/lookaside_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/lookaside_core.dir/leakage.cpp.o"
+  "CMakeFiles/lookaside_core.dir/leakage.cpp.o.d"
+  "CMakeFiles/lookaside_core.dir/overhead.cpp.o"
+  "CMakeFiles/lookaside_core.dir/overhead.cpp.o.d"
+  "CMakeFiles/lookaside_core.dir/survey.cpp.o"
+  "CMakeFiles/lookaside_core.dir/survey.cpp.o.d"
+  "liblookaside_core.a"
+  "liblookaside_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

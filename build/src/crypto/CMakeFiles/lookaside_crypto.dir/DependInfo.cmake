@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/lookaside_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/lookaside_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/bytes.cpp" "src/crypto/CMakeFiles/lookaside_crypto.dir/bytes.cpp.o" "gcc" "src/crypto/CMakeFiles/lookaside_crypto.dir/bytes.cpp.o.d"
+  "/root/repo/src/crypto/dnssec_algo.cpp" "src/crypto/CMakeFiles/lookaside_crypto.dir/dnssec_algo.cpp.o" "gcc" "src/crypto/CMakeFiles/lookaside_crypto.dir/dnssec_algo.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/lookaside_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/lookaside_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/rng.cpp" "src/crypto/CMakeFiles/lookaside_crypto.dir/rng.cpp.o" "gcc" "src/crypto/CMakeFiles/lookaside_crypto.dir/rng.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/lookaside_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/lookaside_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/lookaside_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/lookaside_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/lookaside_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/lookaside_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

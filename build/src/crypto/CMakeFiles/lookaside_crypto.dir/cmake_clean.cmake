@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/lookaside_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/lookaside_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/lookaside_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/lookaside_crypto.dir/dnssec_algo.cpp.o"
+  "CMakeFiles/lookaside_crypto.dir/dnssec_algo.cpp.o.d"
+  "CMakeFiles/lookaside_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/lookaside_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/lookaside_crypto.dir/rng.cpp.o"
+  "CMakeFiles/lookaside_crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/lookaside_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/lookaside_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/lookaside_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/lookaside_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/lookaside_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/lookaside_crypto.dir/sha256.cpp.o.d"
+  "liblookaside_crypto.a"
+  "liblookaside_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

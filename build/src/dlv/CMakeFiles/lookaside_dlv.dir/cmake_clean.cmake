@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_dlv.dir/registry.cpp.o"
+  "CMakeFiles/lookaside_dlv.dir/registry.cpp.o.d"
+  "liblookaside_dlv.a"
+  "liblookaside_dlv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_dlv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lookaside_dlv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/codec.cpp" "src/dns/CMakeFiles/lookaside_dns.dir/codec.cpp.o" "gcc" "src/dns/CMakeFiles/lookaside_dns.dir/codec.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/lookaside_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/lookaside_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/lookaside_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/lookaside_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/rdata.cpp" "src/dns/CMakeFiles/lookaside_dns.dir/rdata.cpp.o" "gcc" "src/dns/CMakeFiles/lookaside_dns.dir/rdata.cpp.o.d"
+  "/root/repo/src/dns/record.cpp" "src/dns/CMakeFiles/lookaside_dns.dir/record.cpp.o" "gcc" "src/dns/CMakeFiles/lookaside_dns.dir/record.cpp.o.d"
+  "/root/repo/src/dns/rr_type.cpp" "src/dns/CMakeFiles/lookaside_dns.dir/rr_type.cpp.o" "gcc" "src/dns/CMakeFiles/lookaside_dns.dir/rr_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/lookaside_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

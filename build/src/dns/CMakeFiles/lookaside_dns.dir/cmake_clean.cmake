@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_dns.dir/codec.cpp.o"
+  "CMakeFiles/lookaside_dns.dir/codec.cpp.o.d"
+  "CMakeFiles/lookaside_dns.dir/message.cpp.o"
+  "CMakeFiles/lookaside_dns.dir/message.cpp.o.d"
+  "CMakeFiles/lookaside_dns.dir/name.cpp.o"
+  "CMakeFiles/lookaside_dns.dir/name.cpp.o.d"
+  "CMakeFiles/lookaside_dns.dir/rdata.cpp.o"
+  "CMakeFiles/lookaside_dns.dir/rdata.cpp.o.d"
+  "CMakeFiles/lookaside_dns.dir/record.cpp.o"
+  "CMakeFiles/lookaside_dns.dir/record.cpp.o.d"
+  "CMakeFiles/lookaside_dns.dir/rr_type.cpp.o"
+  "CMakeFiles/lookaside_dns.dir/rr_type.cpp.o.d"
+  "liblookaside_dns.a"
+  "liblookaside_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/counters.cpp" "src/metrics/CMakeFiles/lookaside_metrics.dir/counters.cpp.o" "gcc" "src/metrics/CMakeFiles/lookaside_metrics.dir/counters.cpp.o.d"
+  "/root/repo/src/metrics/csv.cpp" "src/metrics/CMakeFiles/lookaside_metrics.dir/csv.cpp.o" "gcc" "src/metrics/CMakeFiles/lookaside_metrics.dir/csv.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/lookaside_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/lookaside_metrics.dir/histogram.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/metrics/CMakeFiles/lookaside_metrics.dir/table.cpp.o" "gcc" "src/metrics/CMakeFiles/lookaside_metrics.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

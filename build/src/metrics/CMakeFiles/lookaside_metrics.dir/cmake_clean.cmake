@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_metrics.dir/counters.cpp.o"
+  "CMakeFiles/lookaside_metrics.dir/counters.cpp.o.d"
+  "CMakeFiles/lookaside_metrics.dir/csv.cpp.o"
+  "CMakeFiles/lookaside_metrics.dir/csv.cpp.o.d"
+  "CMakeFiles/lookaside_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/lookaside_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/lookaside_metrics.dir/table.cpp.o"
+  "CMakeFiles/lookaside_metrics.dir/table.cpp.o.d"
+  "liblookaside_metrics.a"
+  "liblookaside_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_resolver.dir/cache.cpp.o"
+  "CMakeFiles/lookaside_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/lookaside_resolver.dir/config.cpp.o"
+  "CMakeFiles/lookaside_resolver.dir/config.cpp.o.d"
+  "CMakeFiles/lookaside_resolver.dir/resolver.cpp.o"
+  "CMakeFiles/lookaside_resolver.dir/resolver.cpp.o.d"
+  "CMakeFiles/lookaside_resolver.dir/validator.cpp.o"
+  "CMakeFiles/lookaside_resolver.dir/validator.cpp.o.d"
+  "liblookaside_resolver.a"
+  "liblookaside_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

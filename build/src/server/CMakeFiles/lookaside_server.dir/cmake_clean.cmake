@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_server.dir/directory.cpp.o"
+  "CMakeFiles/lookaside_server.dir/directory.cpp.o.d"
+  "CMakeFiles/lookaside_server.dir/testbed.cpp.o"
+  "CMakeFiles/lookaside_server.dir/testbed.cpp.o.d"
+  "CMakeFiles/lookaside_server.dir/zone_authority.cpp.o"
+  "CMakeFiles/lookaside_server.dir/zone_authority.cpp.o.d"
+  "liblookaside_server.a"
+  "liblookaside_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_sim.dir/latency.cpp.o"
+  "CMakeFiles/lookaside_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/lookaside_sim.dir/network.cpp.o"
+  "CMakeFiles/lookaside_sim.dir/network.cpp.o.d"
+  "liblookaside_sim.a"
+  "liblookaside_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

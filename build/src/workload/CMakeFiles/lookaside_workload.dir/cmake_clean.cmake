@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_workload.dir/ditl.cpp.o"
+  "CMakeFiles/lookaside_workload.dir/ditl.cpp.o.d"
+  "CMakeFiles/lookaside_workload.dir/secured45.cpp.o"
+  "CMakeFiles/lookaside_workload.dir/secured45.cpp.o.d"
+  "CMakeFiles/lookaside_workload.dir/stub.cpp.o"
+  "CMakeFiles/lookaside_workload.dir/stub.cpp.o.d"
+  "CMakeFiles/lookaside_workload.dir/universe.cpp.o"
+  "CMakeFiles/lookaside_workload.dir/universe.cpp.o.d"
+  "CMakeFiles/lookaside_workload.dir/universe_world.cpp.o"
+  "CMakeFiles/lookaside_workload.dir/universe_world.cpp.o.d"
+  "liblookaside_workload.a"
+  "liblookaside_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

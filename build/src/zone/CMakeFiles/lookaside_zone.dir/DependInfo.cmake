@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zone/keys.cpp" "src/zone/CMakeFiles/lookaside_zone.dir/keys.cpp.o" "gcc" "src/zone/CMakeFiles/lookaside_zone.dir/keys.cpp.o.d"
+  "/root/repo/src/zone/signed_zone.cpp" "src/zone/CMakeFiles/lookaside_zone.dir/signed_zone.cpp.o" "gcc" "src/zone/CMakeFiles/lookaside_zone.dir/signed_zone.cpp.o.d"
+  "/root/repo/src/zone/zone.cpp" "src/zone/CMakeFiles/lookaside_zone.dir/zone.cpp.o" "gcc" "src/zone/CMakeFiles/lookaside_zone.dir/zone.cpp.o.d"
+  "/root/repo/src/zone/zonefile.cpp" "src/zone/CMakeFiles/lookaside_zone.dir/zonefile.cpp.o" "gcc" "src/zone/CMakeFiles/lookaside_zone.dir/zonefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/lookaside_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lookaside_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

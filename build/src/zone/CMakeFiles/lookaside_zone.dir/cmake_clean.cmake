@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookaside_zone.dir/keys.cpp.o"
+  "CMakeFiles/lookaside_zone.dir/keys.cpp.o.d"
+  "CMakeFiles/lookaside_zone.dir/signed_zone.cpp.o"
+  "CMakeFiles/lookaside_zone.dir/signed_zone.cpp.o.d"
+  "CMakeFiles/lookaside_zone.dir/zone.cpp.o"
+  "CMakeFiles/lookaside_zone.dir/zone.cpp.o.d"
+  "CMakeFiles/lookaside_zone.dir/zonefile.cpp.o"
+  "CMakeFiles/lookaside_zone.dir/zonefile.cpp.o.d"
+  "liblookaside_zone.a"
+  "liblookaside_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookaside_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cname_test.dir/cname_test.cpp.o"
+  "CMakeFiles/cname_test.dir/cname_test.cpp.o.d"
+  "cname_test"
+  "cname_test.pdb"
+  "cname_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cname_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conf_file_test.dir/conf_file_test.cpp.o"
+  "CMakeFiles/conf_file_test.dir/conf_file_test.cpp.o.d"
+  "conf_file_test"
+  "conf_file_test.pdb"
+  "conf_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conf_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

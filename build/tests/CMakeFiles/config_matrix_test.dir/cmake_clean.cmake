@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_matrix_test.dir/config_matrix_test.cpp.o"
+  "CMakeFiles/config_matrix_test.dir/config_matrix_test.cpp.o.d"
+  "config_matrix_test"
+  "config_matrix_test.pdb"
+  "config_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

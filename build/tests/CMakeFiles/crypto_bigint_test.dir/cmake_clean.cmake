@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_bigint_test.dir/crypto_bigint_test.cpp.o"
+  "CMakeFiles/crypto_bigint_test.dir/crypto_bigint_test.cpp.o.d"
+  "crypto_bigint_test"
+  "crypto_bigint_test.pdb"
+  "crypto_bigint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_hash_test.dir/crypto_hash_test.cpp.o"
+  "CMakeFiles/crypto_hash_test.dir/crypto_hash_test.cpp.o.d"
+  "crypto_hash_test"
+  "crypto_hash_test.pdb"
+  "crypto_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

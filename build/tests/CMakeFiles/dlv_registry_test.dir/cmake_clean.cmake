@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlv_registry_test.dir/dlv_registry_test.cpp.o"
+  "CMakeFiles/dlv_registry_test.dir/dlv_registry_test.cpp.o.d"
+  "dlv_registry_test"
+  "dlv_registry_test.pdb"
+  "dlv_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlv_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_codec_test.dir/dns_codec_test.cpp.o"
+  "CMakeFiles/dns_codec_test.dir/dns_codec_test.cpp.o.d"
+  "dns_codec_test"
+  "dns_codec_test.pdb"
+  "dns_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

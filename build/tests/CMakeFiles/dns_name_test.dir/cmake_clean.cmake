@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_name_test.dir/dns_name_test.cpp.o"
+  "CMakeFiles/dns_name_test.dir/dns_name_test.cpp.o.d"
+  "dns_name_test"
+  "dns_name_test.pdb"
+  "dns_name_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_name_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

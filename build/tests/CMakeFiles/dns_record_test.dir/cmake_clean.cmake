@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_record_test.dir/dns_record_test.cpp.o"
+  "CMakeFiles/dns_record_test.dir/dns_record_test.cpp.o.d"
+  "dns_record_test"
+  "dns_record_test.pdb"
+  "dns_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

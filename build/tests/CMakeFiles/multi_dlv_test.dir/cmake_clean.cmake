@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_dlv_test.dir/multi_dlv_test.cpp.o"
+  "CMakeFiles/multi_dlv_test.dir/multi_dlv_test.cpp.o.d"
+  "multi_dlv_test"
+  "multi_dlv_test.pdb"
+  "multi_dlv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_dlv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

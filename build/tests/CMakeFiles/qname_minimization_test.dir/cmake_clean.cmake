@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qname_minimization_test.dir/qname_minimization_test.cpp.o"
+  "CMakeFiles/qname_minimization_test.dir/qname_minimization_test.cpp.o.d"
+  "qname_minimization_test"
+  "qname_minimization_test.pdb"
+  "qname_minimization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qname_minimization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_cache_test.dir/resolver_cache_test.cpp.o"
+  "CMakeFiles/resolver_cache_test.dir/resolver_cache_test.cpp.o.d"
+  "resolver_cache_test"
+  "resolver_cache_test.pdb"
+  "resolver_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_validator_test.dir/resolver_validator_test.cpp.o"
+  "CMakeFiles/resolver_validator_test.dir/resolver_validator_test.cpp.o.d"
+  "resolver_validator_test"
+  "resolver_validator_test.pdb"
+  "resolver_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_test.dir/server_test.cpp.o"
+  "CMakeFiles/server_test.dir/server_test.cpp.o.d"
+  "server_test"
+  "server_test.pdb"
+  "server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_test.dir/zone_test.cpp.o"
+  "CMakeFiles/zone_test.dir/zone_test.cpp.o.d"
+  "zone_test"
+  "zone_test.pdb"
+  "zone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zonefile_test.dir/zonefile_test.cpp.o"
+  "CMakeFiles/zonefile_test.dir/zonefile_test.cpp.o.d"
+  "zonefile_test"
+  "zonefile_test.pdb"
+  "zonefile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zonefile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

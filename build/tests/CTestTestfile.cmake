@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_name_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_record_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/config_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/zone_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/dlv_registry_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_validator_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/conf_file_test[1]_include.cmake")
+include("/root/repo/build/tests/zonefile_test[1]_include.cmake")
+include("/root/repo/build/tests/qname_minimization_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_dlv_test[1]_include.cmake")
+include("/root/repo/build/tests/cname_test[1]_include.cmake")
