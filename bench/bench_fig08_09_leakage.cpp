@@ -28,7 +28,7 @@ double paper_proportion(std::uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lookaside;
 
   bench::banner("Fig. 8 + Fig. 9: DLV leakage vs. number of queried domains");
@@ -37,17 +37,25 @@ int main() {
                "enabled); leaked = distinct Case-2 domains observed at the\n"
                "DLV registry. Set LOOKASIDE_SCALE to cap N.\n";
 
+  bench::ObsSession obs_session(bench::parse_obs_args(argc, argv));
+
   const std::uint64_t max_n = bench::max_scale(1'000'000);
+  const std::vector<std::uint64_t> ladder = bench::n_ladder(max_n);
 
   metrics::Table table({"#Domains", "DLV queries", "Case-1", "Leaked (Fig. 8)",
                         "Leaked % (Fig. 9)", "Paper leaked %"});
   metrics::CsvWriter csv({"n", "dlv_queries", "case1", "leaked", "leaked_pct"});
 
-  for (const std::uint64_t n : bench::n_ladder(max_n)) {
+  std::uint64_t final_dlv_queries = 0;
+  for (const std::uint64_t n : ladder) {
     core::UniverseExperiment::Options options;
     options.universe_size = std::max<std::uint64_t>(n, 1'000'000);
+    // Trace only the largest run, so the exported metrics describe exactly
+    // the final table row instead of the whole ladder accumulated.
+    if (n == ladder.back()) options.tracer = obs_session.tracer();
     core::UniverseExperiment experiment(options);
     const core::LeakageReport report = experiment.run_topn(n);
+    if (n == ladder.back()) final_dlv_queries = report.dlv_queries;
 
     table.row()
         .cell(n)
@@ -76,5 +84,16 @@ int main() {
   std::cout << "\nPaper anchors: 84 leaked of top-100 (84%); 67,838 leaked of\n"
                "top-1M (~6.8%). The measured proportion should start near the\n"
                "first anchor and decay monotonically toward the second.\n";
+
+  obs_session.finish(std::cout);
+  if (obs_session.metrics_enabled()) {
+    // Cross-check: the metric stream and the leakage analyzer count the
+    // same queries through independent code paths.
+    std::cout << "[obs] upstream_queries{server=\"dlv\"} = "
+              << obs_session.registry().value("upstream_queries",
+                                              {{"server", "dlv"}})
+              << " (bench counted " << final_dlv_queries
+              << " DLV queries at N=" << ladder.back() << ")\n";
+  }
   return 0;
 }

@@ -17,7 +17,7 @@
 #include "metrics/csv.h"
 #include "metrics/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lookaside;
 
   bench::banner("Table 5 / Fig. 10: overhead of the TXT remedy");
@@ -26,8 +26,11 @@ int main() {
                "record yet (no suppression benefit). Set LOOKASIDE_SCALE to\n"
                "cap N.\n\n";
 
+  bench::ObsSession obs_session(bench::parse_obs_args(argc, argv));
+
   const std::uint64_t max_n =
       std::min<std::uint64_t>(bench::max_scale(100'000), 100'000);
+  const std::vector<std::uint64_t> ladder = bench::n_ladder(max_n);
 
   metrics::Table table({"#Domains", "Time base (s)", "Time ovh (s)", "Time %",
                         "MB base", "MB ovh", "MB %", "Queries base",
@@ -35,8 +38,11 @@ int main() {
   metrics::CsvWriter csv({"n", "time_base_s", "time_overhead_s", "mb_base",
                           "mb_overhead", "queries_base", "queries_overhead"});
 
-  for (const std::uint64_t n : bench::n_ladder(max_n)) {
+  for (const std::uint64_t n : ladder) {
     core::UniverseExperiment::Options options;
+    // Trace only the largest size; the stream then covers the baseline run
+    // followed by the remedy run of that row.
+    if (n == ladder.back()) options.tracer = obs_session.tracer();
     const core::OverheadRow row =
         core::measure_overhead(n, core::RemedyMode::kTxt, options);
     table.row()
@@ -69,5 +75,7 @@ int main() {
 
   std::cout << "\nPaper's Table 5: time ratios 18.68%->29.20%, traffic\n"
                "6.67%->9.83%, queries 10.79%->19.66% from 100 to 100k.\n";
+
+  obs_session.finish(std::cout);
   return 0;
 }

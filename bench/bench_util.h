@@ -4,13 +4,27 @@
 // simulator and (b) the paper's reported numbers next to it, so shape
 // comparisons are one glance. Scale can be capped for quick runs via the
 // LOOKASIDE_SCALE environment variable (e.g. LOOKASIDE_SCALE=10000).
+//
+// Observability flags (parse_obs_args / ObsSession):
+//   --trace-out=t.jsonl    write the structured event stream as JSONL
+//   --metrics-out=m.txt    export metrics (.json/.csv by extension,
+//                          Prometheus text otherwise)
+//   --ring-buffer[=N]      keep the last N events in memory (bounded)
+//   --summary              print the aggregated per-server table at the end
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/metrics_sink.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
 
 namespace lookaside::bench {
 
@@ -34,5 +48,107 @@ inline std::vector<std::uint64_t> n_ladder(std::uint64_t max) {
   if (out.empty()) out.push_back(max);
   return out;
 }
+
+/// Observability options shared by the bench drivers.
+struct ObsArgs {
+  std::string trace_out;        // --trace-out=<path>
+  std::string metrics_out;      // --metrics-out=<path>
+  std::size_t ring_capacity = 0;  // --ring-buffer[=N]; 0 = off
+  bool summary = false;         // --summary
+
+  [[nodiscard]] bool any() const {
+    return !trace_out.empty() || !metrics_out.empty() || ring_capacity > 0 ||
+           summary;
+  }
+};
+
+/// Parses the observability flags; unknown arguments are ignored so each
+/// bench stays free to define its own.
+inline ObsArgs parse_obs_args(int argc, char** argv) {
+  ObsArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      out.trace_out = std::string(arg.substr(12));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      out.metrics_out = std::string(arg.substr(14));
+    } else if (arg == "--ring-buffer") {
+      out.ring_capacity = std::size_t{1} << 16;
+    } else if (arg.rfind("--ring-buffer=", 0) == 0) {
+      const std::uint64_t n =
+          std::strtoull(std::string(arg.substr(14)).c_str(), nullptr, 10);
+      out.ring_capacity = n == 0 ? std::size_t{1} << 16
+                                 : static_cast<std::size_t>(n);
+    } else if (arg == "--summary") {
+      out.summary = true;
+    }
+  }
+  return out;
+}
+
+/// Owns the tracer + sinks a bench attaches to its experiment. With no
+/// flags given, `tracer()` is nullptr and the run is unobserved (no cost).
+class ObsSession {
+ public:
+  explicit ObsSession(ObsArgs args) : args_(std::move(args)) {
+    if (!args_.trace_out.empty()) {
+      jsonl_ = std::make_shared<obs::JsonlFileSink>(args_.trace_out);
+      tracer_.add_sink(jsonl_);
+    }
+    if (!args_.metrics_out.empty()) {
+      metrics_sink_ = std::make_shared<obs::MetricsSink>(registry_);
+      tracer_.add_sink(metrics_sink_);
+    }
+    if (args_.ring_capacity > 0) {
+      ring_ = std::make_shared<obs::RingBufferSink>(args_.ring_capacity);
+      tracer_.add_sink(ring_);
+    }
+    if (args_.summary) {
+      summary_ = std::make_shared<obs::SummarySink>();
+      tracer_.add_sink(summary_);
+    }
+  }
+
+  /// Tracer to hand to the experiment; nullptr when no sinks were asked for.
+  [[nodiscard]] obs::Tracer* tracer() {
+    return tracer_.has_sinks() ? &tracer_ : nullptr;
+  }
+
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] bool metrics_enabled() const { return metrics_sink_ != nullptr; }
+  [[nodiscard]] obs::RingBufferSink* ring() { return ring_.get(); }
+
+  /// Flushes sinks, writes the metrics file and reports what was produced.
+  void finish(std::ostream& out) {
+    if (!tracer_.has_sinks()) return;
+    tracer_.flush();
+    out << "\n";
+    if (jsonl_ != nullptr) {
+      out << "[obs] trace: " << args_.trace_out << " ("
+          << jsonl_->events_written() << " events"
+          << (jsonl_->ok() ? "" : "; WRITE FAILED") << ")\n";
+    }
+    if (!args_.metrics_out.empty()) {
+      out << "[obs] metrics: " << args_.metrics_out
+          << (registry_.write_file(args_.metrics_out) ? "" : " (WRITE FAILED)")
+          << "\n";
+    }
+    if (ring_ != nullptr) {
+      out << "[obs] ring buffer: " << ring_->size() << " buffered, "
+          << ring_->dropped() << " overwritten of " << ring_->total_seen()
+          << " seen\n";
+    }
+    if (summary_ != nullptr) summary_->print(out);
+  }
+
+ private:
+  ObsArgs args_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry registry_;
+  std::shared_ptr<obs::JsonlFileSink> jsonl_;
+  std::shared_ptr<obs::MetricsSink> metrics_sink_;
+  std::shared_ptr<obs::RingBufferSink> ring_;
+  std::shared_ptr<obs::SummarySink> summary_;
+};
 
 }  // namespace lookaside::bench

@@ -1,0 +1,77 @@
+// trace_inspect: reconstructs resolution span timelines from a JSONL trace.
+//
+// Usage:
+//   trace_inspect <trace.jsonl>            # overview of every span
+//   trace_inspect <trace.jsonl> <domain>   # full timeline for one domain
+//
+// Produce a trace with any instrumented bench, e.g.:
+//   LOOKASIDE_SCALE=10000 bench_fig08_09_leakage --trace-out=t.jsonl
+//
+// For each matching span the tool prints every upstream hop (server, qname,
+// rcode, bytes, round trip), the resolver-internal annotations (cache hits,
+// NSEC suppressions, DLV lookups), the per-phase latency breakdown, and the
+// consistency check that the hop round trips sum to the resolution's
+// reported response time.
+#include <iostream>
+#include <string>
+
+#include "metrics/table.h"
+#include "obs/span_timeline.h"
+#include "obs/trace_reader.h"
+
+int main(int argc, char** argv) {
+  using namespace lookaside;
+
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: trace_inspect <trace.jsonl> [domain]\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+
+  std::size_t malformed = 0;
+  const std::vector<obs::Event> events =
+      obs::read_jsonl_file(path, &malformed);
+  if (events.empty()) {
+    std::cerr << "trace_inspect: no events read from " << path << "\n";
+    return 1;
+  }
+  const obs::SpanTimeline timeline = obs::SpanTimeline::from_events(events);
+
+  std::cout << path << ": " << events.size() << " events, "
+            << timeline.spans().size() << " resolution spans";
+  if (malformed > 0) std::cout << ", " << malformed << " malformed lines";
+  std::cout << "\n\n";
+
+  if (argc == 3) {
+    const auto matches = timeline.find_by_name(argv[2]);
+    if (matches.empty()) {
+      std::cerr << "trace_inspect: no span for domain " << argv[2] << "\n";
+      return 1;
+    }
+    for (const obs::ResolutionSpan* span : matches) {
+      obs::SpanTimeline::print(std::cout, *span);
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  // No domain given: one overview row per span.
+  metrics::Table table(
+      {"Span", "Domain", "Hops", "Latency (ms)", "Status", "DLV hops"});
+  for (const obs::ResolutionSpan& span : timeline.spans()) {
+    std::uint64_t dlv_hops = 0;
+    for (const obs::SpanHop& hop : span.hops) {
+      if (obs::server_class(hop.server) == "dlv") ++dlv_hops;
+    }
+    table.row()
+        .cell(span.span_id)
+        .cell(span.name)
+        .cell(span.hops.size())
+        .cell(static_cast<double>(span.reported_latency_us) / 1000.0, 2)
+        .cell(span.status.empty() ? "?" : span.status)
+        .cell(dlv_hops);
+  }
+  table.print(std::cout);
+  std::cout << "\nRun with a domain argument for the full hop timeline.\n";
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "crypto/rng.h"
+#include "obs/tracer.h"
 #include "workload/secured45.h"
 
 namespace lookaside::core {
@@ -54,6 +55,13 @@ UniverseExperiment::UniverseExperiment(Options options)
   resolver_->set_dlv_trust_anchor(world_->registry().trust_anchor());
   stub_ = std::make_unique<workload::StubClient>(network_, *resolver_,
                                                  options_.stub);
+
+  if (options_.tracer != nullptr) {
+    options_.tracer->attach_clock(clock_);
+    options_.tracer->attach_network(network_);
+    world_->set_tracer(options_.tracer);
+    resolver_->set_tracer(options_.tracer);
+  }
 }
 
 void UniverseExperiment::visit_ranks(const std::vector<std::uint64_t>& ranks) {

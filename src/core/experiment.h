@@ -12,6 +12,10 @@
 #include "workload/stub.h"
 #include "workload/universe_world.h"
 
+namespace lookaside::obs {
+class Tracer;
+}
+
 namespace lookaside::core {
 
 /// The remedy under test (paper §6.2).
@@ -50,6 +54,9 @@ class UniverseExperiment {
     workload::StubOptions stub;
     double ns_fetch_probability = 0.30;  // Table 4's NS query band
     std::uint32_t dlv_negative_ttl = 3600;
+    /// Optional structured tracer; when set it is attached to the clock,
+    /// the network, the world's servers and the resolver.
+    obs::Tracer* tracer = nullptr;
   };
 
   explicit UniverseExperiment(Options options);

@@ -1,6 +1,7 @@
 #include "dlv/registry.h"
 
 #include "crypto/sha256.h"
+#include "obs/tracer.h"
 
 namespace lookaside::dlv {
 
@@ -99,6 +100,18 @@ dns::Message DlvRegistry::handle_query(const dns::Message& query) {
       }
       ++total_queries_;
       if (observation.had_record) ++queries_with_record_;
+      if (tracer_ != nullptr) {
+        obs::Event event;
+        event.time_us = observation.time_us;
+        event.kind = obs::EventKind::kDlvObservation;
+        event.name = observation.domain.is_root()
+                         ? observation.query_name.to_text()
+                         : observation.domain.to_text();
+        event.server = endpoint_id();
+        event.qtype = observation.qtype;
+        event.detail = observation.had_record ? "1" : "2";
+        tracer_->emit(std::move(event));
+      }
       if (observer_) observer_(observation);
       if (store_observations_) observations_.push_back(std::move(observation));
     }

@@ -22,6 +22,10 @@
 #include "zone/keys.h"
 #include "zone/signed_zone.h"
 
+namespace lookaside::obs {
+class Tracer;
+}
+
 namespace lookaside::dlv {
 
 /// RFC 5074 name mapping: <domain>.<apex> ("example.com.dlv.isc.org").
@@ -114,6 +118,12 @@ class DlvRegistry : public sim::Endpoint {
   /// Needs a clock to timestamp observations; optional.
   void attach_clock(const sim::SimClock& clock) { clock_ = &clock; }
 
+  /// Attaches a structured tracer (nullable). Separate from set_observer —
+  /// the analyzer's streaming hook and the trace stream coexist. Every
+  /// observation is emitted as a kDlvObservation event tagged Case-1
+  /// (record deposited) or Case-2 (leak).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   Options options_;
   std::optional<zone::ZoneKeys> keys_;  // survives remove_all_records()
@@ -126,6 +136,7 @@ class DlvRegistry : public sim::Endpoint {
   std::uint64_t queries_with_record_ = 0;
   std::size_t record_count_ = 0;
   const sim::SimClock* clock_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lookaside::dlv

@@ -29,10 +29,21 @@ std::uint64_t CounterSet::total_with_prefix(std::string_view prefix) const {
 
 CounterSet CounterSet::delta_since(const CounterSet& other) const {
   CounterSet out;
+  std::uint64_t underflow = 0;
   for (const auto& [name, value] : counters_) {
     const std::uint64_t base = other.value(name);
-    out.counters_[name] = value >= base ? value - base : 0;
+    if (value >= base) {
+      out.counters_[name] = value - base;
+    } else {
+      out.counters_[name] = 0;
+      underflow += base - value;
+    }
   }
+  // Counters present only in the baseline underflow by their full value.
+  for (const auto& [name, base] : other.counters_) {
+    if (counters_.find(name) == counters_.end()) underflow += base;
+  }
+  if (underflow > 0) out.counters_[kUnderflowCounter] = underflow;
   return out;
 }
 

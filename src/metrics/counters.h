@@ -26,9 +26,15 @@ class CounterSet {
   [[nodiscard]] std::uint64_t total_with_prefix(std::string_view prefix) const;
 
   /// Returns `*this - other`, counter by counter (missing counters are 0).
-  /// Counters that would go negative are clamped to zero; deltas of
-  /// monotonically increasing counters never hit the clamp in practice.
+  /// Counters that would go negative are clamped to zero, and the clamped
+  /// magnitude is accumulated into a dedicated "counterset.underflow"
+  /// counter in the result — deltas of monotonically increasing counters
+  /// never underflow, so a non-zero value flags non-monotonic usage
+  /// instead of hiding it.
   [[nodiscard]] CounterSet delta_since(const CounterSet& other) const;
+
+  /// Name of the sentinel counter delta_since() emits on underflow.
+  static constexpr const char* kUnderflowCounter = "counterset.underflow";
 
   /// Merges `other` into this set by addition.
   void merge(const CounterSet& other);

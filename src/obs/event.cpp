@@ -1,0 +1,94 @@
+#include "obs/event.h"
+
+#include <array>
+#include <cstdio>
+
+namespace lookaside::obs {
+
+namespace {
+
+constexpr std::array<const char*, kEventKindCount> kKindNames = {
+    "stub_query",  "upstream_query",  "response",
+    "cache_hit",   "nsec_suppression", "validation",
+    "dlv_lookup",  "dlv_observation", "authority",
+};
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kKindNames.size() ? kKindNames[index] : "?";
+}
+
+bool event_kind_from_name(std::string_view name, EventKind* out) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (name == kKindNames[i]) {
+      *out = static_cast<EventKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const Event& event) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"time_us\":";
+  out += std::to_string(event.time_us);
+  out += ",\"span\":";
+  out += std::to_string(event.span_id);
+  out += ",\"kind\":\"";
+  out += event_kind_name(event.kind);
+  out += "\",\"name\":\"";
+  out += json_escape(event.name);
+  out += "\",\"server\":\"";
+  out += json_escape(event.server);
+  out += "\",\"qtype\":";
+  out += std::to_string(static_cast<std::uint16_t>(event.qtype));
+  out += ",\"rcode\":";
+  out += std::to_string(static_cast<int>(event.rcode));
+  out += ",\"bytes\":";
+  out += std::to_string(event.bytes);
+  out += ",\"latency_us\":";
+  out += std::to_string(event.latency_us);
+  out += ",\"detail\":\"";
+  out += json_escape(event.detail);
+  out += "\"}";
+  return out;
+}
+
+std::string server_class(std::string_view endpoint_id) {
+  if (endpoint_id == "recursive") return "recursive";
+  if (endpoint_id == "root") return "root";
+  if (endpoint_id == "stub") return "stub";
+  if (endpoint_id == "arpa") return "arpa";
+  if (endpoint_id.rfind("tld:", 0) == 0) return "tld";
+  if (endpoint_id.rfind("dlv:", 0) == 0) return "dlv";
+  if (endpoint_id.rfind("auth:", 0) == 0) return "sld";
+  return "other";
+}
+
+}  // namespace lookaside::obs

@@ -1,0 +1,73 @@
+// Structured observability events — the shared vocabulary for everything the
+// simulator can observe about one resolution.
+//
+// The paper's entire result is an observation problem: the DLV operator's
+// log is the adversary's view, and every figure is derived from which
+// queries crossed which hop, when, and how many bytes they carried. An
+// Event is one such crossing (or resolver-internal decision), tagged with
+// the simulation timestamp and the id of the resolution span it belongs to,
+// so the adversary's view, the overhead tables and the latency breakdown
+// all come from one stream instead of ad-hoc per-layer structures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dns/rr_type.h"
+
+namespace lookaside::obs {
+
+/// What one event records. The dnstap-style capture kinds (stub_query,
+/// upstream_query, response) carry bytes and latency; the resolver-internal
+/// kinds (cache_hit, nsec_suppression, validation, dlv_lookup) carry a
+/// detail label; dlv_observation is the registry-side adversary view tagged
+/// Case-1/Case-2 at the source; authority is the server-side outcome count.
+enum class EventKind : std::uint8_t {
+  kStubQuery,        // a resolution started on behalf of a stub
+  kUpstreamQuery,    // recursive -> authoritative/DLV query packet
+  kResponse,         // response packet (upstream or stub-facing)
+  kCacheHit,         // positive or negative cache answered a fetch
+  kNsecSuppression,  // aggressive NSEC / negative cache saved a DLV query
+  kValidation,       // chain-of-trust outcome for one resolution
+  kDlvLookup,        // look-aside activity (query sent, found, suppressed)
+  kDlvObservation,   // what the DLV operator saw (Case-1 / Case-2)
+  kAuthority,        // authoritative-server outcome (answer/referral/...)
+};
+
+inline constexpr int kEventKindCount = 9;
+
+/// Stable lower-snake name ("upstream_query"); used in JSONL and tables.
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+/// Reverse mapping; returns false for unknown names.
+[[nodiscard]] bool event_kind_from_name(std::string_view name, EventKind* out);
+
+/// One observability event. Fields that do not apply to a kind stay at
+/// their defaults (empty string / zero) and are still serialized, keeping
+/// the JSONL schema flat and fixed.
+struct Event {
+  std::uint64_t time_us = 0;   // simulation timestamp
+  std::uint64_t span_id = 0;   // resolution span (0 = outside any span)
+  EventKind kind = EventKind::kStubQuery;
+  std::string name;            // qname / domain, dotted text
+  std::string server;          // endpoint id ("root", "tld:com", "dlv:...")
+  dns::RRType qtype = dns::RRType::kA;
+  dns::RCode rcode = dns::RCode::kNoError;
+  std::uint64_t bytes = 0;       // wire bytes of the packet (capture kinds)
+  std::uint64_t latency_us = 0;  // round trip (responses) / span duration
+  std::string detail;            // kind-specific label ("secure", "2", ...)
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Serializes `event` as one JSONL line (no trailing newline).
+[[nodiscard]] std::string to_jsonl(const Event& event);
+
+/// Coarse server classification from an endpoint id, used for per-phase
+/// latency grouping and metric labels: "root", "tld", "sld", "dlv",
+/// "recursive", "arpa", "stub" or "other".
+[[nodiscard]] std::string server_class(std::string_view endpoint_id);
+
+}  // namespace lookaside::obs

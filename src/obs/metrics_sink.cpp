@@ -1,0 +1,77 @@
+#include "obs/metrics_sink.h"
+
+namespace lookaside::obs {
+
+namespace {
+
+/// server_class, with the DLV zone's own infrastructure split out: a query
+/// for the apex itself (DNSKEY fetch for the trust anchor) is "dlv-apex",
+/// so server="dlv" counts exactly the queries the registry observes.
+std::string classify(const Event& event) {
+  std::string cls = server_class(event.server);
+  if (cls == "dlv" && event.server.size() > 4) {
+    const std::string apex_text =
+        event.server.substr(4).empty() ? "."
+                                       : event.server.substr(4) + ".";
+    if (event.name == apex_text) cls = "dlv-apex";
+  }
+  return cls;
+}
+
+}  // namespace
+
+void MetricsSink::on_event(const Event& event) {
+  MetricsRegistry& reg = *registry_;
+  switch (event.kind) {
+    case EventKind::kStubQuery:
+      reg.add("resolutions", {{"qtype", dns::rr_type_name(event.qtype)}});
+      break;
+    case EventKind::kUpstreamQuery: {
+      const std::string cls = classify(event);
+      reg.add("upstream_queries", {{"server", cls}});
+      reg.add("upstream_bytes", {{"server", cls}, {"dir", "query"}},
+              event.bytes);
+      break;
+    }
+    case EventKind::kResponse: {
+      const std::string cls = classify(event);
+      if (cls == "recursive") {
+        // Stub-facing response emitted by the resolver: the span summary.
+        reg.observe("resolution_latency_seconds", {},
+                    static_cast<double>(event.latency_us) / 1e6);
+        reg.add("resolutions_completed",
+                {{"status", event.detail},
+                 {"rcode", dns::rcode_name(event.rcode)}});
+      } else {
+        reg.add("upstream_bytes", {{"server", cls}, {"dir", "response"}},
+                event.bytes);
+        reg.add("upstream_responses",
+                {{"server", cls}, {"rcode", dns::rcode_name(event.rcode)}});
+        reg.observe("exchange_latency_seconds", {{"server", cls}},
+                    static_cast<double>(event.latency_us) / 1e6);
+      }
+      break;
+    }
+    case EventKind::kCacheHit:
+      reg.add("cache_hits", {{"kind", event.detail}});
+      break;
+    case EventKind::kNsecSuppression:
+      reg.add("nsec_suppressions", {{"kind", event.detail}});
+      break;
+    case EventKind::kValidation:
+      reg.add("validations", {{"status", event.detail}});
+      break;
+    case EventKind::kDlvLookup:
+      reg.add("dlv_lookups", {{"outcome", event.detail}});
+      break;
+    case EventKind::kDlvObservation:
+      reg.add("dlv_observations", {{"case", event.detail}});
+      break;
+    case EventKind::kAuthority:
+      reg.add("authority_outcomes",
+              {{"server", classify(event)}, {"outcome", event.detail}});
+      break;
+  }
+}
+
+}  // namespace lookaside::obs

@@ -1,0 +1,36 @@
+// MetricsSink: turns the event stream into registry instruments.
+//
+// The mapping is the contract between the trace and the exported metrics —
+// each paper figure reads from a small set of instruments (see DESIGN.md's
+// Observability section):
+//   upstream_queries{server=...}          per-hop query counts (Table 4/5)
+//   upstream_bytes{server=...,dir=...}    traffic volume (Table 5)
+//   exchange_latency_seconds{server=...}  per-hop RTT summary (Fig. 10)
+//   resolution_latency_seconds            stub-observed latency
+//   resolutions_completed{status=...}     validator outcomes (§2.2)
+//   dlv_observations{case="1"|"2"}        the leakage split (Fig. 8/9)
+//   cache_hits / nsec_suppressions        aggressive-NSEC effectiveness
+//   authority_outcomes{server=...,outcome=...}  answer/referral/NXDOMAIN mix
+// Queries for the DLV zone's own infrastructure (apex DNSKEY/SOA) are
+// labeled server="dlv-apex" so upstream_queries{server="dlv"} equals the
+// registry's observation count exactly.
+#pragma once
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_sink.h"
+
+namespace lookaside::obs {
+
+class MetricsSink : public TraceSink {
+ public:
+  explicit MetricsSink(MetricsRegistry& registry) : registry_(&registry) {}
+
+  void on_event(const Event& event) override;
+
+  [[nodiscard]] MetricsRegistry& registry() { return *registry_; }
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+}  // namespace lookaside::obs

@@ -1,0 +1,167 @@
+#include "obs/span_timeline.h"
+
+#include <ostream>
+
+namespace lookaside::obs {
+
+std::uint64_t ResolutionSpan::hop_latency_total_us() const {
+  std::uint64_t total = 0;
+  for (const SpanHop& hop : hops) total += hop.latency_us;
+  return total;
+}
+
+std::map<std::string, std::uint64_t> ResolutionSpan::phase_durations_us()
+    const {
+  std::map<std::string, std::uint64_t> out;
+  for (const SpanHop& hop : hops) {
+    out[server_class(hop.server)] += hop.latency_us;
+  }
+  return out;
+}
+
+ResolutionSpan* SpanTimeline::span_for(std::uint64_t span_id) {
+  if (span_id == 0) return nullptr;
+  const auto it = index_by_id_.find(span_id);
+  if (it == index_by_id_.end()) return nullptr;
+  return &spans_[it->second];
+}
+
+void SpanTimeline::add(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kStubQuery: {
+      ResolutionSpan span;
+      span.span_id = event.span_id;
+      span.name = event.name;
+      span.qtype = event.qtype;
+      span.start_us = event.time_us;
+      index_by_id_[event.span_id] = spans_.size();
+      spans_.push_back(std::move(span));
+      break;
+    }
+    case EventKind::kUpstreamQuery: {
+      ResolutionSpan* span = span_for(event.span_id);
+      if (span == nullptr) break;
+      SpanHop hop;
+      hop.time_us = event.time_us;
+      hop.server = event.server;
+      hop.name = event.name;
+      hop.qtype = event.qtype;
+      hop.query_bytes = event.bytes;
+      span->hops.push_back(std::move(hop));
+      break;
+    }
+    case EventKind::kResponse: {
+      ResolutionSpan* span = span_for(event.span_id);
+      if (span == nullptr) break;
+      if (server_class(event.server) == "recursive") {
+        // Stub-facing response: the span closes.
+        span->end_us = event.time_us;
+        span->reported_latency_us = event.latency_us;
+        span->rcode = event.rcode;
+        if (!event.detail.empty()) span->status = event.detail;
+        span->closed = true;
+        break;
+      }
+      // Match the most recent unanswered hop to this server. Exchanges are
+      // synchronous, so it is the innermost outstanding one.
+      for (auto it = span->hops.rbegin(); it != span->hops.rend(); ++it) {
+        if (!it->answered && it->server == event.server) {
+          it->answered = true;
+          it->response_bytes = event.bytes;
+          it->latency_us = event.latency_us;
+          it->rcode = event.rcode;
+          break;
+        }
+      }
+      break;
+    }
+    case EventKind::kValidation: {
+      ResolutionSpan* span = span_for(event.span_id);
+      if (span == nullptr) break;
+      span->status = event.detail;
+      span->annotations.push_back(event);
+      break;
+    }
+    case EventKind::kCacheHit:
+    case EventKind::kNsecSuppression:
+    case EventKind::kDlvLookup:
+    case EventKind::kDlvObservation: {
+      ResolutionSpan* span = span_for(event.span_id);
+      if (span != nullptr) span->annotations.push_back(event);
+      break;
+    }
+    case EventKind::kAuthority:
+      break;  // server-side aggregate; not part of the span tree
+  }
+}
+
+SpanTimeline SpanTimeline::from_events(const std::vector<Event>& events) {
+  SpanTimeline timeline;
+  for (const Event& event : events) timeline.add(event);
+  return timeline;
+}
+
+std::vector<const ResolutionSpan*> SpanTimeline::find_by_name(
+    std::string_view name) const {
+  std::string wanted(name);
+  if (wanted.empty() || wanted.back() != '.') wanted += '.';
+  std::vector<const ResolutionSpan*> out;
+  for (const ResolutionSpan& span : spans_) {
+    if (span.name == wanted) out.push_back(&span);
+  }
+  return out;
+}
+
+void SpanTimeline::print(std::ostream& out, const ResolutionSpan& span) {
+  out << "span " << span.span_id << ": " << span.name << " "
+      << dns::rr_type_name(span.qtype) << "  start=" << span.start_us
+      << "us";
+  if (span.closed) {
+    out << "  duration=" << span.reported_latency_us << "us  rcode="
+        << dns::rcode_name(span.rcode);
+    if (!span.status.empty()) out << "  status=" << span.status;
+  } else {
+    out << "  (unclosed)";
+  }
+  out << "\n";
+
+  for (const SpanHop& hop : span.hops) {
+    out << "  +" << (hop.time_us - span.start_us) << "us  "
+        << server_class(hop.server) << " (" << hop.server << ")  "
+        << hop.name << " " << dns::rr_type_name(hop.qtype) << "  q="
+        << hop.query_bytes << "B";
+    if (hop.answered) {
+      out << " r=" << hop.response_bytes << "B  rtt=" << hop.latency_us
+          << "us  " << dns::rcode_name(hop.rcode);
+    } else {
+      out << "  (no response)";
+    }
+    out << "\n";
+  }
+
+  for (const Event& note : span.annotations) {
+    out << "  *  " << event_kind_name(note.kind);
+    if (!note.detail.empty()) out << " [" << note.detail << "]";
+    if (!note.name.empty()) out << " " << note.name;
+    out << "\n";
+  }
+
+  const auto phases = span.phase_durations_us();
+  if (!phases.empty()) {
+    out << "  per-phase latency:";
+    for (const auto& [cls, us] : phases) {
+      out << "  " << cls << "=" << us << "us";
+    }
+    out << "\n";
+  }
+  if (span.closed) {
+    const std::uint64_t hop_sum = span.hop_latency_total_us();
+    out << "  hop latency sum = " << hop_sum << "us, reported = "
+        << span.reported_latency_us << "us"
+        << (hop_sum == span.reported_latency_us ? "  [consistent]"
+                                                : "  [MISMATCH]")
+        << "\n";
+  }
+}
+
+}  // namespace lookaside::obs

@@ -1,0 +1,88 @@
+// SpanTimeline: reconstructs per-resolution span trees from the flat event
+// stream.
+//
+// A resolution span opens with a stub_query event, collects every upstream
+// hop (upstream_query + response pair against root/TLD/SLD/DLV servers) and
+// resolver-internal annotation (cache hits, NSEC suppressions, DLV lookups,
+// validation outcome), and closes with the stub-facing response event that
+// carries the resolution's total latency. Because the simulated clock only
+// advances inside network exchanges, the per-hop round trips of a span sum
+// exactly to its reported duration — the invariant examples/trace_inspect
+// verifies when printing a timeline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace lookaside::obs {
+
+/// One upstream exchange inside a resolution span.
+struct SpanHop {
+  std::uint64_t time_us = 0;  // query departure time
+  std::string server;         // endpoint id
+  std::string name;           // qname text
+  dns::RRType qtype = dns::RRType::kA;
+  dns::RCode rcode = dns::RCode::kNoError;
+  std::uint64_t query_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t latency_us = 0;  // round trip
+  bool answered = false;         // response seen (false = timeout)
+};
+
+/// One reconstructed resolution.
+struct ResolutionSpan {
+  std::uint64_t span_id = 0;
+  std::string name;  // the stub's qname
+  dns::RRType qtype = dns::RRType::kA;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  std::uint64_t reported_latency_us = 0;  // from the stub-facing response
+  std::string status;                     // validation outcome
+  dns::RCode rcode = dns::RCode::kNoError;
+  bool closed = false;
+  std::vector<SpanHop> hops;
+  std::vector<Event> annotations;  // cache/nsec/dlv/validation events
+
+  /// Sum of hop round trips; equals reported_latency_us for closed spans.
+  [[nodiscard]] std::uint64_t hop_latency_total_us() const;
+
+  /// Latency grouped by server class ("root", "tld", "sld", "dlv", ...).
+  [[nodiscard]] std::map<std::string, std::uint64_t> phase_durations_us()
+      const;
+};
+
+/// Streaming span-tree builder. Feed events in emission order (the JSONL
+/// file and the ring buffer both preserve it).
+class SpanTimeline {
+ public:
+  void add(const Event& event);
+
+  [[nodiscard]] static SpanTimeline from_events(
+      const std::vector<Event>& events);
+
+  [[nodiscard]] const std::vector<ResolutionSpan>& spans() const {
+    return spans_;
+  }
+
+  /// Spans whose qname matches `name` (with or without trailing dot).
+  [[nodiscard]] std::vector<const ResolutionSpan*> find_by_name(
+      std::string_view name) const;
+
+  /// Pretty-prints one span as an indented hop timeline with the per-phase
+  /// breakdown and the sum-vs-reported latency check.
+  static void print(std::ostream& out, const ResolutionSpan& span);
+
+ private:
+  std::vector<ResolutionSpan> spans_;
+  std::map<std::uint64_t, std::size_t> index_by_id_;
+
+  ResolutionSpan* span_for(std::uint64_t span_id);
+};
+
+}  // namespace lookaside::obs

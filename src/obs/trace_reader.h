@@ -1,0 +1,31 @@
+// JSONL trace reader: the inverse of to_jsonl(), used by
+// examples/trace_inspect and the round-trip tests.
+//
+// The parser accepts flat JSON objects with string and unsigned-integer
+// values — exactly the schema JsonlFileSink writes — and tolerates unknown
+// keys so the schema can grow without breaking old inspectors.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace lookaside::obs {
+
+/// Parses one JSONL line. Returns false on malformed input or an unknown
+/// event kind.
+[[nodiscard]] bool parse_jsonl_event(std::string_view line, Event* out);
+
+/// Reads every well-formed event line from `in`; malformed lines are
+/// skipped and counted into `*malformed` when provided.
+[[nodiscard]] std::vector<Event> read_jsonl_events(
+    std::istream& in, std::size_t* malformed = nullptr);
+
+/// Convenience: opens `path` and reads it. Empty result on open failure.
+[[nodiscard]] std::vector<Event> read_jsonl_file(
+    const std::string& path, std::size_t* malformed = nullptr);
+
+}  // namespace lookaside::obs

@@ -1,0 +1,135 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "metrics/table.h"
+
+namespace lookaside::obs {
+
+// ---------------------------------------------------------------------------
+// RingBufferSink
+// ---------------------------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void RingBufferSink::on_event(const Event& event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[total_ % capacity_] = event;
+  }
+  ++total_;
+}
+
+std::vector<Event> RingBufferSink::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t head = total_ % capacity_;  // oldest element
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+std::size_t RingBufferSink::size() const { return ring_.size(); }
+
+std::uint64_t RingBufferSink::dropped() const {
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void RingBufferSink::clear() {
+  ring_.clear();
+  total_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// JsonlFileSink
+// ---------------------------------------------------------------------------
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {}
+
+void JsonlFileSink::on_event(const Event& event) {
+  if (!out_.good()) return;
+  out_ << to_jsonl(event) << '\n';
+  ++written_;
+}
+
+void JsonlFileSink::flush() { out_.flush(); }
+
+// ---------------------------------------------------------------------------
+// SummarySink
+// ---------------------------------------------------------------------------
+
+void SummarySink::on_event(const Event& event) {
+  ++kind_counts_[static_cast<std::size_t>(event.kind)];
+  switch (event.kind) {
+    case EventKind::kUpstreamQuery: {
+      ServerStats& stats = per_server_[server_class(event.server)];
+      ++stats.queries;
+      stats.query_bytes += event.bytes;
+      break;
+    }
+    case EventKind::kResponse: {
+      const std::string cls = server_class(event.server);
+      if (cls == "recursive") break;  // stub-facing; not an upstream hop
+      ServerStats& stats = per_server_[cls];
+      stats.response_bytes += event.bytes;
+      stats.rtt_ms.add(static_cast<double>(event.latency_us) / 1000.0);
+      break;
+    }
+    case EventKind::kValidation:
+      ++validations_[event.detail];
+      break;
+    default:
+      break;
+  }
+}
+
+std::uint64_t SummarySink::count(EventKind kind) const {
+  return kind_counts_[static_cast<std::size_t>(kind)];
+}
+
+void SummarySink::print(std::ostream& out) const {
+  out << "\nPer-server traffic (from trace events):\n";
+  metrics::Table servers(
+      {"Server", "Queries", "Query bytes", "Response bytes", "Mean RTT (ms)"});
+  for (const auto& [cls, stats] : per_server_) {
+    servers.row()
+        .cell(cls)
+        .cell(stats.queries)
+        .cell(stats.query_bytes)
+        .cell(stats.response_bytes)
+        .cell(stats.rtt_ms.mean(), 1);
+  }
+  servers.print(out);
+
+  out << "\nEvent kinds:\n";
+  metrics::Table kinds({"Kind", "Count"});
+  for (int i = 0; i < kEventKindCount; ++i) {
+    if (kind_counts_[static_cast<std::size_t>(i)] == 0) continue;
+    kinds.row()
+        .cell(event_kind_name(static_cast<EventKind>(i)))
+        .cell(kind_counts_[static_cast<std::size_t>(i)]);
+  }
+  kinds.print(out);
+
+  if (!validations_.empty()) {
+    out << "\nValidation outcomes:\n";
+    metrics::Table statuses({"Status", "Resolutions"});
+    for (const auto& [status, count] : validations_) {
+      statuses.row().cell(status).cell(count);
+    }
+    statuses.print(out);
+  }
+}
+
+}  // namespace lookaside::obs

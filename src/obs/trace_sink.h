@@ -1,0 +1,107 @@
+// Trace sinks: where the event stream goes.
+//
+// Three consumers cover the repository's needs:
+//   RingBufferSink  — bounded in-memory buffer, safe at million-domain
+//                     scale (old events are overwritten, never reallocated);
+//   JsonlFileSink   — one JSON object per line, the machine-readable export
+//                     consumed by examples/trace_inspect;
+//   SummarySink     — running aggregation printed as a paper-style table
+//                     (per-server query/byte/latency mix, event kind counts).
+// MetricsSink (metrics_sink.h) is the fourth, feeding a MetricsRegistry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "obs/event.h"
+
+namespace lookaside::obs {
+
+/// Receives every emitted event. Implementations must tolerate events of
+/// every kind; unknown-to-them kinds are simply ignored.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void on_event(const Event& event) = 0;
+
+  /// Flushes buffered output (file sinks); default is a no-op.
+  virtual void flush() {}
+};
+
+/// Bounded ring buffer. Capacity is fixed at construction; once full, the
+/// oldest event is overwritten and `dropped()` counts the overwrites.
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1 << 16);
+
+  void on_event(const Event& event) override;
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events overwritten because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Events ever offered to the sink.
+  [[nodiscard]] std::uint64_t total_seen() const { return total_; }
+
+  void clear();
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+};
+
+/// Writes one JSONL line per event. `ok()` reports whether the file opened
+/// (and stayed) writable; a failed sink swallows events silently so a bad
+/// path never aborts a long run.
+class JsonlFileSink : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+
+  void on_event(const Event& event) override;
+  void flush() override;
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+  [[nodiscard]] std::uint64_t events_written() const { return written_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t written_ = 0;
+};
+
+/// Aggregates the stream into the two tables a paper reader wants: the
+/// per-server-class query/byte/latency mix (Table 4 / Table 5 shape) and
+/// the event kind counts.
+class SummarySink : public TraceSink {
+ public:
+  void on_event(const Event& event) override;
+
+  /// Prints both tables.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::uint64_t count(EventKind kind) const;
+
+ private:
+  struct ServerStats {
+    std::uint64_t queries = 0;
+    std::uint64_t query_bytes = 0;
+    std::uint64_t response_bytes = 0;
+    metrics::Histogram rtt_ms;
+  };
+
+  std::array<std::uint64_t, kEventKindCount> kind_counts_{};
+  std::map<std::string, ServerStats> per_server_;
+  std::map<std::string, std::uint64_t> validations_;
+};
+
+}  // namespace lookaside::obs

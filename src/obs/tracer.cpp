@@ -1,0 +1,82 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+
+#include "sim/network.h"
+
+namespace lookaside::obs {
+
+void Tracer::add_sink(std::shared_ptr<TraceSink> sink) {
+  if (sink != nullptr) sinks_.push_back(std::move(sink));
+}
+
+void Tracer::attach_network(sim::Network& network, std::string resolver_id) {
+  network.add_observer(
+      [this, resolver_id = std::move(resolver_id)](
+          const sim::PacketRecord& packet) {
+        if (packet.is_query) {
+          // Only the recursive resolver's outbound queries are "upstream";
+          // stub-side packets are traced by the resolver itself.
+          if (packet.from != resolver_id) return;
+          Event event;
+          event.kind = EventKind::kUpstreamQuery;
+          event.time_us = packet.time_us;
+          event.span_id = current_span();
+          if (packet.has_question) {
+            event.name = packet.qname.to_text();
+            event.qtype = packet.qtype;
+          }
+          event.server = packet.to;
+          event.bytes = packet.bytes;
+          emit(std::move(event));
+        } else {
+          if (packet.to != resolver_id) return;
+          Event event;
+          event.kind = EventKind::kResponse;
+          event.time_us = packet.time_us;
+          event.span_id = current_span();
+          if (packet.has_question) {
+            event.name = packet.qname.to_text();
+            event.qtype = packet.qtype;
+          }
+          event.server = packet.from;
+          event.bytes = packet.bytes;
+          event.rcode = packet.rcode;
+          event.latency_us = packet.rtt_us;
+          emit(std::move(event));
+        }
+      });
+}
+
+std::uint64_t Tracer::begin_span() {
+  const std::uint64_t id = next_span_++;
+  span_stack_.push_back(id);
+  return id;
+}
+
+void Tracer::end_span(std::uint64_t span_id) {
+  // Normal case: the span being ended is the innermost one.
+  if (!span_stack_.empty() && span_stack_.back() == span_id) {
+    span_stack_.pop_back();
+    return;
+  }
+  span_stack_.erase(
+      std::remove(span_stack_.begin(), span_stack_.end(), span_id),
+      span_stack_.end());
+}
+
+void Tracer::emit(Event event) {
+  if (sinks_.empty()) return;
+  if (event.time_us == 0) event.time_us = now_us();
+  if (event.span_id == 0) event.span_id = current_span();
+  ++emitted_;
+  for (const std::shared_ptr<TraceSink>& sink : sinks_) {
+    sink->on_event(event);
+  }
+}
+
+void Tracer::flush() {
+  for (const std::shared_ptr<TraceSink>& sink : sinks_) sink->flush();
+}
+
+}  // namespace lookaside::obs

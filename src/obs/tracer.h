@@ -1,0 +1,74 @@
+// The Tracer: event emission front-end threaded through the stack.
+//
+// Layers (resolver, DLV registry, zone authorities) hold a nullable
+// Tracer*; a null tracer costs one branch per instrumentation point, so
+// un-instrumented runs pay nothing. The tracer stamps events with the
+// simulation clock, tracks the current resolution span, fans events out to
+// every attached sink, and can bridge a sim::Network's packet stream into
+// the event model (upstream_query/response events with byte and RTT
+// accounting taken from the network's own records — one code path, so the
+// trace can never disagree with the counters).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.h"
+#include "sim/clock.h"
+
+namespace lookaside::sim {
+class Network;
+}
+
+namespace lookaside::obs {
+
+class Tracer {
+ public:
+  /// Adds a sink; every subsequent event is delivered to it.
+  void add_sink(std::shared_ptr<TraceSink> sink);
+
+  /// Installs the simulation clock used to stamp events whose time is 0.
+  void attach_clock(const sim::SimClock& clock) { clock_ = &clock; }
+
+  /// Installs a packet observer on `network` that converts upstream
+  /// exchanges into kUpstreamQuery / kResponse events. Packets on the
+  /// stub side of `resolver_id` are skipped — the resolver emits richer
+  /// stub-level events itself.
+  void attach_network(sim::Network& network,
+                      std::string resolver_id = "recursive");
+
+  /// Opens a new resolution span and makes it current. Spans nest (a
+  /// stack), though the synchronous resolver only ever holds one.
+  std::uint64_t begin_span();
+
+  /// Closes `span_id`, restoring the previous current span.
+  void end_span(std::uint64_t span_id);
+
+  [[nodiscard]] std::uint64_t current_span() const {
+    return span_stack_.empty() ? 0 : span_stack_.back();
+  }
+
+  [[nodiscard]] std::uint64_t now_us() const {
+    return clock_ == nullptr ? 0 : clock_->now_us();
+  }
+
+  /// Delivers `event` to every sink. A zero time_us is stamped with the
+  /// attached clock; a zero span_id inherits the current span.
+  void emit(Event event);
+
+  void flush();
+
+  [[nodiscard]] bool has_sinks() const { return !sinks_.empty(); }
+  [[nodiscard]] std::uint64_t events_emitted() const { return emitted_; }
+
+ private:
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+  const sim::SimClock* clock_ = nullptr;
+  std::vector<std::uint64_t> span_stack_;
+  std::uint64_t next_span_ = 1;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace lookaside::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
+
 namespace lookaside::resolver {
 
 namespace {
@@ -49,6 +51,20 @@ RecursiveResolver::RecursiveResolver(sim::Network& network,
       config_(std::move(config)),
       cache_(network.clock()),
       validator_(network.clock()) {}
+
+void RecursiveResolver::trace_event(obs::EventKind kind,
+                                    const dns::Name& name, dns::RRType qtype,
+                                    std::string detail,
+                                    std::string server) const {
+  if (tracer_ == nullptr) return;
+  obs::Event event;
+  event.kind = kind;
+  event.name = name.to_text();
+  event.qtype = qtype;
+  event.detail = std::move(detail);
+  event.server = std::move(server);
+  tracer_->emit(std::move(event));
+}
 
 bool RecursiveResolver::ns_fetch_coin(const dns::Name& zone) const {
   return config_.ns_fetch_probability > 0.0 &&
@@ -98,7 +114,12 @@ RecursiveResolver::Fetched RecursiveResolver::fetch(const dns::Name& qname,
   if (depth > kMaxFetchDepth) return Fetched{};
 
   Fetched cached = fetch_from_cache(qname, qtype);
-  if (cached.kind != Fetched::Kind::kFail) return cached;
+  if (cached.kind != Fetched::Kind::kFail) {
+    trace_event(obs::EventKind::kCacheHit, qname, qtype,
+                cached.kind == Fetched::Kind::kAnswer ? "positive"
+                                                      : "negative");
+    return cached;
+  }
 
   // DS is served by the parent side of a cut; route accordingly.
   const dns::Name routing_name =
@@ -525,6 +546,9 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
         NegativeEntry::kNone) {
       result.dlv_suppressed_by_nsec = true;
       stats_.add("dlv.suppressed.negative");
+      trace_event(obs::EventKind::kNsecSuppression, candidate,
+                  dns::RRType::kDlv, "negative-cache",
+                  registry->endpoint_id());
       continue;
     }
     if (config_.aggressive_negative_caching &&
@@ -532,6 +556,8 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
             NsecCoverage::kNoProof) {
       result.dlv_suppressed_by_nsec = true;
       stats_.add("dlv.suppressed.nsec");
+      trace_event(obs::EventKind::kNsecSuppression, candidate,
+                  dns::RRType::kDlv, "nsec", registry->endpoint_id());
       continue;
     }
 
@@ -543,6 +569,9 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
     result.dlv_used = true;
     result.dlv_query_names.push_back(candidate);
     stats_.add("dlv.queries");
+    trace_event(obs::EventKind::kDlvLookup, candidate, dns::RRType::kDlv,
+                response.has_value() ? "query" : "timeout",
+                registry->endpoint_id());
     if (!response.has_value()) continue;  // registry outage (§8.4)
 
     GroupedSection answer = group_section(response->answers);
@@ -566,6 +595,8 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
       outcome.ds = *ds;
       outcome.matched_domain = candidate_domain;
       stats_.add("dlv.found");
+      trace_event(obs::EventKind::kDlvLookup, candidate, dns::RRType::kDlv,
+                  "found", registry->endpoint_id());
       return outcome;
     }
 
@@ -606,6 +637,14 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
                                          dns::RRType qtype) {
   ResolveResult result;
   current_ = &result;
+
+  std::uint64_t span_id = 0;
+  std::uint64_t span_start_us = 0;
+  if (tracer_ != nullptr) {
+    span_id = tracer_->begin_span();
+    span_start_us = tracer_->now_us();
+    trace_event(obs::EventKind::kStubQuery, qname, qtype, {});
+  }
 
   result.response.header.qr = true;
   result.response.header.ra = true;
@@ -653,6 +692,8 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
         consult_dlv = false;
         result.dlv_suppressed_by_signal = true;
         stats_.add("dlv.suppressed.zbit");
+        trace_event(obs::EventKind::kDlvLookup, current_name, qtype,
+                    "suppressed-zbit");
       }
       if (consult_dlv && config_.honor_txt_dlv_signal) {
         const std::optional<bool> signal =
@@ -661,6 +702,8 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
           consult_dlv = false;
           result.dlv_suppressed_by_signal = true;
           stats_.add("dlv.suppressed.txt");
+          trace_event(obs::EventKind::kDlvLookup, current_name, qtype,
+                      "suppressed-txt");
         }
       }
       if (consult_dlv) {
@@ -760,6 +803,21 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
   if (result.dlv_suppressed_by_nsec) stats_.add("resolve.dlv_suppressed_nsec");
   if (result.dlv_suppressed_by_signal) {
     stats_.add("resolve.dlv_suppressed_signal");
+  }
+
+  if (tracer_ != nullptr) {
+    trace_event(obs::EventKind::kValidation, qname, qtype,
+                status_name(result.status));
+    obs::Event done;
+    done.kind = obs::EventKind::kResponse;
+    done.name = qname.to_text();
+    done.qtype = qtype;
+    done.server = "recursive";
+    done.rcode = result.response.header.rcode;
+    done.latency_us = tracer_->now_us() - span_start_us;
+    done.detail = status_name(result.status);
+    tracer_->emit(std::move(done));
+    tracer_->end_span(span_id);
   }
 
   last_result_ = std::move(result);

@@ -26,6 +26,11 @@
 #include "server/directory.h"
 #include "sim/network.h"
 
+namespace lookaside::obs {
+class Tracer;
+enum class EventKind : std::uint8_t;
+}
+
 namespace lookaside::resolver {
 
 /// DNSSEC validation status (paper §2.2).
@@ -100,6 +105,13 @@ class RecursiveResolver : public sim::Endpoint {
   /// Result of the most recent resolve() (valid until the next one).
   [[nodiscard]] const ResolveResult& last_result() const { return last_result_; }
 
+  /// Attaches a structured tracer (nullable; null disables tracing). The
+  /// resolver opens one span per resolution and emits stub_query,
+  /// cache_hit, nsec_suppression, dlv_lookup, validation and stub-facing
+  /// response events into it.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
  private:
   /// What one iterative fetch produced.
   struct Fetched {
@@ -170,6 +182,11 @@ class RecursiveResolver : public sim::Endpoint {
   /// Deterministic per-name coin flip for NS refresh fetches.
   [[nodiscard]] bool ns_fetch_coin(const dns::Name& zone) const;
 
+  /// Emits a trace event when a tracer is attached (no-op otherwise).
+  void trace_event(obs::EventKind kind, const dns::Name& name,
+                   dns::RRType qtype, std::string detail,
+                   std::string server = {}) const;
+
   sim::Network* network_;
   server::ServerDirectory* directory_;
   ResolverConfig config_;
@@ -178,6 +195,7 @@ class RecursiveResolver : public sim::Endpoint {
   ResolverCache cache_;
   Validator validator_;
   metrics::CounterSet stats_;
+  obs::Tracer* tracer_ = nullptr;
   ResolveResult last_result_;
   ResolveResult* current_ = nullptr;  // in-flight result for nested counting
   std::uint16_t next_id_ = 1;

@@ -1,6 +1,26 @@
 #include "server/zone_authority.h"
 
+#include "obs/tracer.h"
+
 namespace lookaside::server {
+
+namespace {
+
+void trace_outcome(obs::Tracer* tracer, const std::string& server,
+                   const dns::Question& question, const char* outcome,
+                   dns::RCode rcode) {
+  if (tracer == nullptr) return;
+  obs::Event event;
+  event.kind = obs::EventKind::kAuthority;
+  event.name = question.name.to_text();
+  event.server = server;
+  event.qtype = question.type;
+  event.rcode = rcode;
+  event.detail = outcome;
+  tracer->emit(std::move(event));
+}
+
+}  // namespace
 
 ZoneAuthority::ZoneAuthority(std::string endpoint_id,
                              std::shared_ptr<zone::SignedZone> zone)
@@ -60,6 +80,7 @@ dns::Message ZoneAuthority::handle_query(const dns::Message& query) {
   if (question.type == dns::RRType::kDnskey && signed_zone_ &&
       question.name == z.apex()) {
     append_rrset(response.answers, signed_zone_->dnskey_rrset(), want_dnssec);
+    trace_outcome(tracer_, id_, question, "answer", response.header.rcode);
     return response;
   }
 
@@ -67,6 +88,7 @@ dns::Message ZoneAuthority::handle_query(const dns::Message& query) {
   switch (result.kind) {
     case zone::LookupKind::kAnswer: {
       append_rrset(response.answers, *result.rrset, want_dnssec);
+      trace_outcome(tracer_, id_, question, "answer", response.header.rcode);
       break;
     }
     case zone::LookupKind::kReferral: {
@@ -84,6 +106,7 @@ dns::Message ZoneAuthority::handle_query(const dns::Message& query) {
         }
       }
       append_glue(response, *result.rrset, want_dnssec);
+      trace_outcome(tracer_, id_, question, "referral", response.header.rcode);
       break;
     }
     case zone::LookupKind::kNoData: {
@@ -93,11 +116,13 @@ dns::Message ZoneAuthority::handle_query(const dns::Message& query) {
         response.authorities.push_back(std::move(proof.nsec));
         response.authorities.push_back(std::move(proof.rrsig));
       }
+      trace_outcome(tracer_, id_, question, "nodata", response.header.rcode);
       break;
     }
     case zone::LookupKind::kNxDomain: {
       response.header.rcode = dns::RCode::kNxDomain;
       append_nxdomain_sections(response, question.name, want_dnssec);
+      trace_outcome(tracer_, id_, question, "nxdomain", response.header.rcode);
       break;
     }
   }

@@ -12,6 +12,10 @@
 #include "sim/network.h"
 #include "zone/signed_zone.h"
 
+namespace lookaside::obs {
+class Tracer;
+}
+
 namespace lookaside::server {
 
 /// Serves one zone. When constructed without keys the zone is unsigned and
@@ -43,6 +47,10 @@ class ZoneAuthority : public sim::Endpoint {
   void set_z_bit_signal(bool enabled) { z_bit_signal_ = enabled; }
   [[nodiscard]] bool z_bit_signal() const { return z_bit_signal_; }
 
+  /// Attaches a structured tracer (nullable). Each handled query emits one
+  /// kAuthority event labeled answer / referral / nodata / nxdomain.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void append_rrset(std::vector<dns::ResourceRecord>& section,
                     const dns::RRset& rrset, bool want_dnssec);
@@ -55,6 +63,7 @@ class ZoneAuthority : public sim::Endpoint {
   std::shared_ptr<zone::SignedZone> signed_zone_;
   std::shared_ptr<zone::Zone> plain_zone_;
   bool z_bit_signal_ = false;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lookaside::server

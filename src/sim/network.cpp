@@ -16,7 +16,21 @@ void Network::set_unreachable(const std::string& endpoint_id,
 }
 
 void Network::record(PacketRecord packet) {
-  if (observer_) observer_(packet);
+  if (packet.is_query) {
+    counters_.add("packets.query");
+    counters_.add("bytes.query", packet.bytes);
+    counters_.add("bytes.total", packet.bytes);
+    if (packet.has_question) {
+      counters_.add("query." + dns::rr_type_name(packet.qtype));
+    }
+    counters_.add("dest." + packet.to + ".queries");
+  } else {
+    counters_.add("packets.response");
+    counters_.add("bytes.response", packet.bytes);
+    counters_.add("bytes.total", packet.bytes);
+    counters_.add("rcode." + dns::rcode_name(packet.rcode));
+  }
+  for (const auto& observer : observers_) observer(packet);
   if (capture_enabled_) capture_.push_back(std::move(packet));
 }
 
@@ -26,14 +40,6 @@ std::optional<dns::Message> Network::exchange(const std::string& from,
   const std::string to = server.endpoint_id();
   const std::size_t query_bytes = dns::wire_size(query);
 
-  counters_.add("packets.query");
-  counters_.add("bytes.query", query_bytes);
-  counters_.add("bytes.total", query_bytes);
-  if (!query.questions.empty()) {
-    counters_.add("query." + dns::rr_type_name(query.question().type));
-  }
-  counters_.add("dest." + to + ".queries");
-
   PacketRecord query_record;
   query_record.time_us = clock_->now_us();
   query_record.from = from;
@@ -41,10 +47,11 @@ std::optional<dns::Message> Network::exchange(const std::string& from,
   query_record.bytes = query_bytes;
   query_record.is_query = true;
   if (!query.questions.empty()) {
+    query_record.has_question = true;
     query_record.qname = query.question().name;
     query_record.qtype = query.question().type;
   }
-  record(query_record);
+  record(std::move(query_record));
 
   if (std::find(unreachable_.begin(), unreachable_.end(), to) !=
       unreachable_.end()) {
@@ -60,10 +67,6 @@ std::optional<dns::Message> Network::exchange(const std::string& from,
   clock_->advance_us(one_way);
 
   const std::size_t response_bytes = dns::wire_size(response);
-  counters_.add("packets.response");
-  counters_.add("bytes.response", response_bytes);
-  counters_.add("bytes.total", response_bytes);
-  counters_.add("rcode." + dns::rcode_name(response.header.rcode));
 
   PacketRecord response_record;
   response_record.time_us = clock_->now_us();
@@ -72,11 +75,13 @@ std::optional<dns::Message> Network::exchange(const std::string& from,
   response_record.bytes = response_bytes;
   response_record.is_query = false;
   if (!query.questions.empty()) {
+    response_record.has_question = true;
     response_record.qname = query.question().name;
     response_record.qtype = query.question().type;
   }
   response_record.rcode = response.header.rcode;
-  record(response_record);
+  response_record.rtt_us = 2 * one_way;
+  record(std::move(response_record));
 
   return response;
 }

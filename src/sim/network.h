@@ -42,16 +42,20 @@ class Endpoint {
   }
 };
 
-/// One captured packet (a query or a response).
+/// One captured packet (a query or a response). Counter accounting, the
+/// stored capture and streaming observers are all derived from this one
+/// record inside Network::record(), so they can never disagree.
 struct PacketRecord {
   std::uint64_t time_us = 0;
   std::string from;
   std::string to;
   std::size_t bytes = 0;
   bool is_query = false;
+  bool has_question = false;
   dns::Name qname;
   dns::RRType qtype = dns::RRType::kA;
   dns::RCode rcode = dns::RCode::kNoError;  // responses only
+  std::uint64_t rtt_us = 0;                 // responses: full round trip
 };
 
 /// The simulated network fabric.
@@ -77,10 +81,18 @@ class Network {
   }
   void clear_capture() { capture_.clear(); }
 
-  /// Optional streaming observer invoked for every packet (even when the
-  /// stored capture is disabled).
+  /// Installs `observer` as the only streaming observer (invoked for every
+  /// packet even when the stored capture is disabled). Passing an empty
+  /// function clears all observers.
   void set_observer(std::function<void(const PacketRecord&)> observer) {
-    observer_ = std::move(observer);
+    observers_.clear();
+    add_observer(std::move(observer));
+  }
+
+  /// Adds a streaming observer alongside any existing ones (e.g. a
+  /// leakage analyzer plus an obs::Tracer bridge).
+  void add_observer(std::function<void(const PacketRecord&)> observer) {
+    if (observer) observers_.push_back(std::move(observer));
   }
 
   /// Counters: "query.<TYPE>", "packets.query", "packets.response",
@@ -96,6 +108,8 @@ class Network {
   void set_timeout_us(std::uint64_t timeout_us) { timeout_us_ = timeout_us; }
 
  private:
+  /// The single accounting path: updates counters, notifies observers and
+  /// appends to the stored capture (when enabled) from one record.
   void record(PacketRecord record);
 
   SimClock* clock_;
@@ -103,7 +117,7 @@ class Network {
   metrics::CounterSet counters_;
   std::vector<PacketRecord> capture_;
   bool capture_enabled_ = false;
-  std::function<void(const PacketRecord&)> observer_;
+  std::vector<std::function<void(const PacketRecord&)>> observers_;
   std::vector<std::string> unreachable_;
   std::uint64_t timeout_us_ = 5'000'000;
 };

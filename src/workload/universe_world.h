@@ -18,6 +18,10 @@
 #include "workload/universe.h"
 #include "zone/keys.h"
 
+namespace lookaside::obs {
+class Tracer;
+}
+
 namespace lookaside::workload {
 
 /// Signs synthetic RRsets with one zone's keys, caching by (owner, type).
@@ -72,6 +76,15 @@ class UniverseWorld {
 
   /// Key pool shared by synthetic SLD zones (exposed for tests).
   [[nodiscard]] const zone::KeyPool& sld_keys() const { return *sld_keys_; }
+
+  /// Threads a tracer (nullable) into the world's instrumented servers:
+  /// the DLV registry (Case-1/Case-2 observations) and the root authority
+  /// (outcome counts). Synthetic TLD/SLD authorities stay uninstrumented —
+  /// their traffic is captured at the network layer.
+  void set_tracer(obs::Tracer* tracer) {
+    registry_->set_tracer(tracer);
+    root_authority_->set_tracer(tracer);
+  }
 
  private:
   WorldOptions options_;

@@ -7,6 +7,7 @@
 #include "metrics/csv.h"
 #include "metrics/histogram.h"
 #include "metrics/table.h"
+#include "obs/metrics_registry.h"
 
 namespace lookaside::metrics {
 namespace {
@@ -30,6 +31,22 @@ TEST(CounterSetTest, PrefixTotals) {
   EXPECT_EQ(counters.total_with_prefix("nothing."), 0u);
 }
 
+TEST(CounterSetTest, PrefixTotalEdgeCases) {
+  CounterSet counters;
+  counters.add("a", 1);
+  counters.add("ab", 2);
+  counters.add("b", 4);
+  // The empty prefix matches every counter.
+  EXPECT_EQ(counters.total_with_prefix(""), 7u);
+  // An exact counter name is its own prefix.
+  EXPECT_EQ(counters.total_with_prefix("ab"), 2u);
+  // A prefix longer than any name matches nothing.
+  EXPECT_EQ(counters.total_with_prefix("abc"), 0u);
+  // A prefix lexicographically past every name matches nothing.
+  EXPECT_EQ(counters.total_with_prefix("z"), 0u);
+  EXPECT_EQ(CounterSet{}.total_with_prefix("a"), 0u);
+}
+
 TEST(CounterSetTest, DeltaSince) {
   CounterSet before;
   before.add("x", 10);
@@ -39,6 +56,21 @@ TEST(CounterSetTest, DeltaSince) {
   const CounterSet delta = after.delta_since(before);
   EXPECT_EQ(delta.value("x"), 5u);
   EXPECT_EQ(delta.value("y"), 2u);
+  EXPECT_EQ(delta.value(CounterSet::kUnderflowCounter), 0u);
+}
+
+TEST(CounterSetTest, DeltaSinceFlagsUnderflow) {
+  CounterSet before;
+  before.add("x", 10);
+  before.add("gone", 4);
+  CounterSet after;
+  after.add("x", 7);  // went backwards by 3
+  const CounterSet delta = after.delta_since(before);
+  // Still clamped to zero rather than wrapping...
+  EXPECT_EQ(delta.value("x"), 0u);
+  // ...but the clamped magnitude (3 from x, 4 from the vanished counter)
+  // is surfaced instead of silently discarded.
+  EXPECT_EQ(delta.value(CounterSet::kUnderflowCounter), 7u);
 }
 
 TEST(CounterSetTest, MergeAdds) {
@@ -95,6 +127,35 @@ TEST(TableTest, PercentCell) {
   std::ostringstream out;
   table.print(out);
   EXPECT_NE(out.str().find("18.68%"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabeledCountersAreIndependentSeries) {
+  obs::MetricsRegistry registry;
+  registry.add("upstream_queries", {{"server", "dlv"}}, 3);
+  registry.add("upstream_queries", {{"server", "root"}});
+  registry.add("upstream_queries");  // unlabeled series
+  EXPECT_EQ(registry.value("upstream_queries", {{"server", "dlv"}}), 3u);
+  EXPECT_EQ(registry.value("upstream_queries", {{"server", "root"}}), 1u);
+  EXPECT_EQ(registry.value("upstream_queries"), 1u);
+  EXPECT_EQ(registry.value("upstream_queries", {{"server", "tld"}}), 0u);
+  EXPECT_EQ(registry.total("upstream_queries"), 5u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  obs::MetricsRegistry registry;
+  registry.add("m", {{"a", "1"}, {"b", "2"}}, 1);
+  registry.add("m", {{"b", "2"}, {"a", "1"}}, 1);
+  EXPECT_EQ(registry.value("m", {{"a", "1"}, {"b", "2"}}), 2u);
+}
+
+TEST(MetricsRegistryTest, ImportsCounterSetWithSanitizedNames) {
+  CounterSet counters;
+  counters.add("bytes.total", 42);
+  counters.add("dest.tld-com.queries", 7);
+  obs::MetricsRegistry registry;
+  registry.import_counters(counters, "net_");
+  EXPECT_EQ(registry.value("net_bytes_total"), 42u);
+  EXPECT_EQ(registry.value("net_dest_tld_com_queries"), 7u);
 }
 
 TEST(CsvTest, EscapesSpecialCharacters) {
