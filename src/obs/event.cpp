@@ -11,6 +11,7 @@ constexpr std::array<const char*, kEventKindCount> kKindNames = {
     "stub_query",  "upstream_query",  "response",
     "cache_hit",   "nsec_suppression", "validation",
     "dlv_lookup",  "dlv_observation", "authority",
+    "retry",       "fault_injected",  "server_marked_dead",
 };
 
 }  // namespace

@@ -33,9 +33,12 @@ enum class EventKind : std::uint8_t {
   kDlvLookup,        // look-aside activity (query sent, found, suppressed)
   kDlvObservation,   // what the DLV operator saw (Case-1 / Case-2)
   kAuthority,        // authoritative-server outcome (answer/referral/...)
+  kRetry,            // an exchange attempt failed and will be resent
+  kFaultInjected,    // the network's fault injector fired (detail = cause)
+  kServerMarkedDead, // retry schedule exhausted; server in holddown
 };
 
-inline constexpr int kEventKindCount = 9;
+inline constexpr int kEventKindCount = 12;
 
 /// Stable lower-snake name ("upstream_query"); used in JSONL and tables.
 [[nodiscard]] const char* event_kind_name(EventKind kind);

@@ -71,6 +71,16 @@ void MetricsSink::on_event(const Event& event) {
       reg.add("authority_outcomes",
               {{"server", classify(event)}, {"outcome", event.detail}});
       break;
+    case EventKind::kRetry:
+      reg.add("retries", {{"server", classify(event)}});
+      break;
+    case EventKind::kFaultInjected:
+      reg.add("faults_injected",
+              {{"server", classify(event)}, {"cause", event.detail}});
+      break;
+    case EventKind::kServerMarkedDead:
+      reg.add("servers_marked_dead", {{"server", classify(event)}});
+      break;
   }
 }
 

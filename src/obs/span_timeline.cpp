@@ -85,7 +85,10 @@ void SpanTimeline::add(const Event& event) {
     case EventKind::kCacheHit:
     case EventKind::kNsecSuppression:
     case EventKind::kDlvLookup:
-    case EventKind::kDlvObservation: {
+    case EventKind::kDlvObservation:
+    case EventKind::kRetry:
+    case EventKind::kFaultInjected:
+    case EventKind::kServerMarkedDead: {
       ResolutionSpan* span = span_for(event.span_id);
       if (span != nullptr) span->annotations.push_back(event);
       break;

@@ -46,6 +46,19 @@ void Tracer::attach_network(sim::Network& network, std::string resolver_id) {
           emit(std::move(event));
         }
       });
+  network.add_fault_observer([this](const sim::FaultNotice& notice) {
+    Event event;
+    event.kind = EventKind::kFaultInjected;
+    event.time_us = notice.time_us;
+    event.span_id = current_span();
+    if (notice.has_question) {
+      event.name = notice.qname.to_text();
+      event.qtype = notice.qtype;
+    }
+    event.server = notice.endpoint;
+    event.detail = notice.cause;
+    emit(std::move(event));
+  });
 }
 
 std::uint64_t Tracer::begin_span() {

@@ -33,9 +33,11 @@ class Tracer {
   void attach_clock(const sim::SimClock& clock) { clock_ = &clock; }
 
   /// Installs a packet observer on `network` that converts upstream
-  /// exchanges into kUpstreamQuery / kResponse events. Packets on the
-  /// stub side of `resolver_id` are skipped — the resolver emits richer
-  /// stub-level events itself.
+  /// exchanges into kUpstreamQuery / kResponse events, and a fault
+  /// observer that surfaces every injected fault as a kFaultInjected
+  /// event (detail = cause), so chaos runs are visible on timelines.
+  /// Packets on the stub side of `resolver_id` are skipped — the resolver
+  /// emits richer stub-level events itself.
   void attach_network(sim::Network& network,
                       std::string resolver_id = "recursive");
 

@@ -69,6 +69,19 @@ NegativeEntry ResolverCache::find_negative(const dns::Name& name,
   return NegativeEntry::kNone;
 }
 
+void ResolverCache::store_servfail(const dns::Name& name, dns::RRType type,
+                                   std::uint32_t ttl) {
+  servfail_[{name, type}] = ttl_to_deadline(now(), ttl);
+  counters_.add("cache.servfail_store");
+}
+
+bool ResolverCache::find_servfail(const dns::Name& name, dns::RRType type) {
+  const auto it = servfail_.find({name, type});
+  if (it == servfail_.end() || it->second <= now()) return false;
+  counters_.add("cache.servfail_hit");
+  return true;
+}
+
 void ResolverCache::store_nsec(const dns::Name& zone_apex,
                                const dns::ResourceRecord& nsec_record) {
   const auto* nsec = std::get_if<dns::NsecRdata>(&nsec_record.rdata);
@@ -144,6 +157,7 @@ dns::Name ResolverCache::deepest_known_cut(const dns::Name& qname) {
 void ResolverCache::clear() {
   positive_.clear();
   negative_.clear();
+  servfail_.clear();
   nsec_by_zone_.clear();
   zone_cuts_.clear();
 }

@@ -72,6 +72,14 @@ class ResolverCache {
   [[nodiscard]] NegativeEntry find_negative(const dns::Name& name,
                                             dns::RRType type);
 
+  // -- SERVFAIL cache (RFC 2308 §7) ------------------------------------------
+
+  /// Remembers that (name, type) recently ended in SERVFAIL so repeated
+  /// queries do not re-traverse a failing hierarchy.
+  void store_servfail(const dns::Name& name, dns::RRType type,
+                      std::uint32_t ttl);
+  [[nodiscard]] bool find_servfail(const dns::Name& name, dns::RRType type);
+
   // -- Aggressive NSEC cache (RFC 8198; required by RFC 5074 validators) ----
 
   /// Stores a validated NSEC record belonging to `zone_apex`.
@@ -135,6 +143,7 @@ class ResolverCache {
   metrics::CounterSet counters_;
   std::map<std::pair<dns::Name, dns::RRType>, PositiveEntry> positive_;
   std::map<std::pair<dns::Name, dns::RRType>, NegativeRecord> negative_;
+  std::map<std::pair<dns::Name, dns::RRType>, std::uint64_t> servfail_;
   std::map<dns::Name, std::map<dns::Name, NsecEntry, CanonicalLess>,
            CanonicalLess>
       nsec_by_zone_;

@@ -11,7 +11,33 @@ const char* mode_name(ValidationMode mode) {
   }
   return "?";
 }
+
+/// Unbound's retransmission shape: ~376 ms initial RTO, one more resend
+/// than BIND before giving up on a server.
+RetryPolicy unbound_retry_policy() {
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.initial_rto_us = 376'000;
+  policy.backoff_factor = 2.0;
+  policy.max_rto_us = 8'000'000;
+  return policy;
+}
 }  // namespace
+
+std::uint64_t RetryPolicy::rto_for_attempt(int attempt) const {
+  double rto = static_cast<double>(initial_rto_us);
+  for (int i = 0; i < attempt; ++i) rto *= backoff_factor;
+  const double cap = static_cast<double>(max_rto_us);
+  return static_cast<std::uint64_t>(rto < cap ? rto : cap);
+}
+
+std::uint64_t RetryPolicy::total_wait_us() const {
+  std::uint64_t total = 0;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    total += rto_for_attempt(attempt);
+  }
+  return total;
+}
 
 std::string ResolverConfig::summary() const {
   std::string out = "dnssec-enable=";
@@ -77,6 +103,9 @@ ResolverConfig ResolverConfig::unbound_package() {
   config.root_trust_anchor_included = true;
   config.dnssec_lookaside = false;
   config.dlv_trust_anchor_included = false;
+  config.retry = unbound_retry_policy();
+  config.dlv_retry = unbound_retry_policy();
+  config.dlv_retry.max_retries = 1;
   return config;
 }
 
@@ -87,6 +116,9 @@ ResolverConfig ResolverConfig::unbound_manual() {
   config.dnssec_validation = ValidationMode::kNo;
   config.root_trust_anchor_included = false;
   config.dnssec_lookaside = false;
+  config.retry = unbound_retry_policy();
+  config.dlv_retry = unbound_retry_policy();
+  config.dlv_retry.max_retries = 1;
   return config;
 }
 
@@ -96,6 +128,9 @@ ResolverConfig ResolverConfig::unbound_correct() {
   config.root_trust_anchor_included = true;
   config.dlv_trust_anchor_included = true;  // dlv-anchor-file line
   config.dnssec_lookaside = false;          // Unbound has no such option
+  config.retry = unbound_retry_policy();
+  config.dlv_retry = unbound_retry_policy();
+  config.dlv_retry.max_retries = 1;
   return config;
 }
 

@@ -24,6 +24,32 @@ enum class ValidationMode {
   kAuto,  // validate with the built-in trust anchor
 };
 
+/// Retransmission schedule for upstream exchanges: `max_retries` resends
+/// after the first attempt, waiting an exponentially backed-off RTO per
+/// attempt. Defaults follow BIND's resolver-query-timeout shape (~800 ms
+/// initial, doubling, capped); the Unbound factories use its ~376 ms
+/// initial RTO instead. All waits are virtual time.
+struct RetryPolicy {
+  int max_retries = 2;                    // resends after the first attempt
+  std::uint64_t initial_rto_us = 800'000; // attempt 0's timeout
+  double backoff_factor = 2.0;            // RTO multiplier per retry
+  std::uint64_t max_rto_us = 8'000'000;   // RTO cap
+
+  /// RTO charged for `attempt` (0-based): min(initial*factor^n, cap).
+  [[nodiscard]] std::uint64_t rto_for_attempt(int attempt) const;
+
+  /// Closed-form worst case: virtual time burned when every attempt times
+  /// out (the §8.4 "added latency" bound for a dead server).
+  [[nodiscard]] std::uint64_t total_wait_us() const;
+
+  /// Single attempt, no resends (the pre-resilience fire-once behavior).
+  [[nodiscard]] static RetryPolicy none() {
+    RetryPolicy policy;
+    policy.max_retries = 0;
+    return policy;
+  }
+};
+
 /// A resolver configuration. Field names follow BIND's option names; the
 /// Unbound factories map Unbound's implicit style onto the same fields.
 struct ResolverConfig {
@@ -82,6 +108,33 @@ struct ResolverConfig {
 
   /// Maximum CNAME chase depth.
   int max_cname_depth = 8;
+
+  // -- Resilience (retry / failover / failure caching) ----------------------
+
+  /// Retransmission schedule for authoritative exchanges. With no faults
+  /// injected the first attempt always succeeds, so enabling retries is
+  /// behavior-neutral on a healthy network.
+  RetryPolicy retry;
+
+  /// Separate, bounded budget for DLV registry exchanges (RFC 5074 gives
+  /// the look-aside path no availability guarantee; a dead registry must
+  /// degrade, not stall every resolution — §8.4).
+  RetryPolicy dlv_retry{.max_retries = 1};
+
+  /// Lame/dead-server holddown: after a server exhausts its retry
+  /// schedule it is skipped for this long (virtual time) before being
+  /// probed again (BIND's lame-ttl shape). 0 disables tracking.
+  std::uint64_t server_holddown_us = 600'000'000;  // 10 min
+
+  /// RFC 2308 §7 SERVFAIL caching: resolutions that fail against dead
+  /// servers are cached for this many seconds so repeated queries do not
+  /// re-traverse the hierarchy. 0 disables (BIND default is 1 s).
+  std::uint32_t servfail_ttl = 1;
+
+  /// BIND's `dnssec-must-be-secure` semantics for the look-aside path:
+  /// when the DLV registry is unreachable, answer SERVFAIL instead of
+  /// degrading to insecure (§8.4's strict-policy column).
+  bool dlv_must_be_secure = false;
 
   // -- Effective behavior (what the knobs combine to) -----------------------
 

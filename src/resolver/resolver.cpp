@@ -72,6 +72,78 @@ bool RecursiveResolver::ns_fetch_coin(const dns::Name& zone) const {
 }
 
 // ---------------------------------------------------------------------------
+// Retry / failover (robustness layer)
+// ---------------------------------------------------------------------------
+
+bool RecursiveResolver::server_dead(const std::string& server_id) {
+  const auto it = dead_until_us_.find(server_id);
+  if (it == dead_until_us_.end()) return false;
+  if (it->second <= network_->clock().now_us()) {
+    dead_until_us_.erase(it);  // holddown lapsed; probe the server again
+    return false;
+  }
+  return true;
+}
+
+void RecursiveResolver::mark_server_dead(const std::string& server_id,
+                                         const dns::Question& question) {
+  if (config_.server_holddown_us == 0) return;
+  dead_until_us_[server_id] =
+      network_->clock().now_us() + config_.server_holddown_us;
+  stats_.add("servers.marked_dead");
+  trace_event(obs::EventKind::kServerMarkedDead, question.name, question.type,
+              "holddown", server_id);
+}
+
+std::optional<dns::Message> RecursiveResolver::exchange_with_retry(
+    sim::Endpoint& server, const dns::Message& query,
+    const RetryPolicy& policy) {
+  const std::string server_id = server.endpoint_id();
+  if (server_dead(server_id)) {
+    stats_.add("servers.skipped_dead");
+    return std::nullopt;
+  }
+  const dns::Question& question = query.question();
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0) {
+      stats_.add("retries");
+      network_->counters().add("retries");
+      trace_event(obs::EventKind::kRetry, question.name, question.type,
+                  "attempt=" + std::to_string(attempt), server_id);
+    }
+    const auto response = network_->exchange(endpoint_id(), server, query,
+                                             policy.rto_for_attempt(attempt));
+    if (current_ != nullptr) ++current_->upstream_exchanges;
+    if (!response.has_value()) continue;
+    // A truncated response is useless over simulated UDP: treat it like a
+    // loss and re-ask (models the retry-over-TCP round trip as a re-query).
+    if (response->header.tc) {
+      stats_.add("truncated_responses");
+      continue;
+    }
+    return response;
+  }
+  mark_server_dead(server_id, question);
+  return std::nullopt;
+}
+
+std::optional<dns::Message> RecursiveResolver::exchange_zone(
+    const dns::Name& zone_apex, const dns::Message& query,
+    const RetryPolicy& policy) {
+  const std::vector<sim::Endpoint*> servers =
+      directory_->authorities_for_zone(zone_apex);
+  bool failed_over = false;
+  for (sim::Endpoint* server : servers) {
+    if (server == nullptr) continue;
+    if (failed_over) stats_.add("failover.used");
+    const auto response = exchange_with_retry(*server, query, policy);
+    if (response.has_value()) return response;
+    failed_over = true;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
 // Iterative fetching
 // ---------------------------------------------------------------------------
 
@@ -158,8 +230,7 @@ RecursiveResolver::Fetched RecursiveResolver::fetch(const dns::Name& qname,
     const dns::Message query = dns::Message::make_query(
         next_id_++, send_name, send_type, /*recursion_desired=*/false,
         dnssec_ok);
-    const auto response = network_->exchange(endpoint_id(), *endpoint, query);
-    if (current_ != nullptr) ++current_->upstream_exchanges;
+    const auto response = exchange_zone(zone_apex, query, config_.retry);
     if (!response.has_value()) return Fetched{};
 
     out.answer = group_section(response->answers);
@@ -482,9 +553,13 @@ const dns::RRset* RecursiveResolver::dlv_zone_keys(const dns::Name& apex,
   const dns::Message query = dns::Message::make_query(
       next_id_++, apex, dns::RRType::kDnskey,
       /*recursion_desired=*/false, /*dnssec_ok=*/true);
-  const auto response = network_->exchange(endpoint_id(), *registry, query);
-  if (current_ != nullptr) ++current_->upstream_exchanges;
-  if (!response.has_value()) return nullptr;
+  // DLV traffic runs on its own bounded retry budget: a dead registry must
+  // not cost the full upstream schedule on every resolution (§8.4).
+  const auto response = exchange_zone(apex, query, config_.dlv_retry);
+  if (!response.has_value()) {
+    if (current_ != nullptr) current_->dlv_timed_out = true;
+    return nullptr;
+  }
 
   const GroupedSection answer = group_section(response->answers);
   const dns::RRset* keys = find_rrset(answer, apex, dns::RRType::kDnskey);
@@ -564,15 +639,26 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
     const dns::Message query = dns::Message::make_query(
         next_id_++, candidate, dns::RRType::kDlv,
         /*recursion_desired=*/false, /*dnssec_ok=*/true);
-    const auto response = network_->exchange(endpoint_id(), *registry, query);
-    if (current_ != nullptr) ++current_->upstream_exchanges;
+    const auto response = exchange_zone(apex, query, config_.dlv_retry);
     result.dlv_used = true;
     result.dlv_query_names.push_back(candidate);
     stats_.add("dlv.queries");
+    // Trace detail distinguishes the three registry outcomes: "timeout"
+    // (outage / retries exhausted), "nxdomain" (definitive no-deposit) and
+    // "query" (answered, record or NODATA).
+    const bool nxdomain =
+        response.has_value() &&
+        response->header.rcode == dns::RCode::kNxDomain;
     trace_event(obs::EventKind::kDlvLookup, candidate, dns::RRType::kDlv,
-                response.has_value() ? "query" : "timeout",
+                !response.has_value() ? "timeout"
+                : nxdomain            ? "nxdomain"
+                                      : "query",
                 registry->endpoint_id());
-    if (!response.has_value()) continue;  // registry outage (§8.4)
+    if (!response.has_value()) {  // registry outage (§8.4)
+      result.dlv_timed_out = true;
+      stats_.add("dlv.timeout");
+      continue;
+    }
 
     GroupedSection answer = group_section(response->answers);
     GroupedSection authority = group_section(response->authorities);
@@ -653,13 +739,28 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
 
   dns::Name current_name = qname;
   int chased = 0;
-  for (;;) {
+  // RFC 2308 §7: a recent resolution failure for this tuple is answered
+  // from the SERVFAIL cache without touching the network again.
+  const bool servfail_cached =
+      config_.servfail_ttl > 0 && cache_.find_servfail(qname, qtype);
+  if (servfail_cached) {
+    result.response.header.rcode = dns::RCode::kServFail;
+    result.status = ValidationStatus::kIndeterminate;
+    result.from_cache = true;
+    stats_.add("servfail.cache_hit");
+    trace_event(obs::EventKind::kCacheHit, qname, qtype, "servfail");
+  }
+  while (!servfail_cached) {
     Fetched fetched = fetch(current_name, qtype, 0);
     result.from_cache = fetched.from_cache;
 
     if (fetched.kind == Fetched::Kind::kFail) {
       result.response.header.rcode = dns::RCode::kServFail;
       result.status = ValidationStatus::kIndeterminate;
+      if (config_.servfail_ttl > 0) {
+        cache_.store_servfail(current_name, qtype, config_.servfail_ttl);
+        stats_.add("servfail.cached");
+      }
       break;
     }
     if (fetched.kind == Fetched::Kind::kNxDomain ||
@@ -734,6 +835,12 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
           } else if (via_dlv == ValidationStatus::kBogus) {
             leg_status = ValidationStatus::kBogus;
           }
+        } else if (result.dlv_timed_out && config_.dlv_must_be_secure) {
+          // `dnssec-must-be-secure` semantics: an unreachable registry is
+          // not proof of absence, so the resolution fails closed instead of
+          // degrading to insecure (§8.4 availability trade-off).
+          leg_status = ValidationStatus::kBogus;
+          stats_.add("dlv.must_be_secure_fail");
         }
       }
     }
@@ -786,12 +893,7 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
           next_id_++, fetched.auth_zone, dns::RRType::kNs,
           /*recursion_desired=*/false,
           config_.validation_enabled() || config_.dlv_enabled());
-      sim::Endpoint* child =
-          directory_->authority_for_zone(fetched.auth_zone);
-      if (child != nullptr) {
-        (void)network_->exchange(endpoint_id(), *child, ns_query);
-        if (current_ != nullptr) ++current_->upstream_exchanges;
-      }
+      (void)exchange_zone(fetched.auth_zone, ns_query, config_.retry);
     }
     break;
   }

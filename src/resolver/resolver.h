@@ -17,6 +17,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dlv/registry.h"
@@ -56,7 +57,8 @@ struct ResolveResult {
   bool dlv_record_found = false;
   bool dlv_suppressed_by_nsec = false;      // aggressive-negative-cache save
   bool dlv_suppressed_by_signal = false;    // TXT / Z-bit remedy save
-  int upstream_exchanges = 0;
+  bool dlv_timed_out = false;   // registry unreachable / retries exhausted
+  int upstream_exchanges = 0;   // counts every attempt, retries included
 };
 
 /// The recursive resolver. Also a sim::Endpoint so stubs reach it over the
@@ -127,6 +129,30 @@ class RecursiveResolver : public sim::Endpoint {
 
   Fetched fetch(const dns::Name& qname, dns::RRType qtype, int depth);
   Fetched fetch_from_cache(const dns::Name& qname, dns::RRType qtype);
+
+  // -- Retry / failover (robustness layer) -----------------------------------
+
+  /// One upstream exchange under `policy`: each attempt's timeout is that
+  /// attempt's RTO (so a dead server costs exactly policy.total_wait_us()
+  /// of virtual time), truncated responses are retried, and exhausting the
+  /// schedule puts the server into holddown. Returns nullopt immediately
+  /// (no attempt, no clock advance) when the server is already held down.
+  std::optional<dns::Message> exchange_with_retry(sim::Endpoint& server,
+                                                  const dns::Message& query,
+                                                  const RetryPolicy& policy);
+
+  /// exchange_with_retry against every authority for `zone_apex` in
+  /// directory order (primary first, then replicas), failing over to the
+  /// next server when one is held down or exhausts its retry schedule.
+  std::optional<dns::Message> exchange_zone(const dns::Name& zone_apex,
+                                            const dns::Message& query,
+                                            const RetryPolicy& policy);
+
+  /// True while `server` is inside its holddown window; a lapsed entry is
+  /// erased (the virtual clock re-enables servers, never wall time).
+  [[nodiscard]] bool server_dead(const std::string& server_id);
+  void mark_server_dead(const std::string& server_id,
+                        const dns::Question& question);
 
   /// Validates the chain of trust from the root anchor down to `zone`,
   /// returning the zone's validated DNSKEY RRset in `out_keys` on success.
@@ -199,6 +225,8 @@ class RecursiveResolver : public sim::Endpoint {
   ResolveResult last_result_;
   ResolveResult* current_ = nullptr;  // in-flight result for nested counting
   std::uint16_t next_id_ = 1;
+  // Lame/dead-server holddown: endpoint id -> virtual time the entry lapses.
+  std::unordered_map<std::string, std::uint64_t> dead_until_us_;
 };
 
 }  // namespace lookaside::resolver

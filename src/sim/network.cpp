@@ -1,19 +1,8 @@
 #include "sim/network.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace lookaside::sim {
-
-void Network::set_unreachable(const std::string& endpoint_id,
-                              bool unreachable) {
-  const auto it =
-      std::find(unreachable_.begin(), unreachable_.end(), endpoint_id);
-  if (unreachable && it == unreachable_.end()) {
-    unreachable_.push_back(endpoint_id);
-  } else if (!unreachable && it != unreachable_.end()) {
-    unreachable_.erase(it);
-  }
-}
 
 void Network::record(PacketRecord packet) {
   if (packet.is_query) {
@@ -34,10 +23,37 @@ void Network::record(PacketRecord packet) {
   if (capture_enabled_) capture_.push_back(std::move(packet));
 }
 
+void Network::notify_fault(const dns::Message& query, const std::string& to,
+                           const char* cause) {
+  if (fault_observers_.empty()) return;
+  FaultNotice notice;
+  notice.time_us = clock_->now_us();
+  notice.endpoint = to;
+  notice.cause = cause;
+  if (!query.questions.empty()) {
+    notice.has_question = true;
+    notice.qname = query.question().name;
+    notice.qtype = query.question().type;
+  }
+  for (const auto& observer : fault_observers_) observer(notice);
+}
+
+void Network::charge_timeout(const dns::Message& query, const std::string& to,
+                             std::uint64_t wait_us, const char* cause,
+                             bool partial) {
+  clock_->advance_us(wait_us);
+  counters_.add("timeouts");
+  if (partial) counters_.add("timeouts.partial");
+  counters_.add("faults.dropped");
+  notify_fault(query, to, cause);
+}
+
 std::optional<dns::Message> Network::exchange(const std::string& from,
                                               Endpoint& server,
-                                              const dns::Message& query) {
+                                              const dns::Message& query,
+                                              std::uint64_t timeout_us) {
   const std::string to = server.endpoint_id();
+  const std::uint64_t timeout = timeout_us != 0 ? timeout_us : timeout_us_;
   const std::size_t query_bytes = dns::wire_size(query);
 
   PacketRecord query_record;
@@ -53,18 +69,67 @@ std::optional<dns::Message> Network::exchange(const std::string& from,
   }
   record(std::move(query_record));
 
-  if (std::find(unreachable_.begin(), unreachable_.end(), to) !=
-      unreachable_.end()) {
-    clock_->advance_us(timeout_us_);
-    counters_.add("timeouts");
+  FaultDecision fault = injector_.decide(to, clock_->now_us());
+  if (fault.drop_query) {
+    // The query never reaches the server; the caller waits out its timer.
+    charge_timeout(query, to, timeout, fault.cause, /*partial=*/false);
     return std::nullopt;
   }
 
   std::uint64_t one_way = server.latency_override_us(query);
   if (one_way == 0) one_way = latency_.one_way_us(to);
+  if (fault.added_latency_us != 0) counters_.add("faults.latency_spikes");
+
   clock_->advance_us(one_way);
-  const dns::Message response = server.handle_query(query);
-  clock_->advance_us(one_way);
+  dns::Message response = server.handle_query(query);
+
+  // Response-leg loss, or a latency spike that outlives the caller's timer:
+  // the server answered (and the query leaked) but the caller gives up.
+  const std::uint64_t round_trip = 2 * one_way + fault.added_latency_us;
+  const bool spike_timeout = fault.added_latency_us != 0 &&
+                             round_trip >= timeout;
+  if (fault.drop_response || spike_timeout) {
+    const std::uint64_t remaining = timeout > one_way ? timeout - one_way : 0;
+    charge_timeout(query, to, remaining,
+                   fault.drop_response ? fault.cause : "spike-timeout",
+                   /*partial=*/true);
+    return std::nullopt;
+  }
+
+  if (fault.rewrite_rcode.has_value()) {
+    response.header.rcode = *fault.rewrite_rcode;
+    response.answers.clear();
+    response.authorities.clear();
+    response.additionals.clear();
+    counters_.add("faults.mangled");
+    notify_fault(query, to, fault.cause);
+  }
+  if (fault.truncate) {
+    response.header.tc = true;
+    response.answers.clear();
+    response.authorities.clear();
+    response.additionals.clear();
+    counters_.add("faults.truncated");
+    notify_fault(query, to, "truncate");
+  }
+  if (fault.corrupt_rrsigs) {
+    bool corrupted = false;
+    for (auto* section : {&response.answers, &response.authorities}) {
+      for (dns::ResourceRecord& rr : *section) {
+        auto* rrsig = std::get_if<dns::RrsigRdata>(&rr.rdata);
+        if (rrsig != nullptr && !rrsig->signature.empty()) {
+          rrsig->signature[0] ^= 0xFF;
+          corrupted = true;
+        }
+      }
+    }
+    if (corrupted) {
+      counters_.add("faults.rrsig_corrupted");
+      notify_fault(query, to, "rrsig-corrupt");
+    }
+  }
+
+  clock_->advance_us(one_way + fault.added_latency_us);
 
   const std::size_t response_bytes = dns::wire_size(response);
 
@@ -80,7 +145,7 @@ std::optional<dns::Message> Network::exchange(const std::string& from,
     response_record.qtype = query.question().type;
   }
   response_record.rcode = response.header.rcode;
-  response_record.rtt_us = 2 * one_way;
+  response_record.rtt_us = round_trip;
   record(std::move(response_record));
 
   return response;

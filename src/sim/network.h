@@ -17,6 +17,7 @@
 #include "dns/message.h"
 #include "metrics/counters.h"
 #include "sim/clock.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 
 namespace lookaside::sim {
@@ -58,6 +59,17 @@ struct PacketRecord {
   std::uint64_t rtt_us = 0;                 // responses: full round trip
 };
 
+/// One injected fault, reported to fault observers (obs::Tracer bridges
+/// these into `fault_injected` events).
+struct FaultNotice {
+  std::uint64_t time_us = 0;
+  std::string endpoint;
+  std::string cause;  // "unreachable", "outage", "loss", "rcode-rewrite", ...
+  bool has_question = false;
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::kA;
+};
+
 /// The simulated network fabric.
 class Network {
  public:
@@ -65,13 +77,30 @@ class Network {
 
   /// Performs a full query/response exchange with `server`:
   /// advances the clock by the round trip, accounts packets and bytes, and
-  /// returns the decoded response. Returns nullopt (after a timeout's worth
-  /// of virtual time) when the server id has been marked unreachable.
+  /// returns the decoded response. Returns nullopt after `timeout_us` of
+  /// virtual time (0 = the network default) when the exchange is lost —
+  /// server unreachable, fault-plan drop, or an in-window outage. The
+  /// caller's per-attempt timeout is the retransmission timer: a resilient
+  /// resolver passes its RTO so backoff shows up on the virtual clock.
   [[nodiscard]] std::optional<dns::Message> exchange(
-      const std::string& from, Endpoint& server, const dns::Message& query);
+      const std::string& from, Endpoint& server, const dns::Message& query,
+      std::uint64_t timeout_us = 0);
 
   /// Marks/unmarks a server id as unreachable (models DLV outages, §8.4).
-  void set_unreachable(const std::string& endpoint_id, bool unreachable);
+  /// Implemented as a degenerate fault-plan entry: 100% deterministic loss.
+  void set_unreachable(const std::string& endpoint_id, bool unreachable) {
+    injector_.set_unreachable(endpoint_id, unreachable);
+  }
+
+  /// Installs a seeded fault plan; replaces any previous plan and reseeds
+  /// the injector's RNG, so (seed, plan) fixes every subsequent decision.
+  void set_fault_plan(FaultPlan plan) { injector_.set_plan(std::move(plan)); }
+  [[nodiscard]] FaultInjector& fault_injector() { return injector_; }
+
+  /// Adds a streaming observer for injected faults (alongside any others).
+  void add_fault_observer(std::function<void(const FaultNotice&)> observer) {
+    if (observer) fault_observers_.push_back(std::move(observer));
+  }
 
   /// Toggles in-memory packet capture (off by default; million-domain
   /// benches keep it off and rely on counters).
@@ -97,7 +126,12 @@ class Network {
 
   /// Counters: "query.<TYPE>", "packets.query", "packets.response",
   /// "bytes.query", "bytes.response", "bytes.total",
-  /// "dest.<endpoint>.queries", "rcode.<NAME>", "timeouts".
+  /// "dest.<endpoint>.queries", "rcode.<NAME>", "timeouts",
+  /// "timeouts.partial" (response leg lost — the query still leaked),
+  /// "faults.dropped", "faults.mangled", "faults.truncated",
+  /// "faults.rrsig_corrupted", "faults.latency_spikes". The resolver's
+  /// retry layer adds "retries" to this same set so one CounterSet holds
+  /// the whole fault/recovery story.
   [[nodiscard]] const metrics::CounterSet& counters() const { return counters_; }
   [[nodiscard]] metrics::CounterSet& counters() { return counters_; }
 
@@ -112,13 +146,22 @@ class Network {
   /// appends to the stored capture (when enabled) from one record.
   void record(PacketRecord record);
 
+  /// Charges a lost exchange: waits out the timeout, counts it, tells the
+  /// fault observers. `partial` marks response-leg losses.
+  void charge_timeout(const dns::Message& query, const std::string& to,
+                      std::uint64_t wait_us, const char* cause, bool partial);
+
+  void notify_fault(const dns::Message& query, const std::string& to,
+                    const char* cause);
+
   SimClock* clock_;
   LatencyModel latency_;
   metrics::CounterSet counters_;
   std::vector<PacketRecord> capture_;
   bool capture_enabled_ = false;
   std::vector<std::function<void(const PacketRecord&)>> observers_;
-  std::vector<std::string> unreachable_;
+  std::vector<std::function<void(const FaultNotice&)>> fault_observers_;
+  FaultInjector injector_;
   std::uint64_t timeout_us_ = 5'000'000;
 };
 
