@@ -18,13 +18,17 @@
 //
 // Flags: --smoke (tiny run for CI / sanitizer jobs), --must-be-secure
 // (strict policy: unreachable registry => SERVFAIL instead of insecure),
-// plus the shared observability flags from bench_util.h.
+// --jobs N (shard the loss x policy grid across worker threads; output is
+// byte-identical for any job count), plus the shared observability flags
+// from bench_util.h.
 #include <iostream>
+#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/experiment.h"
+#include "engine/sweep.h"
 #include "metrics/csv.h"
 #include "metrics/table.h"
 #include "sim/fault.h"
@@ -137,41 +141,60 @@ int main(int argc, char** argv) {
                           "added_seconds_per_domain", "extra_queries",
                           "retries", "dlv_timeouts", "marked_dead"});
 
-  for (const PolicyUnderTest& p : policies) {
-    CellResult baseline;
-    for (const double loss : losses) {
-      // Trace only the worst cell of the last policy so exported metrics
-      // describe one interesting run, not the whole sweep accumulated.
-      const bool traced = &p == &policies.back() && loss == losses.back();
-      const CellResult cell =
-          run_cell(n, loss, p.policy, must_be_secure,
-                   traced ? obs_session.tracer() : nullptr);
-      if (loss == 0.0) baseline = cell;
-      const double added_per_domain =
-          (cell.seconds - baseline.seconds) / static_cast<double>(n);
-      const std::uint64_t extra_queries =
-          cell.queries > baseline.queries ? cell.queries - baseline.queries
-                                          : 0;
-      table.row()
-          .cell(p.name)
-          .cell(metrics::Table::fixed(loss * 100, 0))
-          .cell(metrics::Table::fixed(cell.success_rate * 100, 1))
-          .cell(metrics::Table::fixed(added_per_domain, 4))
-          .cell(extra_queries)
-          .cell(cell.retries)
-          .cell(cell.dlv_timeouts)
-          .cell(cell.marked_dead);
-      csv.add_row({p.name, metrics::Table::fixed(loss * 100, 0),
-                   metrics::Table::fixed(cell.success_rate * 100, 2),
-                   metrics::Table::fixed(added_per_domain, 6),
-                   std::to_string(extra_queries), std::to_string(cell.retries),
-                   std::to_string(cell.dlv_timeouts),
-                   std::to_string(cell.marked_dead)});
-      std::cout << "  [done] " << p.name << " loss="
-                << metrics::Table::fixed(loss * 100, 0) << "% success="
-                << metrics::Table::fixed(cell.success_rate * 100, 1) << "%\n";
-      std::cout.flush();
-    }
+  // Canonical grid order: policy-major, loss-minor. Every cell is an
+  // independent experiment, so the whole grid shards across the engine;
+  // the worst cell of the last policy is the primary shard (it carries the
+  // stream sinks, as the serial driver traced exactly that cell).
+  struct GridCell {
+    CellResult result;
+    std::unique_ptr<bench::ShardObs> obs;
+  };
+  const std::size_t grid_size = policies.size() * losses.size();
+  const unsigned jobs = engine::parse_jobs(argc, argv);
+  std::vector<GridCell> grid = engine::run_sharded(
+      grid_size, jobs, [&](std::size_t index) {
+        const PolicyUnderTest& p = policies[index / losses.size()];
+        const double loss = losses[index % losses.size()];
+        GridCell cell;
+        cell.obs = std::make_unique<bench::ShardObs>(
+            obs_session, /*primary=*/index + 1 == grid_size);
+        cell.result =
+            run_cell(n, loss, p.policy, must_be_secure, cell.obs->tracer());
+        return cell;
+      });
+
+  for (std::size_t index = 0; index < grid.size(); ++index) {
+    const PolicyUnderTest& p = policies[index / losses.size()];
+    const double loss = losses[index % losses.size()];
+    const CellResult& cell = grid[index].result;
+    grid[index].obs->merge_into(obs_session);
+    // The loss-free cell of each policy leads its row block in canonical
+    // order, so the baseline is always merged before its dependents.
+    const CellResult& baseline =
+        grid[(index / losses.size()) * losses.size()].result;
+    const double added_per_domain =
+        (cell.seconds - baseline.seconds) / static_cast<double>(n);
+    const std::uint64_t extra_queries =
+        cell.queries > baseline.queries ? cell.queries - baseline.queries : 0;
+    table.row()
+        .cell(p.name)
+        .cell(metrics::Table::fixed(loss * 100, 0))
+        .cell(metrics::Table::fixed(cell.success_rate * 100, 1))
+        .cell(metrics::Table::fixed(added_per_domain, 4))
+        .cell(extra_queries)
+        .cell(cell.retries)
+        .cell(cell.dlv_timeouts)
+        .cell(cell.marked_dead);
+    csv.add_row({p.name, metrics::Table::fixed(loss * 100, 0),
+                 metrics::Table::fixed(cell.success_rate * 100, 2),
+                 metrics::Table::fixed(added_per_domain, 6),
+                 std::to_string(extra_queries), std::to_string(cell.retries),
+                 std::to_string(cell.dlv_timeouts),
+                 std::to_string(cell.marked_dead)});
+    std::cout << "  [done] " << p.name << " loss="
+              << metrics::Table::fixed(loss * 100, 0) << "% success="
+              << metrics::Table::fixed(cell.success_rate * 100, 1) << "%\n";
+    std::cout.flush();
   }
 
   bench::banner("§8.4 sweep (final table)");

@@ -3,11 +3,17 @@
 // decaying with log N due to aggressive negative caching).
 //
 // Paper reference points: 84 leaked at N=100 (84%); 67,838 leaked at N=1M
-// (~6.8%); the proportion decays roughly linearly in log10(N).
+// (~6.8%). Each ladder entry is an independent experiment (private world,
+// resolver and clock), so the ladder shards across the sweep engine with
+// --jobs N; the merged report is byte-identical for any job count.
+#include <cstdint>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/experiment.h"
+#include "engine/sweep.h"
 #include "metrics/csv.h"
 #include "metrics/table.h"
 
@@ -26,6 +32,12 @@ double paper_proportion(std::uint64_t n) {
   }
 }
 
+struct LadderCell {
+  std::uint64_t n = 0;
+  lookaside::core::LeakageReport report;
+  std::unique_ptr<lookaside::bench::ShardObs> obs;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -35,40 +47,54 @@ int main(int argc, char** argv) {
   std::cout << "Workload: Alexa-like top-N, visited in rank order; one\n"
                "recursive resolver (yum-style config: anchors present, DLV\n"
                "enabled); leaked = distinct Case-2 domains observed at the\n"
-               "DLV registry. Set LOOKASIDE_SCALE to cap N.\n";
+               "DLV registry. Set LOOKASIDE_SCALE to cap N; --jobs N shards\n"
+               "the ladder across worker threads.\n";
 
   bench::ObsSession obs_session(bench::parse_obs_args(argc, argv));
+  const unsigned jobs = engine::parse_jobs(argc, argv);
 
   const std::uint64_t max_n = bench::max_scale(1'000'000);
   const std::vector<std::uint64_t> ladder = bench::n_ladder(max_n);
+
+  // Each shard runs one ladder entry end to end. The largest run is the
+  // primary shard: it carries the stream sinks (JSONL trace, summary) and,
+  // like every shard, a private metrics registry merged below.
+  std::vector<LadderCell> cells = engine::run_sharded(
+      ladder.size(), jobs, [&](std::size_t i) {
+        LadderCell cell;
+        cell.n = ladder[i];
+        cell.obs = std::make_unique<bench::ShardObs>(
+            obs_session, /*primary=*/i + 1 == ladder.size());
+        core::UniverseExperiment::Options options;
+        options.universe_size = std::max<std::uint64_t>(cell.n, 1'000'000);
+        options.tracer = cell.obs->tracer();
+        core::UniverseExperiment experiment(options);
+        cell.report = experiment.run_topn(cell.n);
+        return cell;
+      });
 
   metrics::Table table({"#Domains", "DLV queries", "Case-1", "Leaked (Fig. 8)",
                         "Leaked % (Fig. 9)", "Paper leaked %"});
   metrics::CsvWriter csv({"n", "dlv_queries", "case1", "leaked", "leaked_pct"});
 
-  std::uint64_t final_dlv_queries = 0;
-  for (const std::uint64_t n : ladder) {
-    core::UniverseExperiment::Options options;
-    options.universe_size = std::max<std::uint64_t>(n, 1'000'000);
-    // Trace only the largest run, so the exported metrics describe exactly
-    // the final table row instead of the whole ladder accumulated.
-    if (n == ladder.back()) options.tracer = obs_session.tracer();
-    core::UniverseExperiment experiment(options);
-    const core::LeakageReport report = experiment.run_topn(n);
-    if (n == ladder.back()) final_dlv_queries = report.dlv_queries;
-
+  std::uint64_t total_dlv_queries = 0;
+  for (LadderCell& cell : cells) {
+    const core::LeakageReport& report = cell.report;
+    cell.obs->merge_into(obs_session);
+    total_dlv_queries += report.dlv_queries;
     table.row()
-        .cell(n)
+        .cell(cell.n)
         .cell(report.dlv_queries)
         .cell(report.distinct_case1_domains)
         .cell(report.distinct_leaked_domains)
         .percent_cell(report.leaked_proportion())
-        .percent_cell(paper_proportion(n));
-    csv.add_row({std::to_string(n), std::to_string(report.dlv_queries),
+        .percent_cell(paper_proportion(cell.n));
+    csv.add_row({std::to_string(cell.n), std::to_string(report.dlv_queries),
                  std::to_string(report.distinct_case1_domains),
                  std::to_string(report.distinct_leaked_domains),
                  metrics::Table::fixed(report.leaked_proportion() * 100, 2)});
-    std::cout << "  [done] N=" << metrics::Table::with_commas(n) << " leaked="
+    std::cout << "  [done] N=" << metrics::Table::with_commas(cell.n)
+              << " leaked="
               << metrics::Table::with_commas(report.distinct_leaked_domains)
               << " (" << metrics::Table::fixed(report.leaked_proportion() * 100, 2)
               << "%)\n";
@@ -88,12 +114,13 @@ int main(int argc, char** argv) {
   obs_session.finish(std::cout);
   if (obs_session.metrics_enabled()) {
     // Cross-check: the metric stream and the leakage analyzer count the
-    // same queries through independent code paths.
+    // same queries through independent code paths. Every ladder entry
+    // contributes a per-shard registry, merged above in ladder order.
     std::cout << "[obs] upstream_queries{server=\"dlv\"} = "
               << obs_session.registry().value("upstream_queries",
                                               {{"server", "dlv"}})
-              << " (bench counted " << final_dlv_queries
-              << " DLV queries at N=" << ladder.back() << ")\n";
+              << " (bench counted " << total_dlv_queries
+              << " DLV queries across the ladder)\n";
   }
   return 0;
 }

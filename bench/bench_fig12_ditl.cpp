@@ -4,26 +4,40 @@
 //
 // Paper reference: cumulative TXT-signaling overhead ~1.2 GB over 7 hours
 // (~0.38 Mbps) — small relative to the baseline bytes served.
+//
+// Flags: --jobs N shards the two calibration runs (baseline, TXT) across
+// worker threads; the folded series is byte-identical for any job count.
+#include <array>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/ditl_overhead.h"
+#include "engine/sweep.h"
 #include "metrics/csv.h"
 #include "metrics/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lookaside;
 
   bench::banner("Fig. 12: DITL trace-driven TXT overhead at a recursive");
 
-  // Calibrate per-query byte costs from a sampled simulation.
+  // Calibrate per-query byte costs from sampled simulations: one per
+  // remedy mode, each an independent experiment, sharded over the engine.
   core::UniverseExperiment::Options options;
   const std::uint64_t sample =
       std::min<std::uint64_t>(bench::max_scale(2'000), 20'000);
+  const unsigned jobs = engine::parse_jobs(argc, argv);
   std::cout << "Calibrating per-query byte costs over " << sample
             << " sampled domains...\n";
-  const core::PerQueryCost cost =
-      core::calibrate_per_query_cost(sample, options);
+  const std::array<core::RemedyMode, 2> modes = {core::RemedyMode::kNone,
+                                                 core::RemedyMode::kTxt};
+  const std::vector<double> bytes_per_query = engine::run_sharded(
+      modes.size(), jobs, [&](std::size_t i) {
+        return core::measure_bytes_per_stub_query(modes[i], sample, options);
+      });
+  const core::PerQueryCost cost = core::per_query_cost_from_measurements(
+      bytes_per_query[0], bytes_per_query[1]);
   std::cout << "  baseline bytes/stub-query: "
             << metrics::Table::fixed(cost.baseline_bytes, 1)
             << "\n  TXT extra bytes/stub-query: "

@@ -1,0 +1,247 @@
+// Machine-readable performance suite for the hot paths the sweep engine
+// and the hashed resolver cache optimize (PERF baseline tracking).
+//
+// Measures, with wall-clock timing:
+//   - name.parse_ns:  dns::Name::parse over a realistic domain corpus
+//   - name.hash_ns:   cached canonical-hash access on constructed names
+//   - cache.probe_hit_ns:            positive-cache hit probes
+//   - cache.probe_negative_nsec_ns:  aggressive NSEC coverage probes
+//   - resolutions/sec for a fixed grid of independent experiments, run
+//     once at --jobs 1 and once at --jobs N, with the speedup ratio
+//
+// and writes them as BENCH_perf.json (schema "lookaside.bench_perf.v1",
+// documented in EXPERIMENTS.md) so CI can diff runs across commits.
+//
+// Flags: --jobs N (worker threads for the parallel leg; default hardware
+// concurrency), --out=PATH (default BENCH_perf.json), --quick (smaller
+// workloads for CI smoke jobs). LOOKASIDE_SCALE caps the resolution grid.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "dns/name.h"
+#include "dns/record.h"
+#include "engine/sweep.h"
+#include "metrics/table.h"
+#include "resolver/cache.h"
+#include "sim/clock.h"
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+/// Keeps a computed value alive so timed loops are not optimized away.
+void sink(std::uint64_t value) {
+  volatile std::uint64_t keep = value;
+  (void)keep;
+}
+
+std::string fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+/// A corpus of plausible second-level + host names.
+std::vector<std::string> make_corpus(std::size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back("host" + std::to_string(i % 97) + ".Example" +
+                  std::to_string(i) + ".COM");
+  }
+  return out;
+}
+
+struct ThroughputLeg {
+  std::uint64_t resolutions = 0;
+  double seconds = 0;
+  double rate = 0;  // resolutions per second
+};
+
+/// Runs `cells` independent top-N experiments through the engine at the
+/// given job count and reports aggregate resolution throughput.
+ThroughputLeg run_throughput(std::size_t cells, std::uint64_t n,
+                             unsigned jobs) {
+  using namespace lookaside;
+  const auto start = WallClock::now();
+  const std::vector<std::uint64_t> leaked = engine::run_sharded(
+      cells, jobs, [&](std::size_t i) {
+        core::UniverseExperiment::Options options;
+        options.universe_size = std::max<std::uint64_t>(n, 10'000);
+        options.seed = 7 + i;  // distinct worlds, same workload size
+        core::UniverseExperiment experiment(options);
+        return experiment.run_topn(n).distinct_leaked_domains;
+      });
+  ThroughputLeg leg;
+  leg.seconds = seconds_since(start);
+  leg.resolutions = static_cast<std::uint64_t>(cells) * n;
+  leg.rate = leg.seconds > 0 ? static_cast<double>(leg.resolutions) /
+                                   leg.seconds
+                             : 0;
+  std::uint64_t checksum = 0;
+  for (const std::uint64_t v : leaked) checksum += v;
+  sink(checksum);
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lookaside;
+
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg.rfind("--out=", 0) == 0) out_path = std::string(arg.substr(6));
+  }
+  const unsigned jobs = engine::parse_jobs(argc, argv);
+
+  bench::banner("Performance suite: hot-path latencies and sweep throughput");
+
+  // --- dns::Name parse + memoized hash ----------------------------------
+  const std::size_t corpus_size = quick ? 2'000 : 20'000;
+  const std::size_t parse_rounds = quick ? 5 : 25;
+  const std::vector<std::string> corpus = make_corpus(corpus_size);
+
+  auto start = WallClock::now();
+  std::uint64_t checksum = 0;
+  for (std::size_t round = 0; round < parse_rounds; ++round) {
+    for (const std::string& text : corpus) {
+      checksum += dns::Name::parse(text).hash();
+    }
+  }
+  const double parse_ns = seconds_since(start) * 1e9 /
+                          static_cast<double>(corpus_size * parse_rounds);
+  sink(checksum);
+
+  std::vector<dns::Name> names;
+  names.reserve(corpus_size);
+  for (const std::string& text : corpus) names.push_back(dns::Name::parse(text));
+
+  const std::size_t hash_rounds = quick ? 200 : 2'000;
+  start = WallClock::now();
+  checksum = 0;
+  for (std::size_t round = 0; round < hash_rounds; ++round) {
+    for (const dns::Name& name : names) checksum += name.hash();
+  }
+  const double hash_ns = seconds_since(start) * 1e9 /
+                         static_cast<double>(corpus_size * hash_rounds);
+  sink(checksum);
+
+  // --- resolver cache probes ---------------------------------------------
+  sim::SimClock clock;
+  resolver::ResolverCache cache(clock);
+  for (const dns::Name& name : names) {
+    dns::RRset rrset(name, dns::RRType::kA);
+    rrset.add(dns::ResourceRecord::make(name, 3600, dns::ARdata{0x5DB8D822}));
+    cache.store(rrset, /*validated=*/false);
+  }
+  const std::size_t probe_rounds = quick ? 20 : 200;
+  start = WallClock::now();
+  checksum = 0;
+  for (std::size_t round = 0; round < probe_rounds; ++round) {
+    for (const dns::Name& name : names) {
+      checksum += cache.find(name, dns::RRType::kA) != nullptr;
+    }
+  }
+  const double probe_hit_ns = seconds_since(start) * 1e9 /
+                              static_cast<double>(corpus_size * probe_rounds);
+  sink(checksum);
+
+  // Aggressive NSEC chain: owners at even indices, probes at odd indices
+  // (every probe lands strictly between two chain entries -> kNameCovered).
+  const dns::Name zone = dns::Name::parse("example");
+  const std::size_t chain_size = quick ? 500 : 5'000;
+  std::vector<dns::Name> covered;
+  covered.reserve(chain_size);
+  for (std::size_t i = 0; i < chain_size; ++i) {
+    char owner[32];
+    std::snprintf(owner, sizeof owner, "n%06zu.example", 2 * i);
+    char next[32];
+    std::snprintf(next, sizeof next, "n%06zu.example", 2 * i + 2);
+    cache.store_nsec(
+        zone, dns::ResourceRecord::make(
+                  dns::Name::parse(owner), 3600,
+                  dns::NsecRdata{dns::Name::parse(next), {dns::RRType::kA}}));
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "n%06zu.example", 2 * i + 1);
+    covered.push_back(dns::Name::parse(probe));
+  }
+  const std::size_t nsec_rounds = quick ? 20 : 200;
+  start = WallClock::now();
+  checksum = 0;
+  for (std::size_t round = 0; round < nsec_rounds; ++round) {
+    for (const dns::Name& name : covered) {
+      checksum += cache.nsec_check(zone, name, dns::RRType::kA) ==
+                  resolver::NsecCoverage::kNameCovered;
+    }
+  }
+  const double probe_nsec_ns = seconds_since(start) * 1e9 /
+                               static_cast<double>(chain_size * nsec_rounds);
+  sink(checksum);
+
+  // --- end-to-end resolution throughput, single vs. sharded --------------
+  const std::size_t cells = quick ? 4 : 8;
+  const std::uint64_t n = quick ? 300 : bench::max_scale(1'000);
+  std::cout << "Throughput grid: " << cells << " independent experiments x "
+            << n << " resolutions each.\n";
+  const ThroughputLeg single = run_throughput(cells, n, /*jobs=*/1);
+  const ThroughputLeg parallel = run_throughput(cells, n, jobs);
+  const double speedup = single.rate > 0 ? parallel.rate / single.rate : 0;
+
+  metrics::Table table({"Metric", "Value"});
+  table.row().cell("name parse (ns)").cell(fixed(parse_ns, 1));
+  table.row().cell("name cached hash (ns)").cell(fixed(hash_ns, 2));
+  table.row().cell("cache probe hit (ns)").cell(fixed(probe_hit_ns, 1));
+  table.row().cell("NSEC cover probe (ns)").cell(fixed(probe_nsec_ns, 1));
+  table.row()
+      .cell("resolutions/sec (1 thread)")
+      .cell(fixed(single.rate, 0));
+  table.row()
+      .cell("resolutions/sec (" + std::to_string(jobs) + " jobs)")
+      .cell(fixed(parallel.rate, 0));
+  table.row().cell("speedup").cell(fixed(speedup, 2) + "x");
+  table.print(std::cout);
+
+  const std::string json =
+      std::string("{\n") +
+      "  \"schema\": \"lookaside.bench_perf.v1\",\n" +
+      "  \"jobs\": " + std::to_string(jobs) + ",\n" +
+      "  \"hardware_concurrency\": " +
+      std::to_string(std::thread::hardware_concurrency()) + ",\n" +
+      "  \"single_thread\": {\"resolutions\": " +
+      std::to_string(single.resolutions) + ", \"seconds\": " +
+      fixed(single.seconds, 4) + ", \"resolutions_per_sec\": " +
+      fixed(single.rate, 1) + "},\n" +
+      "  \"parallel\": {\"jobs\": " + std::to_string(jobs) +
+      ", \"resolutions\": " + std::to_string(parallel.resolutions) +
+      ", \"seconds\": " + fixed(parallel.seconds, 4) +
+      ", \"resolutions_per_sec\": " + fixed(parallel.rate, 1) +
+      ", \"speedup\": " + fixed(speedup, 2) + "},\n" +
+      "  \"cache\": {\"probe_hit_ns\": " + fixed(probe_hit_ns, 2) +
+      ", \"probe_negative_nsec_ns\": " + fixed(probe_nsec_ns, 2) + "},\n" +
+      "  \"name\": {\"parse_ns\": " + fixed(parse_ns, 2) +
+      ", \"hash_ns\": " + fixed(hash_ns, 3) + "}\n" +
+      "}\n";
+  std::ofstream out(out_path);
+  out << json;
+  std::cout << "\n[perf] wrote " << out_path
+            << (out.good() ? "" : " (WRITE FAILED)") << "\n";
+  return 0;
+}

@@ -11,6 +11,10 @@
 //                          Prometheus text otherwise)
 //   --ring-buffer[=N]      keep the last N events in memory (bounded)
 //   --summary              print the aggregated per-server table at the end
+//
+// Engine-parallel drivers additionally take --jobs N (engine::parse_jobs);
+// each shard owns a ShardObs bundle so metrics stay race-free and merge
+// deterministically (see DESIGN.md §4d).
 #pragma once
 
 #include <cstdint>
@@ -114,6 +118,19 @@ class ObsSession {
     return tracer_.has_sinks() ? &tracer_ : nullptr;
   }
 
+  /// Attaches the session's stream sinks (JSONL, ring, summary) to a
+  /// shard-private tracer. Exactly one shard per sweep may call this — the
+  /// stream sinks are single-writer.
+  void attach_stream_sinks(obs::Tracer& tracer) {
+    if (jsonl_ != nullptr) tracer.add_sink(jsonl_);
+    if (ring_ != nullptr) tracer.add_sink(ring_);
+    if (summary_ != nullptr) tracer.add_sink(summary_);
+  }
+
+  [[nodiscard]] bool stream_sinks_requested() const {
+    return jsonl_ != nullptr || ring_ != nullptr || summary_ != nullptr;
+  }
+
   [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
   [[nodiscard]] bool metrics_enabled() const { return metrics_sink_ != nullptr; }
   [[nodiscard]] obs::RingBufferSink* ring() { return ring_.get(); }
@@ -149,6 +166,41 @@ class ObsSession {
   std::shared_ptr<obs::MetricsSink> metrics_sink_;
   std::shared_ptr<obs::RingBufferSink> ring_;
   std::shared_ptr<obs::SummarySink> summary_;
+};
+
+/// Per-shard observability bundle for engine-parallel sweeps. Every shard
+/// that wants tracing owns one: a private Tracer plus a private
+/// MetricsRegistry (when the session exports metrics), so worker threads
+/// never share a mutable sink. The designated primary shard additionally
+/// carries the session's stream sinks (JSONL trace, ring buffer, summary),
+/// which therefore stay single-writer. After the engine's deterministic
+/// merge, call merge_into() in shard order so the exported metrics are
+/// byte-identical for any --jobs value.
+class ShardObs {
+ public:
+  ShardObs(ObsSession& session, bool primary) {
+    if (session.metrics_enabled()) {
+      metrics_sink_ = std::make_shared<obs::MetricsSink>(registry_);
+      tracer_.add_sink(metrics_sink_);
+    }
+    if (primary) session.attach_stream_sinks(tracer_);
+  }
+
+  /// Tracer for this shard's experiment; nullptr when nothing listens.
+  [[nodiscard]] obs::Tracer* tracer() {
+    return tracer_.has_sinks() ? &tracer_ : nullptr;
+  }
+
+  /// Folds this shard's metrics into the session registry (main thread).
+  void merge_into(ObsSession& session) {
+    tracer_.flush();
+    session.registry().merge_from(registry_);
+  }
+
+ private:
+  obs::Tracer tracer_;
+  obs::MetricsRegistry registry_;
+  std::shared_ptr<obs::MetricsSink> metrics_sink_;
 };
 
 }  // namespace lookaside::bench

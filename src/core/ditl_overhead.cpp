@@ -2,37 +2,37 @@
 
 namespace lookaside::core {
 
+double measure_bytes_per_stub_query(RemedyMode remedy,
+                                    std::uint64_t sample_domains,
+                                    UniverseExperiment::Options options) {
+  options.remedy = remedy;
+  if (remedy == RemedyMode::kTxt) {
+    options.remedy_deployed_at_authorities = false;  // paper methodology
+  }
+  UniverseExperiment experiment(options);
+  (void)experiment.run_topn(sample_domains);
+  const std::uint64_t stub_queries = experiment.stub().queries_sent();
+  if (stub_queries == 0) return 0;
+  return static_cast<double>(
+             experiment.network().counters().value("bytes.total")) /
+         static_cast<double>(stub_queries);
+}
+
 PerQueryCost calibrate_per_query_cost(std::uint64_t sample_domains,
                                       UniverseExperiment::Options options) {
+  const double baseline =
+      measure_bytes_per_stub_query(RemedyMode::kNone, sample_domains, options);
+  const double txt =
+      measure_bytes_per_stub_query(RemedyMode::kTxt, sample_domains, options);
+  return per_query_cost_from_measurements(baseline, txt);
+}
+
+PerQueryCost per_query_cost_from_measurements(double baseline_bytes,
+                                              double txt_bytes) {
   PerQueryCost cost;
-  double baseline_per_query = 0;
-  double txt_per_query = 0;
-  std::uint64_t baseline_stub_queries = 0;
-  {
-    UniverseExperiment::Options baseline_options = options;
-    baseline_options.remedy = RemedyMode::kNone;
-    UniverseExperiment baseline(baseline_options);
-    (void)baseline.run_topn(sample_domains);
-    baseline_stub_queries = baseline.stub().queries_sent();
-    baseline_per_query =
-        static_cast<double>(
-            baseline.network().counters().value("bytes.total")) /
-        static_cast<double>(baseline_stub_queries);
-  }
-  {
-    UniverseExperiment::Options txt_options = options;
-    txt_options.remedy = RemedyMode::kTxt;
-    txt_options.remedy_deployed_at_authorities = false;  // paper methodology
-    UniverseExperiment txt(txt_options);
-    (void)txt.run_topn(sample_domains);
-    txt_per_query =
-        static_cast<double>(txt.network().counters().value("bytes.total")) /
-        static_cast<double>(txt.stub().queries_sent());
-  }
-  cost.baseline_bytes = baseline_per_query;
-  cost.txt_extra_bytes = txt_per_query - baseline_per_query;
+  cost.baseline_bytes = baseline_bytes;
+  cost.txt_extra_bytes = txt_bytes - baseline_bytes;
   if (cost.txt_extra_bytes < 0) cost.txt_extra_bytes = 0;
-  (void)baseline_stub_queries;
   return cost;
 }
 

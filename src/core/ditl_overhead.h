@@ -24,10 +24,25 @@ struct PerQueryCost {
   double txt_extra_bytes = 0; // additional bytes per stub query under TXT
 };
 
+/// Runs one sampled simulation under `remedy` over `sample_domains`
+/// top-ranked domains and returns the average serving bytes per stub
+/// query. For RemedyMode::kTxt the remedy is signaled by the resolver but
+/// not deployed at authorities (the paper's Fig. 12 methodology). Each
+/// call owns a private experiment, so the two calibration runs behind
+/// calibrate_per_query_cost() can execute on separate engine shards.
+[[nodiscard]] double measure_bytes_per_stub_query(
+    RemedyMode remedy, std::uint64_t sample_domains,
+    UniverseExperiment::Options options);
+
 /// Runs two sampled simulations (baseline and TXT) over `sample_domains`
 /// top-ranked domains and derives average per-stub-query byte costs.
 [[nodiscard]] PerQueryCost calibrate_per_query_cost(
     std::uint64_t sample_domains, UniverseExperiment::Options options);
+
+/// Combines the two per-mode measurements into the Fig. 12 cost pair
+/// (TXT extra cost clamps at zero, as in calibrate_per_query_cost).
+[[nodiscard]] PerQueryCost per_query_cost_from_measurements(
+    double baseline_bytes, double txt_bytes);
 
 /// One minute of the Fig. 12 series.
 struct DitlMinute {

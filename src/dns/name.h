@@ -71,11 +71,9 @@ class Name {
   [[nodiscard]] std::size_t wire_length() const;
 
   friend bool operator==(const Name& a, const Name& b) {
-    return a.text_ == b.text_;
+    return a.hash_ == b.hash_ && a.text_ == b.text_;
   }
-  friend bool operator!=(const Name& a, const Name& b) {
-    return a.text_ != b.text_;
-  }
+  friend bool operator!=(const Name& a, const Name& b) { return !(a == b); }
   /// operator< is canonical order so Name sorts the way NSEC chains need.
   friend bool operator<(const Name& a, const Name& b) {
     return a.canonical_compare(b) < 0;
@@ -84,16 +82,25 @@ class Name {
   /// The normalized internal text (no trailing dot; empty for root).
   [[nodiscard]] const std::string& internal_text() const { return text_; }
 
+  /// Canonical-form hash (FNV-1a 64 over the lowercase text), computed once
+  /// at construction so cache probes and hash-map keys never re-hash.
+  [[nodiscard]] std::size_t hash() const { return hash_; }
+
  private:
+  // FNV-1a 64-bit offset basis; doubles as the hash of the root name.
+  static constexpr std::size_t kEmptyHash = 14695981039346656037ULL;
+
+  [[nodiscard]] static std::size_t hash_text(std::string_view text);
+
   std::string text_;                         // lowercase, no trailing dot
   std::vector<std::uint16_t> label_starts_;  // index of each label's start
+  std::size_t hash_ = kEmptyHash;
 };
 
-/// Hash functor so Name can key unordered containers.
+/// Hash functor so Name can key unordered containers; reuses the memoized
+/// canonical hash.
 struct NameHash {
-  std::size_t operator()(const Name& name) const {
-    return std::hash<std::string>{}(name.internal_text());
-  }
+  std::size_t operator()(const Name& name) const { return name.hash(); }
 };
 
 }  // namespace lookaside::dns

@@ -1,0 +1,82 @@
+#include "engine/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace lookaside::engine {
+
+std::uint64_t shard_seed(std::uint64_t base_seed, std::uint64_t shard_id) {
+  // One SplitMix64 step over a mix of the inputs. The golden-ratio odd
+  // constant decorrelates adjacent shard ids; the final xorshift cascade
+  // avalanches low bits so shard 0 and shard 1 share no stream prefix.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (shard_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+unsigned default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string value;
+    if (arg.rfind("--jobs=", 0) == 0) {
+      value = std::string(arg.substr(7));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      value = argv[i + 1];
+    } else {
+      continue;
+    }
+    const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
+    return parsed == 0 ? default_jobs() : static_cast<unsigned>(parsed);
+  }
+  return default_jobs();
+}
+
+void for_each_shard(std::size_t count, unsigned jobs,
+                    const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs == 0 ? 1 : jobs, count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lookaside::engine

@@ -1,0 +1,60 @@
+// Parallel sweep engine: shards an embarrassingly parallel work grid across
+// a std::thread pool under a strict determinism contract.
+//
+// The simulator has no shared mutable state — every experiment owns its
+// clock, network, world and resolver — so a (config, domain-list, seed) grid
+// parallelizes by giving each shard a private experiment instance. The
+// engine guarantees:
+//   1. Work item i is a pure function of its index: the engine never feeds
+//      scheduling information into a shard.
+//   2. Per-shard RNG seeds derive from (base_seed, shard_id) via
+//      shard_seed(), independent of thread count and completion order.
+//   3. Results merge in canonical index order, so driver output is
+//      byte-identical for any --jobs value, including --jobs 1.
+// See DESIGN.md §4d for the full contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace lookaside::engine {
+
+/// Deterministic per-shard seed: SplitMix64-style mix of (base_seed,
+/// shard_id). Stable across platforms, thread counts and scheduling.
+[[nodiscard]] std::uint64_t shard_seed(std::uint64_t base_seed,
+                                       std::uint64_t shard_id);
+
+/// std::thread::hardware_concurrency() clamped to at least 1.
+[[nodiscard]] unsigned default_jobs();
+
+/// Parses `--jobs N` / `--jobs=N` from argv; absent or zero means
+/// default_jobs(). Unknown arguments are ignored (bench drivers keep their
+/// own flags).
+[[nodiscard]] unsigned parse_jobs(int argc, char** argv);
+
+/// Runs body(i) for every i in [0, count) on up to `jobs` worker threads.
+/// Indices are claimed dynamically (fast shards steal remaining work), which
+/// is safe because each item depends only on its index. Exceptions thrown by
+/// `body` are captured and the first one (by completion, not index) is
+/// rethrown on the calling thread after all workers join. jobs <= 1 runs
+/// inline, in index order, with no threads.
+void for_each_shard(std::size_t count, unsigned jobs,
+                    const std::function<void(std::size_t)>& body);
+
+/// Maps fn over [0, count) with for_each_shard and returns the results in
+/// index order — the deterministic merge. `fn` must be invocable from
+/// multiple threads on distinct indices.
+template <typename Fn>
+[[nodiscard]] auto run_sharded(std::size_t count, unsigned jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<Result> results(count);
+  for_each_shard(count, jobs,
+                 [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace lookaside::engine

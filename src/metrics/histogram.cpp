@@ -38,6 +38,14 @@ double Histogram::percentile(double p) const {
   return samples_[std::min(index, samples_.size() - 1)];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+  sum_ += other.sum_;
+}
+
 void Histogram::clear() {
   samples_.clear();
   sorted_ = true;

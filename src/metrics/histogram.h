@@ -24,6 +24,9 @@ class Histogram {
   /// Exact percentile by nearest-rank; `p` in [0, 100]. Returns 0 when empty.
   [[nodiscard]] double percentile(double p) const;
 
+  /// Folds another histogram's samples into this one (shard merge).
+  void merge(const Histogram& other);
+
   void clear();
 
  private:

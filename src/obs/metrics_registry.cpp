@@ -123,6 +123,25 @@ void MetricsRegistry::import_counters(const metrics::CounterSet& counters,
   }
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, series_map] : other.counters_) {
+    for (const auto& [key, series] : series_map) {
+      auto& mine = counters_[name][key];
+      if (mine.value == 0 && mine.labels.empty()) mine.labels = series.labels;
+      mine.value += series.value;
+    }
+  }
+  for (const auto& [name, series_map] : other.histograms_) {
+    for (const auto& [key, series] : series_map) {
+      auto& mine = histograms_[name][key];
+      if (mine.histogram.count() == 0 && mine.labels.empty()) {
+        mine.labels = series.labels;
+      }
+      mine.histogram.merge(series.histogram);
+    }
+  }
+}
+
 std::string MetricsRegistry::prometheus_text() const {
   std::string out;
   for (const auto& [name, series_map] : counters_) {

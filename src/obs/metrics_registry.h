@@ -54,6 +54,12 @@ class MetricsRegistry {
   void import_counters(const metrics::CounterSet& counters,
                        std::string_view prefix = "");
 
+  /// Folds another registry into this one: counters add, histogram samples
+  /// append. Used by the sweep engine to reduce per-shard registries into
+  /// one post-run export; merging shards in canonical order keeps the
+  /// result independent of thread scheduling.
+  void merge_from(const MetricsRegistry& other);
+
   /// Prometheus text exposition. Counters get `# TYPE ... counter` lines;
   /// histograms are exported as summaries (quantiles 0.5/0.9/0.99 plus
   /// _sum and _count).

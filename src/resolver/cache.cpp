@@ -4,15 +4,35 @@
 
 namespace lookaside::resolver {
 
+namespace {
+
+/// Slot for `type` in a per-name slot list, or nullptr.
+template <typename V>
+[[nodiscard]] std::pair<dns::RRType, V>* find_type(
+    std::vector<std::pair<dns::RRType, V>>* slots, dns::RRType type) {
+  if (slots == nullptr) return nullptr;
+  for (auto& slot : *slots) {
+    if (slot.first == type) return &slot;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 void ResolverCache::store(const dns::RRset& rrset, bool validated,
                           std::vector<dns::ResourceRecord> rrsigs) {
   if (rrset.empty()) return;
-  PositiveEntry entry;
-  entry.rrset = rrset;
-  entry.expires_us = ttl_to_deadline(now(), rrset.ttl());
-  entry.validated = validated;
-  entry.rrsigs = std::move(rrsigs);
-  positive_[{rrset.name(), rrset.type()}] = std::move(entry);
+  auto entry = std::make_unique<PositiveEntry>();
+  entry->rrset = rrset;
+  entry->expires_us = ttl_to_deadline(now(), rrset.ttl());
+  entry->validated = validated;
+  entry->rrsigs = std::move(rrsigs);
+  PositiveSlots& slots = positive_.get_or_insert(rrset.name());
+  if (auto* slot = find_type(&slots, rrset.type())) {
+    slot->second = std::move(entry);
+  } else {
+    slots.emplace_back(rrset.type(), std::move(entry));
+  }
 }
 
 const dns::RRset* ResolverCache::find(const dns::Name& name,
@@ -23,14 +43,19 @@ const dns::RRset* ResolverCache::find(const dns::Name& name,
 
 std::optional<ResolverCache::Entry> ResolverCache::find_entry(
     const dns::Name& name, dns::RRType type) {
-  const auto it = positive_.find({name, type});
-  if (it == positive_.end() || it->second.expires_us <= now()) {
-    if (it != positive_.end()) positive_.erase(it);
+  PositiveSlots* slots = positive_.find(name);
+  auto* slot = find_type(slots, type);
+  if (slot == nullptr || slot->second->expires_us <= now()) {
+    if (slot != nullptr) {
+      slots->erase(slots->begin() + (slot - slots->data()));
+      if (slots->empty()) positive_.erase(name);
+    }
     counters_.add("cache.miss");
     return std::nullopt;
   }
   counters_.add("cache.hit");
-  return Entry{&it->second.rrset, it->second.validated, &it->second.rrsigs};
+  const PositiveEntry& entry = *slot->second;
+  return Entry{&entry.rrset, entry.validated, &entry.rrsigs};
 }
 
 const dns::RRset* ResolverCache::find_validated(const dns::Name& name,
@@ -40,28 +65,37 @@ const dns::RRset* ResolverCache::find_validated(const dns::Name& name,
 }
 
 void ResolverCache::mark_validated(const dns::Name& name, dns::RRType type) {
-  const auto it = positive_.find({name, type});
-  if (it != positive_.end()) it->second.validated = true;
+  if (auto* slot = find_type(positive_.find(name), type)) {
+    slot->second->validated = true;
+  }
 }
 
 void ResolverCache::store_negative(const dns::Name& name, dns::RRType type,
                                    std::uint32_t ttl, bool nxdomain) {
-  negative_[{name, type}] = NegativeRecord{ttl_to_deadline(now(), ttl), nxdomain};
+  auto& slots = negative_.get_or_insert(name);
+  const NegativeRecord record{ttl_to_deadline(now(), ttl), nxdomain};
+  if (auto* slot = find_type(&slots, type)) {
+    slot->second = record;
+  } else {
+    slots.emplace_back(type, record);
+  }
 }
 
 NegativeEntry ResolverCache::find_negative(const dns::Name& name,
                                            dns::RRType type) {
-  // NXDOMAIN entries apply regardless of type, so check the stored type too.
-  const auto exact = negative_.find({name, type});
-  if (exact != negative_.end() && exact->second.expires_us > now()) {
-    counters_.add("cache.negative_hit");
-    return exact->second.nxdomain ? NegativeEntry::kNxDomain
-                                  : NegativeEntry::kNoData;
+  auto* slots = negative_.find(name);
+  if (slots == nullptr) return NegativeEntry::kNone;
+  // Exact (name, type) entry wins when unexpired.
+  if (const auto* slot = find_type(slots, type)) {
+    if (slot->second.expires_us > now()) {
+      counters_.add("cache.negative_hit");
+      return slot->second.nxdomain ? NegativeEntry::kNxDomain
+                                   : NegativeEntry::kNoData;
+    }
   }
   // Any unexpired NXDOMAIN entry for this name covers every type.
-  const auto lower = negative_.lower_bound({name, static_cast<dns::RRType>(0)});
-  for (auto it = lower; it != negative_.end() && it->first.first == name; ++it) {
-    if (it->second.nxdomain && it->second.expires_us > now()) {
+  for (const auto& slot : *slots) {
+    if (slot.second.nxdomain && slot.second.expires_us > now()) {
       counters_.add("cache.negative_hit");
       return NegativeEntry::kNxDomain;
     }
@@ -71,13 +105,19 @@ NegativeEntry ResolverCache::find_negative(const dns::Name& name,
 
 void ResolverCache::store_servfail(const dns::Name& name, dns::RRType type,
                                    std::uint32_t ttl) {
-  servfail_[{name, type}] = ttl_to_deadline(now(), ttl);
+  auto& slots = servfail_.get_or_insert(name);
+  const std::uint64_t deadline = ttl_to_deadline(now(), ttl);
+  if (auto* slot = find_type(&slots, type)) {
+    slot->second = deadline;
+  } else {
+    slots.emplace_back(type, deadline);
+  }
   counters_.add("cache.servfail_store");
 }
 
 bool ResolverCache::find_servfail(const dns::Name& name, dns::RRType type) {
-  const auto it = servfail_.find({name, type});
-  if (it == servfail_.end() || it->second <= now()) return false;
+  const auto* slot = find_type(servfail_.find(name), type);
+  if (slot == nullptr || slot->second <= now()) return false;
   counters_.add("cache.servfail_hit");
   return true;
 }
@@ -90,15 +130,15 @@ void ResolverCache::store_nsec(const dns::Name& zone_apex,
   entry.next = nsec->next;
   entry.types = nsec->types;
   entry.expires_us = ttl_to_deadline(now(), nsec_record.ttl);
-  nsec_by_zone_[zone_apex][nsec_record.name] = std::move(entry);
+  nsec_by_zone_.get_or_insert(zone_apex)[nsec_record.name] = std::move(entry);
 }
 
 NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
                                        const dns::Name& qname,
                                        dns::RRType qtype) {
-  const auto zone_it = nsec_by_zone_.find(zone_apex);
-  if (zone_it == nsec_by_zone_.end()) return NsecCoverage::kNoProof;
-  auto& chain = zone_it->second;
+  NsecChain* chain_ptr = nsec_by_zone_.find(zone_apex);
+  if (chain_ptr == nullptr) return NsecCoverage::kNoProof;
+  NsecChain& chain = *chain_ptr;
   if (!qname.is_subdomain_of(zone_apex)) return NsecCoverage::kNoProof;
 
   // Greatest owner <= qname.
@@ -133,21 +173,20 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
 }
 
 std::size_t ResolverCache::nsec_count(const dns::Name& zone_apex) const {
-  const auto it = nsec_by_zone_.find(zone_apex);
-  return it == nsec_by_zone_.end() ? 0 : it->second.size();
+  const NsecChain* chain = nsec_by_zone_.find(zone_apex);
+  return chain == nullptr ? 0 : chain->size();
 }
 
 void ResolverCache::store_zone_cut(const dns::Name& apex, std::uint32_t ttl) {
-  zone_cuts_[apex] = ttl_to_deadline(now(), ttl);
+  zone_cuts_.get_or_insert(apex) = ttl_to_deadline(now(), ttl);
 }
 
 dns::Name ResolverCache::deepest_known_cut(const dns::Name& qname) {
   dns::Name candidate = qname;
   for (;;) {
-    const auto it = zone_cuts_.find(candidate);
-    if (it != zone_cuts_.end()) {
-      if (it->second > now()) return candidate;
-      zone_cuts_.erase(it);
+    if (const std::uint64_t* deadline = zone_cuts_.find(candidate)) {
+      if (*deadline > now()) return candidate;
+      zone_cuts_.erase(candidate);
     }
     if (candidate.is_root()) return candidate;
     candidate = candidate.parent();

@@ -8,9 +8,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "dns/name.h"
+#include "dns/name_map.h"
 #include "dns/record.h"
 #include "metrics/counters.h"
 #include "sim/clock.h"
@@ -114,6 +118,7 @@ class ResolverCache {
  private:
   struct CanonicalLess {
     bool operator()(const dns::Name& a, const dns::Name& b) const {
+      // canonical_compare short-circuits equal names via the cached hash.
       return a.canonical_compare(b) < 0;
     }
   };
@@ -133,6 +138,18 @@ class ResolverCache {
     std::uint64_t expires_us = 0;
   };
 
+  // Per-name slot lists: one hash probe finds every type cached under a
+  // name (typically 1-3 entries), so probes do no (Name, RRType) pair-key
+  // construction and the NXDOMAIN any-type scan is a tiny linear walk
+  // instead of a map range scan. Positive entries are boxed so handed-out
+  // Entry pointers survive rehashes, matching std::map pointer stability.
+  template <typename V>
+  using TypeSlots = std::vector<std::pair<dns::RRType, V>>;
+  using PositiveSlots = TypeSlots<std::unique_ptr<PositiveEntry>>;
+  // NSEC chains stay ordered: coverage checks need the greatest owner
+  // <= qname (predecessor query), which a hash table cannot answer.
+  using NsecChain = std::map<dns::Name, NsecEntry, CanonicalLess>;
+
   [[nodiscard]] std::uint64_t now() const { return clock_->now_us(); }
   [[nodiscard]] static std::uint64_t ttl_to_deadline(std::uint64_t now_us,
                                                      std::uint32_t ttl) {
@@ -141,13 +158,11 @@ class ResolverCache {
 
   const sim::SimClock* clock_;
   metrics::CounterSet counters_;
-  std::map<std::pair<dns::Name, dns::RRType>, PositiveEntry> positive_;
-  std::map<std::pair<dns::Name, dns::RRType>, NegativeRecord> negative_;
-  std::map<std::pair<dns::Name, dns::RRType>, std::uint64_t> servfail_;
-  std::map<dns::Name, std::map<dns::Name, NsecEntry, CanonicalLess>,
-           CanonicalLess>
-      nsec_by_zone_;
-  std::map<dns::Name, std::uint64_t, CanonicalLess> zone_cuts_;
+  dns::NameHashMap<PositiveSlots> positive_;
+  dns::NameHashMap<TypeSlots<NegativeRecord>> negative_;
+  dns::NameHashMap<TypeSlots<std::uint64_t>> servfail_;
+  dns::NameHashMap<NsecChain> nsec_by_zone_;
+  dns::NameHashMap<std::uint64_t> zone_cuts_;
 };
 
 }  // namespace lookaside::resolver

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "crypto/rng.h"
 #include "dns/name.h"
+#include "dns/name_map.h"
 
 namespace lookaside::dns {
 namespace {
@@ -160,6 +163,110 @@ TEST(NamePropertyTest, ParentIsPrefixInverse) {
     const std::string label = "l" + std::to_string(rng.next_below(1000));
     EXPECT_EQ(base.with_prefix_label(label).parent(), base);
   }
+}
+
+TEST(NameHashTest, MemoizedHashMatchesCanonicalText) {
+  // Every construction path must leave hash() consistent with the
+  // lowercase text — hierarchy ops included, since cache keys are often
+  // derived names (parent zones, DLV-translated names).
+  const Name a = Name::parse("WWW.Example.COM");
+  EXPECT_EQ(a.hash(), Name::parse("www.example.com").hash());
+  EXPECT_EQ(a.parent().hash(), Name::parse("example.com").hash());
+  EXPECT_EQ(a.parent().parent().hash(), Name::parse("com").hash());
+  EXPECT_EQ(Name::root().hash(), Name{}.hash());
+  EXPECT_EQ(a.with_prefix_label("Sub").hash(),
+            Name::parse("sub.www.example.com").hash());
+  const Name dlv = Name::parse("dlv.isc.org");
+  EXPECT_EQ(Name::parse("example.com").concat(dlv).hash(),
+            Name::parse("example.com.dlv.isc.org").hash());
+  EXPECT_EQ(Name::parse("example.com.dlv.isc.org").without_suffix(dlv).hash(),
+            Name::parse("example.com").hash());
+  // Unequal names should essentially never collide in a small corpus.
+  std::set<std::size_t> hashes;
+  for (int i = 0; i < 1'000; ++i) {
+    hashes.insert(Name::parse("d" + std::to_string(i) + ".com").hash());
+  }
+  EXPECT_EQ(hashes.size(), 1'000u);
+}
+
+TEST(NameHashMapTest, InsertFindEraseAcrossRehashes) {
+  NameHashMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(Name::parse("absent.com")), nullptr);
+  // Grow well past several doublings of the 16-slot initial table.
+  for (int i = 0; i < 500; ++i) {
+    map.get_or_insert(Name::parse("d" + std::to_string(i) + ".com")) = i;
+  }
+  EXPECT_EQ(map.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    const int* value = map.find(Name::parse("d" + std::to_string(i) + ".com"));
+    ASSERT_NE(value, nullptr) << i;
+    EXPECT_EQ(*value, i);
+  }
+  // get_or_insert on a present key returns the existing value.
+  map.get_or_insert(Name::parse("d7.com")) = 777;
+  EXPECT_EQ(map.size(), 500u);
+  EXPECT_EQ(*map.find(Name::parse("d7.com")), 777);
+  // Erase half; the rest stay reachable through the tombstones.
+  for (int i = 0; i < 500; i += 2) {
+    EXPECT_TRUE(map.erase(Name::parse("d" + std::to_string(i) + ".com")));
+  }
+  EXPECT_FALSE(map.erase(Name::parse("d0.com")));  // already gone
+  EXPECT_EQ(map.size(), 250u);
+  for (int i = 1; i < 500; i += 2) {
+    ASSERT_NE(map.find(Name::parse("d" + std::to_string(i) + ".com")), nullptr)
+        << i;
+  }
+  EXPECT_EQ(map.find(Name::parse("d0.com")), nullptr);
+}
+
+TEST(NameHashMapTest, TombstoneSlotsAreReusedAndCompacted) {
+  NameHashMap<int> map;
+  // Churn far more insert/erase cycles than any capacity could hold
+  // without tombstone compaction; the map must stay correct throughout.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      map.get_or_insert(
+          Name::parse("r" + std::to_string(round) + "i" + std::to_string(i) +
+                      ".com")) = round * 100 + i;
+    }
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_TRUE(map.erase(Name::parse("r" + std::to_string(round) + "i" +
+                                        std::to_string(i) + ".com")));
+    }
+    EXPECT_TRUE(map.empty()) << round;
+  }
+  map.get_or_insert(Name::parse("survivor.com")) = 1;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_NE(map.find(Name::parse("survivor.com")), nullptr);
+}
+
+TEST(NameHashMapTest, ForEachVisitsLiveEntriesOnly) {
+  NameHashMap<int> map;
+  for (int i = 0; i < 20; ++i) {
+    map.get_or_insert(Name::parse("d" + std::to_string(i) + ".com")) = i;
+  }
+  for (int i = 0; i < 20; i += 2) {
+    map.erase(Name::parse("d" + std::to_string(i) + ".com"));
+  }
+  int sum = 0;
+  int count = 0;
+  map.for_each([&](const Name& key, int& value) {
+    EXPECT_FALSE(key.is_root());
+    sum += value;
+    ++count;
+  });
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sum, 1 + 3 + 5 + 7 + 9 + 11 + 13 + 15 + 17 + 19);
+}
+
+TEST(NameHashMapTest, RootNameIsAValidKey) {
+  NameHashMap<int> map;
+  map.get_or_insert(Name::root()) = 42;
+  ASSERT_NE(map.find(Name::root()), nullptr);
+  EXPECT_EQ(*map.find(Name::root()), 42);
+  EXPECT_TRUE(map.erase(Name::root()));
+  EXPECT_EQ(map.find(Name::root()), nullptr);
 }
 
 }  // namespace

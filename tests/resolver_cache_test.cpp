@@ -3,6 +3,12 @@
 // and zone-cut tracking.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/rng.h"
 #include "resolver/cache.h"
 #include "sim/clock.h"
 
@@ -200,6 +206,191 @@ TEST_F(CacheTest, HitMissCountersTrack) {
   (void)cache_.find(dns::Name::parse("b.com"), dns::RRType::kA);
   EXPECT_EQ(cache_.counters().value("cache.hit"), 1u);
   EXPECT_EQ(cache_.counters().value("cache.miss"), 1u);
+}
+
+TEST_F(CacheTest, EntryPointersSurviveRehash) {
+  // The hash-map migration must keep the std::map-era guarantee that
+  // handed-out Entry pointers stay valid across later stores (positive
+  // entries are boxed, so rehashes move only the box).
+  cache_.store(a_rrset("stable.com", 10'000, 0xABCD), true);
+  const auto entry =
+      cache_.find_entry(dns::Name::parse("stable.com"), dns::RRType::kA);
+  ASSERT_TRUE(entry.has_value());
+  const dns::RRset* pinned = entry->rrset;
+  // Force several rehashes of the positive table.
+  for (int i = 0; i < 1'000; ++i) {
+    cache_.store(a_rrset("filler" + std::to_string(i) + ".com", 10'000), false);
+  }
+  EXPECT_EQ(std::get<dns::ARdata>(pinned->records()[0].rdata).address, 0xABCDu);
+  EXPECT_EQ(cache_.find(dns::Name::parse("stable.com"), dns::RRType::kA),
+            pinned);
+}
+
+/// Reference model with the pre-hash-map std::map semantics, driven in
+/// lockstep with the real cache on a randomized operation trace. Guards
+/// the open-addressing migration: outcomes AND counters must match the
+/// old ordered-map behavior exactly (including the RFC 2308 rule that an
+/// unexpired NXDOMAIN for a name answers every type, and expired-entry
+/// erase-on-probe for the positive cache only).
+class CacheModelTest : public CacheTest {
+ protected:
+  using Key = std::pair<std::string, dns::RRType>;
+  struct ModelPositive {
+    std::uint64_t expires_us = 0;
+    std::uint32_t address = 0;
+  };
+  struct ModelNegative {
+    std::uint64_t expires_us = 0;
+    bool nxdomain = false;
+  };
+
+  [[nodiscard]] std::uint64_t deadline(std::uint32_t ttl) const {
+    return clock_.now_us() + static_cast<std::uint64_t>(ttl) * 1'000'000ULL;
+  }
+
+  void model_find(const std::string& name, dns::RRType type) {
+    const auto it = positive_.find({name, type});
+    const dns::RRset* got = cache_.find(dns::Name::parse(name), type);
+    if (it != positive_.end() && it->second.expires_us > clock_.now_us()) {
+      ++hits_;
+      ASSERT_NE(got, nullptr) << name;
+      EXPECT_EQ(std::get<dns::ARdata>(got->records()[0].rdata).address,
+                it->second.address);
+    } else {
+      ++misses_;
+      if (it != positive_.end()) positive_.erase(it);
+      EXPECT_EQ(got, nullptr) << name;
+    }
+  }
+
+  void model_find_negative(const std::string& name, dns::RRType type) {
+    NegativeEntry expected = NegativeEntry::kNone;
+    const auto exact = negative_.find({name, type});
+    if (exact != negative_.end() &&
+        exact->second.expires_us > clock_.now_us()) {
+      expected = exact->second.nxdomain ? NegativeEntry::kNxDomain
+                                        : NegativeEntry::kNoData;
+    } else {
+      for (const auto& [key, record] : negative_) {
+        if (key.first == name && record.nxdomain &&
+            record.expires_us > clock_.now_us()) {
+          expected = NegativeEntry::kNxDomain;
+          break;
+        }
+      }
+    }
+    if (expected != NegativeEntry::kNone) ++negative_hits_;
+    EXPECT_EQ(cache_.find_negative(dns::Name::parse(name), type), expected)
+        << name;
+  }
+
+  void model_deepest_cut(const std::string& name) {
+    dns::Name candidate = dns::Name::parse(name);
+    for (;;) {
+      const auto it = zone_cuts_.find(candidate.internal_text());
+      if (it != zone_cuts_.end() && it->second > clock_.now_us()) break;
+      if (candidate.is_root()) break;
+      candidate = candidate.parent();
+    }
+    EXPECT_EQ(cache_.deepest_known_cut(dns::Name::parse(name)), candidate)
+        << name;
+  }
+
+  std::map<Key, ModelPositive> positive_;
+  std::map<Key, ModelNegative> negative_;
+  std::map<Key, std::uint64_t> servfail_;
+  std::map<std::string, std::uint64_t> zone_cuts_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t negative_hits_ = 0;
+  std::uint64_t servfail_hits_ = 0;
+};
+
+TEST_F(CacheModelTest, RandomizedTraceMatchesOrderedMapModel) {
+  crypto::SplitMix64 rng(0xCAFE);
+  const dns::RRType types[] = {dns::RRType::kA, dns::RRType::kMx,
+                               dns::RRType::kTxt};
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) {
+    names.push_back("h" + std::to_string(i) + ".example.com");
+    names.push_back("h" + std::to_string(i) + ".sub.example.com");
+  }
+  names.push_back("example.com");
+  names.push_back("sub.example.com");
+  names.push_back("com");
+
+  for (int step = 0; step < 6'000; ++step) {
+    const std::string& name = names[rng.next_below(names.size())];
+    const dns::RRType type = types[rng.next_below(3)];
+    const std::uint32_t ttl = 1 + static_cast<std::uint32_t>(rng.next_below(30));
+    switch (rng.next_below(10)) {
+      case 0: {  // store positive (overwrite allowed)
+        const auto address = static_cast<std::uint32_t>(rng.next_below(1000));
+        dns::RRset rrset(dns::Name::parse(name), dns::RRType::kA);
+        rrset.add(dns::ResourceRecord::make(dns::Name::parse(name), ttl,
+                                            dns::ARdata{address}));
+        cache_.store(rrset, rng.next_below(2) == 0);
+        positive_[{name, dns::RRType::kA}] = {deadline(ttl), address};
+        break;
+      }
+      case 1:
+      case 2:
+        model_find(name, dns::RRType::kA);
+        break;
+      case 3: {  // negative store: nodata <-> nxdomain overwrites included
+        const bool nxdomain = rng.next_below(2) == 0;
+        cache_.store_negative(dns::Name::parse(name), type, ttl, nxdomain);
+        negative_[{name, type}] = {deadline(ttl), nxdomain};
+        break;
+      }
+      case 4:
+      case 5:
+        model_find_negative(name, type);
+        break;
+      case 6: {  // servfail store + probe
+        if (rng.next_below(2) == 0) {
+          cache_.store_servfail(dns::Name::parse(name), type, ttl);
+          servfail_[{name, type}] = deadline(ttl);
+        } else {
+          const auto it = servfail_.find({name, type});
+          const bool expected =
+              it != servfail_.end() && it->second > clock_.now_us();
+          if (expected) ++servfail_hits_;
+          EXPECT_EQ(cache_.find_servfail(dns::Name::parse(name), type),
+                    expected);
+        }
+        break;
+      }
+      case 7: {  // zone cuts
+        if (rng.next_below(2) == 0) {
+          const std::string apex =
+              rng.next_below(2) == 0 ? "example.com" : "sub.example.com";
+          cache_.store_zone_cut(dns::Name::parse(apex), ttl);
+          zone_cuts_[apex] = deadline(ttl);
+        } else {
+          model_deepest_cut(name);
+        }
+        break;
+      }
+      case 8:  // time passes; entries expire
+        clock_.advance_seconds(static_cast<double>(rng.next_below(8)));
+        break;
+      case 9:
+        if (rng.next_below(100) == 0) {  // rare full wipe
+          cache_.clear();
+          positive_.clear();
+          negative_.clear();
+          servfail_.clear();
+          zone_cuts_.clear();
+        }
+        break;
+    }
+  }
+
+  EXPECT_EQ(cache_.counters().value("cache.hit"), hits_);
+  EXPECT_EQ(cache_.counters().value("cache.miss"), misses_);
+  EXPECT_EQ(cache_.counters().value("cache.negative_hit"), negative_hits_);
+  EXPECT_EQ(cache_.counters().value("cache.servfail_hit"), servfail_hits_);
 }
 
 }  // namespace
