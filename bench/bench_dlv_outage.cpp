@@ -94,13 +94,9 @@ CellResult run_cell(std::uint64_t n, double loss,
 int main(int argc, char** argv) {
   using namespace lookaside;
 
-  bool smoke = false;
-  bool must_be_secure = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--smoke") smoke = true;
-    if (arg == "--must-be-secure") must_be_secure = true;
-  }
+  const bench::ArgParser args(argc, argv);
+  const bool smoke = args.smoke();
+  const bool must_be_secure = args.flag("must-be-secure");
 
   bench::banner("§8.4 DLV-outage chaos study: loss rate x retry policy");
   std::cout << "Fault model: seeded packet loss on the DLV registry endpoint\n"
@@ -108,7 +104,7 @@ int main(int argc, char** argv) {
             << (must_be_secure ? "must-be-secure" : "degrade-to-insecure")
             << "' (see --must-be-secure). Set LOOKASIDE_SCALE to cap N.\n";
 
-  bench::ObsSession obs_session(bench::parse_obs_args(argc, argv));
+  bench::ObsSession obs_session(args.obs());
 
   const std::uint64_t n =
       smoke ? 150 : bench::max_scale(2'000);
@@ -150,7 +146,7 @@ int main(int argc, char** argv) {
     std::unique_ptr<bench::ShardObs> obs;
   };
   const std::size_t grid_size = policies.size() * losses.size();
-  const unsigned jobs = engine::parse_jobs(argc, argv);
+  const unsigned jobs = args.jobs();
   std::vector<GridCell> grid = engine::run_sharded(
       grid_size, jobs, [&](std::size_t index) {
         const PolicyUnderTest& p = policies[index / losses.size()];

@@ -50,8 +50,9 @@ int main(int argc, char** argv) {
                "DLV registry. Set LOOKASIDE_SCALE to cap N; --jobs N shards\n"
                "the ladder across worker threads.\n";
 
-  bench::ObsSession obs_session(bench::parse_obs_args(argc, argv));
-  const unsigned jobs = engine::parse_jobs(argc, argv);
+  const bench::ArgParser args(argc, argv);
+  bench::ObsSession obs_session(args.obs());
+  const unsigned jobs = args.jobs();
 
   const std::uint64_t max_n = bench::max_scale(1'000'000);
   const std::vector<std::uint64_t> ladder = bench::n_ladder(max_n);

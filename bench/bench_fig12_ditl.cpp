@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   core::UniverseExperiment::Options options;
   const std::uint64_t sample =
       std::min<std::uint64_t>(bench::max_scale(2'000), 20'000);
-  const unsigned jobs = engine::parse_jobs(argc, argv);
+  const unsigned jobs = bench::ArgParser(argc, argv).jobs();
   std::cout << "Calibrating per-query byte costs over " << sample
             << " sampled domains...\n";
   const std::array<core::RemedyMode, 2> modes = {core::RemedyMode::kNone,

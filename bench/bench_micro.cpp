@@ -197,8 +197,7 @@ void BM_FullResolutionUncached(benchmark::State& state) {
   resolver.set_dlv_trust_anchor(world.registry().trust_anchor());
   std::uint64_t rank = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(resolver.resolve(
-        world.universe().domain_at(rank), dns::RRType::kA));
+    benchmark::DoNotOptimize(resolver.resolve({world.universe().domain_at(rank), dns::RRType::kA}));
     rank = rank % 900'000 + 1;
   }
 }

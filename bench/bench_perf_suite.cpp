@@ -103,14 +103,10 @@ ThroughputLeg run_throughput(std::size_t cells, std::uint64_t n,
 int main(int argc, char** argv) {
   using namespace lookaside;
 
-  bool quick = false;
-  std::string out_path = "BENCH_perf.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--quick") quick = true;
-    if (arg.rfind("--out=", 0) == 0) out_path = std::string(arg.substr(6));
-  }
-  const unsigned jobs = engine::parse_jobs(argc, argv);
+  const bench::ArgParser args(argc, argv);
+  const bool quick = args.quick();
+  const std::string out_path = args.out("BENCH_perf.json");
+  const unsigned jobs = args.jobs();
 
   bench::banner("Performance suite: hot-path latencies and sweep throughput");
 

@@ -1,0 +1,188 @@
+// Multi-client serving throughput through the coalescing frontend
+// (DESIGN.md §4e), with the sequential reference model as a built-in
+// falsifier: for every cell the coalesced run must leak *exactly* the
+// Case-2 set the one-resolve-per-query reference leaks, or the bench
+// exits nonzero.
+//
+// The grid holds the aggregate arrival rate constant (mean client gap
+// grows with the client count) so every cell is drop-free: admission
+// control never sheds, which is the precondition for the leak-identity
+// contract. All reported figures are virtual-time quantities — QPS and
+// latency percentiles come off the simulated clock — so BENCH_serve.json
+// is byte-identical for any --jobs value (the shard grid merges in index
+// order and the JSON deliberately carries no jobs/hardware field).
+//
+// Flags: --jobs N (shard the cells across worker threads), --smoke
+// (smaller cells for CI), --out=PATH (default BENCH_serve.json).
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/sweep.h"
+#include "metrics/table.h"
+#include "serve/scenario.h"
+
+namespace {
+
+using namespace lookaside;
+
+std::string fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+/// One grid cell: a client count served through a fresh world, plus the
+/// sequential reference replay of the identical schedule.
+struct CellResult {
+  std::uint32_t clients = 0;
+  std::uint64_t queries = 0;
+  serve::ScenarioSummary coalesced;
+  serve::ScenarioSummary reference;
+  bool leak_identity = false;
+};
+
+serve::ScenarioOptions cell_options(std::uint32_t clients, bool smoke,
+                                    std::size_t index) {
+  serve::ScenarioOptions options;
+  options.universe_size = smoke ? 2'000 : 10'000;
+  options.seed = 7 + index;  // pure function of the cell index
+  options.mix.clients = clients;
+  options.mix.queries_per_client = smoke ? 20 : 64;
+  options.mix.seed = 23 + index;
+  options.mix.zipf_support = smoke ? 300 : 1'000;
+  // Drop-free sizing (Little's law): one uncached resolution occupies the
+  // frontend for ~200 virtual ms, so the aggregate gap is held at 25 ms
+  // per client and the expected in-flight depth stays near 8 — far below
+  // the admission limit of 128. Shedding would void the identity check.
+  options.mix.mean_gap_us = 25'000ULL * clients;
+  return options;
+}
+
+CellResult run_cell(std::uint32_t clients, bool smoke, std::size_t index) {
+  CellResult cell;
+  cell.clients = clients;
+  cell.queries = static_cast<std::uint64_t>(clients) *
+                 cell_options(clients, smoke, index).mix.queries_per_client;
+  serve::ServeScenario coalesced(cell_options(clients, smoke, index));
+  cell.coalesced = coalesced.run();
+  serve::ServeScenario reference(cell_options(clients, smoke, index));
+  cell.reference = reference.run_sequential_reference();
+  cell.leak_identity =
+      cell.coalesced.case2_total == cell.reference.case2_total &&
+      cell.coalesced.leaked_domains == cell.reference.leaked_domains;
+  return cell;
+}
+
+std::string cell_json(const CellResult& cell) {
+  std::string out = "    {\"clients\": " + std::to_string(cell.clients) +
+                    ", \"queries\": " + std::to_string(cell.queries) +
+                    ",\n     \"qps\": " + fixed(cell.coalesced.qps, 2) +
+                    ", \"p50_ms\": " + fixed(cell.coalesced.p50_ms, 3) +
+                    ", \"p99_ms\": " + fixed(cell.coalesced.p99_ms, 3) +
+                    ",\n     \"coalesce_rate\": " +
+                    fixed(cell.coalesced.coalesce_rate(), 4) +
+                    ", \"coalesce_hits\": " +
+                    std::to_string(cell.coalesced.coalesce_hits) +
+                    ", \"overload_drops\": " +
+                    std::to_string(cell.coalesced.overload_drops) +
+                    ", \"max_queue_depth\": " +
+                    std::to_string(cell.coalesced.max_queue_depth) +
+                    ",\n     \"case2_total\": " +
+                    std::to_string(cell.coalesced.case2_total) +
+                    ", \"distinct_leaked\": " +
+                    std::to_string(cell.coalesced.distinct_leaked) +
+                    ",\n     \"case2_per_client\": [";
+  for (std::size_t i = 0; i < cell.coalesced.case2_per_client.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(cell.coalesced.case2_per_client[i]);
+  }
+  out += "],\n     \"reference\": {\"case2_total\": " +
+         std::to_string(cell.reference.case2_total) +
+         ", \"distinct_leaked\": " +
+         std::to_string(cell.reference.distinct_leaked) +
+         "},\n     \"leak_identity\": " +
+         (cell.leak_identity ? "true" : "false") + "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lookaside;
+
+  const bench::ArgParser args(argc, argv);
+  const bool smoke = args.smoke();
+  const std::string out_path = args.out("BENCH_serve.json");
+  const unsigned jobs = args.jobs();
+
+  bench::banner("Serving throughput: coalescing frontend vs. sequential");
+  std::cout << "Each cell serves a ClientMix schedule (shared Zipf head, per\n"
+               "client arrival streams) through the coalescing frontend,\n"
+               "then replays the identical schedule one-resolve-per-query\n"
+               "through a fresh identical world. Case-2 leak totals and the\n"
+               "leaked-domain sets must match exactly; --jobs N shards the\n"
+               "cells, --smoke shrinks them for CI.\n";
+
+  const std::vector<std::uint32_t> client_grid =
+      smoke ? std::vector<std::uint32_t>{2, 4}
+            : std::vector<std::uint32_t>{4, 8, 16};
+
+  const std::vector<CellResult> cells = engine::run_sharded(
+      client_grid.size(), jobs,
+      [&](std::size_t i) { return run_cell(client_grid[i], smoke, i); });
+
+  metrics::Table table({"Clients", "Queries", "QPS(virt)", "p50 ms", "p99 ms",
+                        "Coalesce", "Drops", "Case-2", "Leak identity"});
+  std::uint64_t total_hits = 0;
+  bool all_identical = true;
+  for (const CellResult& cell : cells) {
+    total_hits += cell.coalesced.coalesce_hits;
+    all_identical = all_identical && cell.leak_identity;
+    table.row()
+        .cell(std::to_string(cell.clients))
+        .cell(std::to_string(cell.queries))
+        .cell(fixed(cell.coalesced.qps, 1))
+        .cell(fixed(cell.coalesced.p50_ms, 1))
+        .cell(fixed(cell.coalesced.p99_ms, 1))
+        .cell(fixed(100.0 * cell.coalesced.coalesce_rate(), 1) + "%")
+        .cell(std::to_string(cell.coalesced.overload_drops))
+        .cell(std::to_string(cell.coalesced.case2_total))
+        .cell(cell.leak_identity ? "ok" : "MISMATCH");
+  }
+  table.print(std::cout);
+
+  std::string json = "{\n  \"schema\": \"lookaside.bench_serve.v1\",\n";
+  json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
+  json += "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    json += cell_json(cells[i]);
+    json += (i + 1 < cells.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"total\": {\"coalesce_hits\": " +
+          std::to_string(total_hits) + ", \"leak_identity\": " +
+          (all_identical ? "true" : "false") + "}\n}\n";
+
+  std::ofstream out(out_path);
+  out << json;
+  std::cout << "\n[serve] wrote " << out_path
+            << (out.good() ? "" : " (WRITE FAILED)") << "\n";
+
+  if (!all_identical) {
+    std::cout << "[serve] FAIL: coalesced run leaked differently from the "
+                 "sequential reference\n";
+    return 1;
+  }
+  if (total_hits == 0) {
+    std::cout << "[serve] FAIL: no query was ever coalesced — the workload "
+                 "no longer overlaps\n";
+    return 1;
+  }
+  std::cout << "[serve] leak identity holds across all cells ("
+            << total_hits << " coalesced hits)\n";
+  return 0;
+}

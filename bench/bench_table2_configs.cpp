@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
                "configs across worker threads.\n\n";
   const std::size_t config_count = std::size(rows);
   const std::vector<core::LeakageReport> reports = engine::run_sharded(
-      config_count, engine::parse_jobs(argc, argv), [&](std::size_t i) {
+      config_count, bench::ArgParser(argc, argv).jobs(), [&](std::size_t i) {
         core::UniverseExperiment::Options options;
         options.universe_size = 10'000;
         options.resolver_config = rows[i].config;

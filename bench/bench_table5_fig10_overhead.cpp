@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                "record yet (no suppression benefit). Set LOOKASIDE_SCALE to\n"
                "cap N.\n\n";
 
-  bench::ObsSession obs_session(bench::parse_obs_args(argc, argv));
+  bench::ObsSession obs_session(bench::ArgParser(argc, argv).obs());
 
   const std::uint64_t max_n =
       std::min<std::uint64_t>(bench::max_scale(100'000), 100'000);

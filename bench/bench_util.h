@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/sweep.h"
 #include "obs/metrics_registry.h"
 #include "obs/metrics_sink.h"
 #include "obs/trace_sink.h"
@@ -89,6 +90,57 @@ inline ObsArgs parse_obs_args(int argc, char** argv) {
   }
   return out;
 }
+
+/// The one flag parser every driver shares. Wraps the observability flags
+/// (parse_obs_args) and --jobs (engine::parse_jobs) that used to be parsed
+/// in per-driver copies, plus the common booleans (--smoke, --quick) and
+/// --out=PATH; driver-specific extras go through flag()/value() so no
+/// driver grows its own argv loop again. Unknown arguments are ignored.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv)
+      : args_(argv + 1, argv + argc),
+        obs_(parse_obs_args(argc, argv)),
+        jobs_(engine::parse_jobs(argc, argv)) {}
+
+  [[nodiscard]] const ObsArgs& obs() const { return obs_; }
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+  [[nodiscard]] bool smoke() const { return flag("smoke"); }
+  [[nodiscard]] bool quick() const { return flag("quick"); }
+  [[nodiscard]] std::string out(std::string fallback) const {
+    return value("out", std::move(fallback));
+  }
+
+  /// True when `--<name>` was given.
+  [[nodiscard]] bool flag(std::string_view name) const {
+    for (const std::string& arg : args_) {
+      if (arg.size() == name.size() + 2 && arg.compare(0, 2, "--") == 0 &&
+          arg.compare(2, name.size(), name) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Value of the last `--<name>=V`, or `fallback` when absent.
+  [[nodiscard]] std::string value(std::string_view name,
+                                  std::string fallback = {}) const {
+    std::string result = std::move(fallback);
+    for (const std::string& arg : args_) {
+      if (arg.compare(0, 2, "--") == 0 &&
+          arg.compare(2, name.size(), name) == 0 &&
+          arg.size() > name.size() + 2 && arg[name.size() + 2] == '=') {
+        result = arg.substr(name.size() + 3);
+      }
+    }
+    return result;
+  }
+
+ private:
+  std::vector<std::string> args_;
+  ObsArgs obs_;
+  unsigned jobs_;
+};
 
 /// Owns the tracer + sinks a bench attaches to its experiment. With no
 /// flags given, `tracer()` is nullptr and the run is unobserved (no cost).

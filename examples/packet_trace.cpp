@@ -35,7 +35,7 @@ int main() {
   std::cout << "Resolving example.com (signed island of security, DLV record\n"
                "deposited) — the paper's Fig. 3 workflow:\n\n";
   const auto result =
-      resolver.resolve(dns::Name::parse("example.com"), dns::RRType::kA);
+      resolver.resolve({dns::Name::parse("example.com"), dns::RRType::kA});
 
   std::cout << std::left << std::setw(10) << "time(ms)" << std::setw(24)
             << "from -> to" << std::setw(7) << "bytes"
@@ -52,7 +52,7 @@ int main() {
   }
 
   std::cout << "\nOutcome: status=" << resolver::status_name(result.status)
-            << (result.secured_by_dlv ? " via DLV" : "") << ", "
+            << (result.dlv.secured ? " via DLV" : "") << ", "
             << result.upstream_exchanges << " upstream exchanges, "
             << clock.now_us() / 1000 << " ms simulated response time.\n"
             << "\nNote the final leg: the full domain name rides to the DLV\n"

@@ -46,11 +46,11 @@ int main() {
   // 4. Resolve. Watch the validation status and the DLV traffic.
   for (const char* name : {"bank.com", "island.com", "shoes.com"}) {
     const auto result =
-        resolver.resolve(dns::Name::parse(name), dns::RRType::kA);
+        resolver.resolve({dns::Name::parse(name), dns::RRType::kA});
     std::cout << name << ": rcode=" << dns::rcode_name(result.response.header.rcode)
               << " status=" << resolver::status_name(result.status)
-              << (result.secured_by_dlv ? " (via DLV)" : "")
-              << " dlv_queries=" << result.dlv_query_names.size() << "\n";
+              << (result.dlv.secured ? " (via DLV)" : "")
+              << " dlv_queries=" << result.dlv.query_names.size() << "\n";
     if (const auto* a = result.response.first_answer(dns::RRType::kA)) {
       std::cout << "    " << a->to_text() << "\n";
     }

@@ -140,11 +140,11 @@ SecuredRunResult run_secured_45(const resolver::ResolverConfig& config,
 
   for (const server::SldSpec& spec : workload::secured_45_specs()) {
     const auto outcome =
-        resolver.resolve(dns::Name::parse(spec.name), dns::RRType::kA);
+        resolver.resolve({dns::Name::parse(spec.name), dns::RRType::kA});
     ++result.domains;
     if (outcome.status == resolver::ValidationStatus::kSecure) {
       ++result.validated_secure;
-      if (outcome.secured_by_dlv) ++result.validated_via_dlv;
+      if (outcome.dlv.secured) ++result.validated_via_dlv;
     }
   }
   analyzer.set_domains_visited(result.domains);

@@ -191,6 +191,15 @@ Message decode_message(const Bytes& wire) {
   const std::uint16_t nscount = reader.u16();
   const std::uint16_t arcount = reader.u16();
 
+  // Real DNS messages carry zero or one question. A forged QDCOUNT above
+  // that would make the loop below consume record bytes as phantom
+  // questions — reading past the actual question section — so reject it
+  // before touching the sections (the serving frontend decodes untrusted
+  // wire bytes on every request).
+  if (qdcount > 1) {
+    throw WireFormatError("QDCOUNT disagrees with question section");
+  }
+
   for (std::uint16_t i = 0; i < qdcount; ++i) {
     Question question;
     question.name = decode_compressed_name(reader);

@@ -557,7 +557,7 @@ const dns::RRset* RecursiveResolver::dlv_zone_keys(const dns::Name& apex,
   // not cost the full upstream schedule on every resolution (§8.4).
   const auto response = exchange_zone(apex, query, config_.dlv_retry);
   if (!response.has_value()) {
-    if (current_ != nullptr) current_->dlv_timed_out = true;
+    if (current_ != nullptr) current_->dlv.timed_out = true;
     return nullptr;
   }
 
@@ -619,7 +619,7 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
   for (const auto& [candidate, candidate_domain] : candidates) {
     if (cache_.find_negative(candidate, dns::RRType::kDlv) !=
         NegativeEntry::kNone) {
-      result.dlv_suppressed_by_nsec = true;
+      result.dlv.suppressed_by_nsec = true;
       stats_.add("dlv.suppressed.negative");
       trace_event(obs::EventKind::kNsecSuppression, candidate,
                   dns::RRType::kDlv, "negative-cache",
@@ -629,7 +629,7 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
     if (config_.aggressive_negative_caching &&
         cache_.nsec_check(apex, candidate, dns::RRType::kDlv) !=
             NsecCoverage::kNoProof) {
-      result.dlv_suppressed_by_nsec = true;
+      result.dlv.suppressed_by_nsec = true;
       stats_.add("dlv.suppressed.nsec");
       trace_event(obs::EventKind::kNsecSuppression, candidate,
                   dns::RRType::kDlv, "nsec", registry->endpoint_id());
@@ -640,8 +640,8 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
         next_id_++, candidate, dns::RRType::kDlv,
         /*recursion_desired=*/false, /*dnssec_ok=*/true);
     const auto response = exchange_zone(apex, query, config_.dlv_retry);
-    result.dlv_used = true;
-    result.dlv_query_names.push_back(candidate);
+    result.dlv.used = true;
+    result.dlv.query_names.push_back(candidate);
     stats_.add("dlv.queries");
     // Trace detail distinguishes the three registry outcomes: "timeout"
     // (outage / retries exhausted), "nxdomain" (definitive no-deposit) and
@@ -655,7 +655,7 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
                                       : "query",
                 registry->endpoint_id());
     if (!response.has_value()) {  // registry outage (§8.4)
-      result.dlv_timed_out = true;
+      result.dlv.timed_out = true;
       stats_.add("dlv.timeout");
       continue;
     }
@@ -719,8 +719,16 @@ std::optional<bool> RecursiveResolver::fetch_txt_signal(
 // Front door
 // ---------------------------------------------------------------------------
 
-ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
-                                         dns::RRType qtype) {
+ResolveResult RecursiveResolver::resolve(const Query& query) {
+  const dns::Name& qname = query.name;
+  const dns::RRType qtype = query.type;
+  // The CD bit turns off validation (and with it DLV look-aside) for this
+  // one resolution; everything else runs unchanged.
+  const bool validate =
+      config_.validation_enabled() && !query.options.checking_disabled;
+  const bool look_aside =
+      config_.dlv_enabled() && !query.options.checking_disabled;
+
   ResolveResult result;
   current_ = &result;
 
@@ -768,9 +776,8 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
       result.response.header.rcode = fetched.kind == Fetched::Kind::kNxDomain
                                          ? dns::RCode::kNxDomain
                                          : dns::RCode::kNoError;
-      result.status = config_.validation_enabled()
-                          ? validate_response(fetched, current_name, 0)
-                          : ValidationStatus::kIndeterminate;
+      result.status = validate ? validate_response(fetched, current_name, 0)
+                               : ValidationStatus::kIndeterminate;
       if (result.status == ValidationStatus::kBogus) {
         result.response.header.rcode = dns::RCode::kServFail;
         result.response.answers.clear();
@@ -780,18 +787,17 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
 
     // kAnswer.
     ValidationStatus leg_status =
-        config_.validation_enabled()
-            ? validate_response(fetched, current_name, 0)
-            : ValidationStatus::kIndeterminate;
+        validate ? validate_response(fetched, current_name, 0)
+                 : ValidationStatus::kIndeterminate;
 
     // RFC 5074: look aside when the chain of trust did not conclude secure.
-    if (config_.dlv_enabled() && !fetched.from_cache &&
+    if (look_aside && !fetched.from_cache &&
         (leg_status == ValidationStatus::kInsecure ||
          leg_status == ValidationStatus::kIndeterminate)) {
       bool consult_dlv = true;
       if (config_.honor_z_bit_signal && !fetched.z_bit) {
         consult_dlv = false;
-        result.dlv_suppressed_by_signal = true;
+        result.dlv.suppressed_by_signal = true;
         stats_.add("dlv.suppressed.zbit");
         trace_event(obs::EventKind::kDlvLookup, current_name, qtype,
                     "suppressed-zbit");
@@ -801,7 +807,7 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
             fetch_txt_signal(current_name, 0);
         if (signal.has_value() && !*signal) {
           consult_dlv = false;
-          result.dlv_suppressed_by_signal = true;
+          result.dlv.suppressed_by_signal = true;
           stats_.add("dlv.suppressed.txt");
           trace_event(obs::EventKind::kDlvLookup, current_name, qtype,
                       "suppressed-txt");
@@ -810,7 +816,7 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
       if (consult_dlv) {
         const DlvOutcome dlv = dlv_lookup(current_name, result, 0);
         if (dlv.found) {
-          result.dlv_record_found = true;
+          result.dlv.record_found = true;
           dns::RRset anchor_keys;
           ValidationStatus via_dlv = validate_zone_keys(
               dlv.matched_domain, &dlv.ds, nullptr, 0, &anchor_keys);
@@ -831,11 +837,11 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
             }
             leg_status = all_valid ? ValidationStatus::kSecure
                                    : ValidationStatus::kBogus;
-            result.secured_by_dlv = all_valid;
+            result.dlv.secured = all_valid;
           } else if (via_dlv == ValidationStatus::kBogus) {
             leg_status = ValidationStatus::kBogus;
           }
-        } else if (result.dlv_timed_out && config_.dlv_must_be_secure) {
+        } else if (result.dlv.timed_out && config_.dlv_must_be_secure) {
           // `dnssec-must-be-secure` semantics: an unreachable registry is
           // not proof of absence, so the resolution fails closed instead of
           // degrading to insecure (§8.4 availability trade-off).
@@ -900,10 +906,24 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
 
   result.response.header.ad =
       result.status == ValidationStatus::kSecure;
+  if (!query.options.dnssec_ok) {
+    // Plain stub (DO=0): no AD bit and no DNSSEC records in the answer
+    // (paper §2.2: "If the DO bit is set in the initial query from a stub,
+    // AD will be set").
+    result.response.header.ad = false;
+    std::vector<dns::ResourceRecord> plain;
+    for (const dns::ResourceRecord& record : result.response.answers) {
+      if (record.type != dns::RRType::kRrsig &&
+          record.type != dns::RRType::kNsec) {
+        plain.push_back(record);
+      }
+    }
+    result.response.answers = std::move(plain);
+  }
   stats_.add(std::string("resolve.status.") + status_name(result.status));
-  if (result.dlv_used) stats_.add("resolve.dlv_used");
-  if (result.dlv_suppressed_by_nsec) stats_.add("resolve.dlv_suppressed_nsec");
-  if (result.dlv_suppressed_by_signal) {
+  if (result.dlv.used) stats_.add("resolve.dlv_used");
+  if (result.dlv.suppressed_by_nsec) stats_.add("resolve.dlv_suppressed_nsec");
+  if (result.dlv.suppressed_by_signal) {
     stats_.add("resolve.dlv_suppressed_signal");
   }
 
@@ -928,27 +948,19 @@ ResolveResult RecursiveResolver::resolve(const dns::Name& qname,
 }
 
 dns::Message RecursiveResolver::handle_query(const dns::Message& query) {
+  // The wire header maps straight onto the v2 Query: DO becomes
+  // options.dnssec_ok (plain stubs get a stripped answer), CD becomes
+  // options.checking_disabled.
   const dns::Question& question = query.question();
-  const ResolveResult result = resolve(question.name, question.type);
+  const ResolveResult result = resolve(
+      Query{question.name, question.type,
+            QueryOptions{query.dnssec_ok, query.header.cd}});
   dns::Message response = result.response;
   response.header.id = query.header.id;
   response.header.rd = query.header.rd;
+  response.header.cd = query.header.cd;
   response.edns = query.edns;
   response.dnssec_ok = query.dnssec_ok;
-  // AD reaches the stub only when it asked for DNSSEC data (paper §2.2:
-  // "If the DO bit is set in the initial query from a stub, AD will be set").
-  if (!query.dnssec_ok) {
-    response.header.ad = false;
-    // Strip DNSSEC records from the answer for plain stubs.
-    std::vector<dns::ResourceRecord> plain;
-    for (const dns::ResourceRecord& record : response.answers) {
-      if (record.type != dns::RRType::kRrsig &&
-          record.type != dns::RRType::kNsec) {
-        plain.push_back(record);
-      }
-    }
-    response.answers = std::move(plain);
-  }
   return response;
 }
 

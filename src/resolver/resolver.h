@@ -44,21 +44,54 @@ enum class ValidationStatus {
 
 [[nodiscard]] const char* status_name(ValidationStatus status);
 
+/// Per-query knobs a caller sets alongside the (name, type) tuple. The
+/// defaults reproduce the historical resolve(name, type) behavior: a
+/// DNSSEC-aware caller that wants signatures and validation.
+struct QueryOptions {
+  /// The DO bit. When false the stub-facing response is stripped of
+  /// DNSSEC records and never carries AD (paper §2.2's plain-stub view).
+  bool dnssec_ok = true;
+  /// The CD bit: skip validation (and therefore DLV look-aside) and hand
+  /// back whatever the servers said; status stays indeterminate.
+  bool checking_disabled = false;
+
+  friend bool operator==(const QueryOptions&, const QueryOptions&) = default;
+};
+
+/// The resolve API v2 request: everything that identifies one resolution.
+struct Query {
+  dns::Name name;
+  dns::RRType type = dns::RRType::kA;
+  QueryOptions options;
+
+  Query() = default;
+  Query(dns::Name name, dns::RRType type = dns::RRType::kA,
+        QueryOptions options = {})
+      : name(std::move(name)), type(type), options(options) {}
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
 /// Everything a caller (or experiment harness) wants to know about one
 /// resolution.
 struct ResolveResult {
   dns::Message response;  // stub-facing response (SERVFAIL on bogus)
   ValidationStatus status = ValidationStatus::kIndeterminate;
   bool from_cache = false;
-  bool secured_by_dlv = false;
-
-  bool dlv_used = false;                    // >= 1 DLV query actually sent
-  std::vector<dns::Name> dlv_query_names;   // names sent to the DLV server
-  bool dlv_record_found = false;
-  bool dlv_suppressed_by_nsec = false;      // aggressive-negative-cache save
-  bool dlv_suppressed_by_signal = false;    // TXT / Z-bit remedy save
-  bool dlv_timed_out = false;   // registry unreachable / retries exhausted
   int upstream_exchanges = 0;   // counts every attempt, retries included
+
+  /// Everything the DLV look-aside path did for this resolution, grouped so
+  /// callers read one sub-object instead of seven loose fields.
+  struct Dlv {
+    bool used = false;                    // >= 1 DLV query actually sent
+    std::vector<dns::Name> query_names;   // names sent to the DLV server
+    bool record_found = false;
+    bool suppressed_by_nsec = false;      // aggressive-negative-cache save
+    bool suppressed_by_signal = false;    // TXT / Z-bit remedy save
+    bool timed_out = false;  // registry unreachable / retries exhausted
+    bool secured = false;    // answer validated through the DLV chain
+  };
+  Dlv dlv;
 };
 
 /// The recursive resolver. Also a sim::Endpoint so stubs reach it over the
@@ -90,9 +123,14 @@ class RecursiveResolver : public sim::Endpoint {
     dlv_anchors_[apex] = anchor;
   }
 
-  /// Resolves (qname, qtype) on behalf of a stub.
-  [[nodiscard]] ResolveResult resolve(const dns::Name& qname,
-                                      dns::RRType qtype);
+  /// Resolves `query` on behalf of a stub (resolve API v2).
+  [[nodiscard]] ResolveResult resolve(const Query& query);
+
+  /// Deprecated positional overload kept as a thin shim over the v2 API.
+  [[deprecated("use resolve(const Query&)")]] [[nodiscard]] ResolveResult
+  resolve(const dns::Name& qname, dns::RRType qtype) {
+    return resolve(Query{qname, qtype, QueryOptions{}});
+  }
 
   // -- sim::Endpoint ---------------------------------------------------------
 

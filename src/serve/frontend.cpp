@@ -1,0 +1,230 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dlv/registry.h"
+#include "obs/metrics_registry.h"
+
+namespace lookaside::serve {
+
+namespace {
+
+/// Case-2 observations so far: registry queries that found no record
+/// (paper §5.2 — the pure-leak class).
+std::uint64_t case2_count(const dlv::DlvRegistry* registry) {
+  if (registry == nullptr) return 0;
+  return registry->total_queries() - registry->queries_with_record();
+}
+
+/// Plain-stub view (DO=0): no DNSSEC records, never an AD claim. Mirrors
+/// the resolver's own stub-facing strip so both paths agree byte-for-byte.
+void strip_for_plain_stub(dns::Message& response) {
+  response.header.ad = false;
+  std::erase_if(response.answers, [](const dns::ResourceRecord& record) {
+    return record.type == dns::RRType::kRrsig ||
+           record.type == dns::RRType::kNsec;
+  });
+}
+
+}  // namespace
+
+FrontendServer::FrontendServer(sim::Network& network,
+                               resolver::RecursiveResolver& resolver,
+                               FrontendOptions options)
+    : network_(&network), resolver_(&resolver), options_(options) {}
+
+ClientAccount& FrontendServer::account(std::uint32_t client) {
+  if (clients_.size() <= client) clients_.resize(client + 1);
+  return clients_[client];
+}
+
+void FrontendServer::note_depth() {
+  max_depth_ = std::max(max_depth_, depth_);
+  if (metrics_ != nullptr) {
+    metrics_->observe("serve_queue_depth", {},
+                      static_cast<double>(depth_));
+  }
+}
+
+void FrontendServer::expire(std::uint64_t now_us) {
+  std::erase_if(inflight_, [&](const auto& item) {
+    if (item.second.completion_us > now_us) return false;
+    depth_ -= item.second.waiters;
+    return true;
+  });
+}
+
+Served FrontendServer::make_formerr(const WireQuery& query) {
+  Served served;
+  served.arrival_us = query.time_us;
+  served.completion_us = query.time_us;  // shed immediately, no upstream work
+  served.client = query.client;
+  served.formerr = true;
+  served.rcode = dns::RCode::kFormErr;
+
+  dns::Message response;
+  // The id is the first two bytes; echo it when that much survived.
+  if (query.wire.size() >= 2) {
+    response.header.id = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(query.wire[0]) << 8) | query.wire[1]);
+  }
+  response.header.qr = true;
+  response.header.rcode = dns::RCode::kFormErr;
+  served.response_wire = dns::encode_message(response);
+  served.response_bytes = served.response_wire.size();
+
+  stats_.add("serve.formerr");
+  stats_.add("serve.bytes.response", served.response_bytes);
+  if (metrics_ != nullptr) metrics_->add("serve_formerr");
+  account(query.client).formerr += 1;
+  return served;
+}
+
+void FrontendServer::finish(Served& served, const dns::Message& request,
+                            const resolver::ResolveResult& result) {
+  dns::Message response = result.response;
+  response.header.id = request.header.id;
+  response.header.rd = request.header.rd;
+  response.header.cd = request.header.cd;
+  response.edns = request.edns;
+  response.dnssec_ok = request.dnssec_ok;
+  if (!request.dnssec_ok) strip_for_plain_stub(response);
+
+  served.rcode = response.header.rcode;
+  served.response_wire = dns::encode_message(response);
+  served.response_bytes = served.response_wire.size();
+  stats_.add("serve.answered");
+  stats_.add("serve.bytes.response", served.response_bytes);
+
+  ClientAccount& acct = account(served.client);
+  acct.answered += 1;
+  acct.latency_sum_us += served.latency_us();
+}
+
+Served FrontendServer::serve_decoded(const WireQuery& query,
+                                     const dns::Message& message) {
+  Served served;
+  served.arrival_us = query.time_us;
+  served.client = query.client;
+  served.has_question = true;
+  served.qname = message.question().name;
+  served.qtype = message.question().type;
+
+  const Key key{served.qname, served.qtype};
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    // Coalesce: join the outstanding resolution and share its fan-out
+    // instant. No upstream traffic, no extra leak — that is the point.
+    InFlight& entry = it->second;
+    entry.waiters += 1;
+    depth_ += 1;
+    note_depth();
+    served.coalesced = true;
+    served.completion_us = entry.completion_us;
+    stats_.add("serve.coalesce.hits");
+    if (metrics_ != nullptr) {
+      metrics_->add("serve_coalesce", {{"result", "hit"}});
+    }
+    account(query.client).coalesce_hits += 1;
+    finish(served, message, entry.result);
+    return served;
+  }
+
+  if (depth_ >= options_.max_pending) {
+    // Admission control: shed with SERVFAIL immediately and charge the
+    // client that pushed the frontend over its quota.
+    served.overload_drop = true;
+    served.completion_us = query.time_us;
+    stats_.add("serve.overload.drops");
+    if (metrics_ != nullptr) metrics_->add("serve_overload_drops");
+    account(query.client).overload_drops += 1;
+
+    dns::Message response = dns::Message::make_response(message);
+    response.header.rcode = dns::RCode::kServFail;
+    response.edns = message.edns;
+    response.dnssec_ok = message.dnssec_ok;
+    served.rcode = dns::RCode::kServFail;
+    served.response_wire = dns::encode_message(response);
+    served.response_bytes = served.response_wire.size();
+    stats_.add("serve.bytes.response", served.response_bytes);
+    return served;
+  }
+
+  // Cache-facing resolution is always the full DNSSEC-aware one (DO set,
+  // validation on); per-client DO views are derived at fan-out in finish().
+  // Stub CD pass-through is a resolver-API concern, not a frontend one:
+  // honoring it here would make the shared in-flight entry depend on which
+  // client got there first.
+  const std::uint64_t case2_before = case2_count(registry_);
+  const std::uint64_t work_start_us = network_->clock().now_us();
+  const resolver::ResolveResult result =
+      resolver_->resolve({served.qname, served.qtype});
+  const std::uint64_t cost_us = network_->clock().now_us() - work_start_us;
+  const std::uint64_t leaked = case2_count(registry_) - case2_before;
+
+  served.completion_us = query.time_us + cost_us;
+  served.from_cache = result.from_cache;
+  served.case2_leaks = leaked;
+  stats_.add("serve.coalesce.misses");
+  stats_.add("serve.case2.leaks", leaked);
+  if (metrics_ != nullptr) {
+    metrics_->add("serve_coalesce", {{"result", "miss"}});
+    if (leaked > 0) metrics_->add("serve_case2_leaks", {}, leaked);
+  }
+  ClientAccount& acct = account(query.client);
+  acct.case2_leaks += leaked;
+
+  finish(served, message, result);
+  inflight_.emplace(key, InFlight{served.completion_us, 1, result});
+  depth_ += 1;
+  note_depth();
+  return served;
+}
+
+Served FrontendServer::submit(const WireQuery& query) {
+  // The schedule is processed in arrival order; a clock that ran backwards
+  // would corrupt the in-flight table, so clamp defensively.
+  WireQuery arrival = query;
+  arrival.time_us = std::max(arrival.time_us, last_arrival_us_);
+  last_arrival_us_ = arrival.time_us;
+
+  expire(arrival.time_us);
+  stats_.add("serve.queries");
+  stats_.add("serve.bytes.query", arrival.wire.size());
+  account(arrival.client).queries += 1;
+
+  dns::Message message;
+  try {
+    message = dns::decode_message(arrival.wire);
+  } catch (const dns::WireFormatError&) {
+    return make_formerr(arrival);
+  }
+  if (message.questions.size() != 1 || message.header.qr) {
+    return make_formerr(arrival);
+  }
+  return serve_decoded(arrival, message);
+}
+
+std::vector<Served> FrontendServer::run(std::vector<WireQuery> arrivals) {
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const WireQuery& a, const WireQuery& b) {
+              if (a.time_us != b.time_us) return a.time_us < b.time_us;
+              if (a.client != b.client) return a.client < b.client;
+              return a.seq < b.seq;
+            });
+  std::vector<Served> served;
+  served.reserve(arrivals.size());
+  for (const WireQuery& arrival : arrivals) {
+    served.push_back(submit(arrival));
+  }
+  return served;
+}
+
+dns::Message FrontendServer::handle_query(const dns::Message& query) {
+  const WireQuery wire{network_->clock().now_us(), 0, 0,
+                       dns::encode_message(query)};
+  const Served served = submit(wire);
+  return dns::decode_message(served.response_wire);
+}
+
+}  // namespace lookaside::serve

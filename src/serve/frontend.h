@@ -1,0 +1,190 @@
+// The concurrent serving frontend: wire-format queries in, coalesced
+// resolutions out.
+//
+// This is the piece that turns the single-stub resolver into a *shared*
+// resolver — the deployment shape the paper's privacy argument is about
+// (one campus/ISP recursive aggregating many users against the DLV
+// registry). The frontend:
+//
+//   - decodes untrusted wire bytes with dns/codec (FORMERR on garbage);
+//   - keeps an in-flight table keyed by (qname, qtype): a query that
+//     arrives while an identical resolution is still outstanding joins it
+//     as a waiter and receives the same answer at the same fan-out time,
+//     without any upstream traffic (BIND's recursing-clients table /
+//     Unbound's mesh, reduced to its privacy-relevant essence);
+//   - applies admission control: when outstanding client queries reach
+//     max_pending, new work is shed with SERVFAIL (paper §8.4's overload
+//     behavior) and charged to the offending client;
+//   - attributes Case-2 DLV leaks to the client whose query initiated the
+//     resolution, by snapshotting the registry's counters around it.
+//
+// Concurrency under a synchronous resolver. RecursiveResolver::resolve()
+// runs to completion on the shared virtual clock, so the frontend models
+// overlap with *logical* time: each resolution's cost is the clock delta it
+// consumed, and its fan-out instant is arrival + cost. A later arrival
+// coalesces iff it lands before that instant. Arrivals are processed in
+// (time, client, seq) order, which makes every output — answers, counters,
+// per-client attribution — a pure function of the input schedule,
+// independent of host, thread count, or --jobs sharding. The one
+// approximation: cache TTLs run on the resolver's work clock, which
+// excludes idle gaps between arrivals; at simulated TTLs (>= 1 h) versus
+// schedule spans (<< 1 min of virtual time) the difference is unobservable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/codec.h"
+#include "metrics/counters.h"
+#include "resolver/resolver.h"
+#include "sim/network.h"
+
+namespace lookaside::dlv {
+class DlvRegistry;
+}
+namespace lookaside::obs {
+class MetricsRegistry;
+}
+
+namespace lookaside::serve {
+
+/// Frontend tuning knobs.
+struct FrontendOptions {
+  /// Outstanding client queries (initiators + coalesced waiters) admitted
+  /// at once; the next arrival beyond this is shed with SERVFAIL.
+  std::size_t max_pending = 128;
+};
+
+/// One wire-format query arriving from a stub client at a virtual instant.
+struct WireQuery {
+  std::uint64_t time_us = 0;
+  std::uint32_t client = 0;
+  std::uint32_t seq = 0;  // per-client sequence (deterministic tie-break)
+  dns::Bytes wire;
+};
+
+/// What the frontend did with one query: the response bytes plus the
+/// bookkeeping the bench and tests read back.
+struct Served {
+  std::uint64_t arrival_us = 0;
+  std::uint64_t completion_us = 0;  // when the response leaves the frontend
+  std::uint32_t client = 0;
+  bool has_question = false;
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::kA;
+  dns::RCode rcode = dns::RCode::kNoError;
+  bool coalesced = false;      // joined an in-flight resolution
+  bool from_cache = false;     // initiator answered from the resolver cache
+  bool overload_drop = false;  // shed by admission control
+  bool formerr = false;        // undecodable or question-less wire
+  std::uint64_t case2_leaks = 0;  // Case-2 DLV queries this query caused
+  std::size_t response_bytes = 0;
+  dns::Bytes response_wire;
+
+  [[nodiscard]] std::uint64_t latency_us() const {
+    return completion_us - arrival_us;
+  }
+};
+
+/// Per-client accounting (indexed by client id).
+struct ClientAccount {
+  std::uint64_t queries = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t coalesce_hits = 0;
+  std::uint64_t overload_drops = 0;
+  std::uint64_t formerr = 0;
+  std::uint64_t case2_leaks = 0;  // leaks attributed to this client
+  std::uint64_t latency_sum_us = 0;
+};
+
+/// The serving frontend. Also a sim::Endpoint ("frontend") so a single
+/// interactive stub can reach it through Network::exchange; the multi-client
+/// path is run()/submit().
+class FrontendServer : public sim::Endpoint {
+ public:
+  FrontendServer(sim::Network& network, resolver::RecursiveResolver& resolver,
+                 FrontendOptions options = {});
+
+  /// Attaches the DLV registry whose counters attribute Case-2 leaks to
+  /// initiating clients (nullable; null disables attribution).
+  void set_registry(const dlv::DlvRegistry* registry) { registry_ = registry; }
+
+  /// Mirrors the frontend's counters into a labeled registry as they
+  /// happen: serve_coalesce{result=hit|miss}, serve_overload_drops,
+  /// serve_formerr, and a serve_queue_depth histogram sampled per arrival
+  /// (the queue-depth gauge). Nullable.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Serves one query. Arrivals must be submitted in nondecreasing
+  /// (time, client, seq) order — run() sorts for you.
+  Served submit(const WireQuery& query);
+
+  /// Sorts `arrivals` into the canonical order and serves them all.
+  std::vector<Served> run(std::vector<WireQuery> arrivals);
+
+  /// Counters: "serve.queries", "serve.answered", "serve.coalesce.hits",
+  /// "serve.coalesce.misses", "serve.overload.drops", "serve.formerr",
+  /// "serve.bytes.query", "serve.bytes.response", "serve.case2.leaks".
+  [[nodiscard]] const metrics::CounterSet& stats() const { return stats_; }
+
+  [[nodiscard]] const std::vector<ClientAccount>& clients() const {
+    return clients_;
+  }
+
+  /// High-water mark of outstanding client queries.
+  [[nodiscard]] std::size_t max_queue_depth() const { return max_depth_; }
+
+  /// Outstanding client queries right now (live in-flight waiters).
+  [[nodiscard]] std::size_t queue_depth() const { return depth_; }
+
+  // -- sim::Endpoint (single-stub convenience path) -------------------------
+
+  [[nodiscard]] std::string endpoint_id() const override { return "frontend"; }
+  [[nodiscard]] dns::Message handle_query(const dns::Message& query) override;
+
+ private:
+  /// One upstream resolution shared by every coalesced waiter.
+  struct InFlight {
+    std::uint64_t completion_us = 0;  // logical fan-out instant
+    std::uint32_t waiters = 1;        // initiator included
+    resolver::ResolveResult result;
+  };
+  struct Key {
+    dns::Name name;
+    dns::RRType type;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return key.name.hash() ^
+             (static_cast<std::size_t>(key.type) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  /// Retires every in-flight entry whose fan-out instant is <= now.
+  void expire(std::uint64_t now_us);
+
+  Served serve_decoded(const WireQuery& query, const dns::Message& message);
+  Served make_formerr(const WireQuery& query);
+  void finish(Served& served, const dns::Message& request,
+              const resolver::ResolveResult& result);
+  ClientAccount& account(std::uint32_t client);
+  void note_depth();
+
+  sim::Network* network_;
+  resolver::RecursiveResolver* resolver_;
+  FrontendOptions options_;
+  const dlv::DlvRegistry* registry_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unordered_map<Key, InFlight, KeyHash> inflight_;
+  std::size_t depth_ = 0;      // outstanding client queries across entries
+  std::size_t max_depth_ = 0;
+  metrics::CounterSet stats_;
+  std::vector<ClientAccount> clients_;
+  std::uint64_t last_arrival_us_ = 0;
+};
+
+}  // namespace lookaside::serve

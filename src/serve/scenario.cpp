@@ -1,0 +1,176 @@
+#include "serve/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/rng.h"
+#include "obs/tracer.h"
+
+namespace lookaside::serve {
+
+namespace {
+
+/// Deterministic quantile over virtual latencies (nearest-rank on the
+/// sorted sample; integer inputs, so no float-order sensitivity).
+double quantile_ms(std::vector<std::uint64_t> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return static_cast<double>(sorted[index]) / 1000.0;
+}
+
+std::uint64_t case2_count(const dlv::DlvRegistry& registry) {
+  return registry.total_queries() - registry.queries_with_record();
+}
+
+}  // namespace
+
+ServeScenario::ServeScenario(ScenarioOptions options)
+    : options_(std::move(options)), network_(clock_) {
+  workload::WorldOptions world_options;
+  world_options.universe.size = options_.universe_size;
+  world_options.universe.seed = options_.seed;
+  world_options.seed = crypto::derive_seed(options_.seed, 0x0F0F);
+  // Deposits beyond the sampled head never get queried; capping the scan
+  // keeps small scenario builds fast without changing any observable.
+  world_options.deposit_scan_limit = options_.universe_size;
+
+  world_ = std::make_unique<workload::UniverseWorld>(world_options);
+  world_->registry().attach_clock(clock_);
+  world_->registry().set_store_observations(false);
+  analyzer_ = std::make_unique<core::LeakageAnalyzer>(world_->registry());
+
+  resolver_ = std::make_unique<resolver::RecursiveResolver>(
+      network_, world_->directory(), options_.resolver_config);
+  resolver_->set_root_trust_anchor(world_->root_trust_anchor());
+  resolver_->set_dlv_trust_anchor(world_->registry().trust_anchor());
+
+  frontend_ = std::make_unique<FrontendServer>(network_, *resolver_,
+                                               options_.frontend);
+  frontend_->set_registry(&world_->registry());
+  frontend_->set_metrics(options_.metrics);
+
+  if (options_.tracer != nullptr) {
+    options_.tracer->attach_clock(clock_);
+    options_.tracer->attach_network(network_);
+    world_->set_tracer(options_.tracer);
+    resolver_->set_tracer(options_.tracer);
+  }
+}
+
+ServeScenario::~ServeScenario() = default;
+
+std::vector<WireQuery> ServeScenario::encode_schedule(
+    const std::vector<workload::ClientQuery>& schedule) const {
+  std::vector<WireQuery> wire;
+  wire.reserve(schedule.size());
+  for (const workload::ClientQuery& query : schedule) {
+    // Deterministic per-query id: the stub side of the determinism contract.
+    const auto id = static_cast<std::uint16_t>(
+        (query.client << 10) ^ query.seq ^ 0x5117);
+    wire.push_back({query.time_us, query.client, query.seq,
+                    dns::encode_message(dns::Message::make_query(
+                        id, query.name, query.type,
+                        /*recursion_desired=*/true, /*dnssec_ok=*/true))});
+  }
+  return wire;
+}
+
+void ServeScenario::fill_registry_side(ScenarioSummary& summary) const {
+  const core::LeakageReport& report = analyzer_->report();
+  summary.case2_total = report.case2_queries;
+  summary.distinct_leaked = report.distinct_leaked_domains;
+  summary.leaked_domains = analyzer_->leaked_domains();
+}
+
+ScenarioSummary ServeScenario::run() {
+  if (used_) throw std::logic_error("ServeScenario is single-shot");
+  used_ = true;
+
+  const workload::ClientMix mix(options_.mix);
+  const std::vector<Served> served =
+      frontend_->run(encode_schedule(mix.generate(world_->universe())));
+
+  ScenarioSummary summary;
+  summary.served = served.size();
+  summary.coalesce_hits = frontend_->stats().value("serve.coalesce.hits");
+  summary.coalesce_misses = frontend_->stats().value("serve.coalesce.misses");
+  summary.overload_drops = frontend_->stats().value("serve.overload.drops");
+  summary.max_queue_depth = frontend_->max_queue_depth();
+
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(served.size());
+  std::uint64_t first_arrival = 0;
+  std::uint64_t last_completion = 0;
+  for (const Served& one : served) {
+    if (one.overload_drop || one.formerr) continue;
+    latencies.push_back(one.latency_us());
+    if (first_arrival == 0 || one.arrival_us < first_arrival) {
+      first_arrival = one.arrival_us;
+    }
+    last_completion = std::max(last_completion, one.completion_us);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  summary.p50_ms = quantile_ms(latencies, 0.50);
+  summary.p99_ms = quantile_ms(latencies, 0.99);
+  const std::uint64_t makespan_us = last_completion - first_arrival;
+  summary.qps = makespan_us == 0
+                    ? 0.0
+                    : static_cast<double>(summary.served) /
+                          (static_cast<double>(makespan_us) / 1e6);
+
+  summary.case2_per_client.assign(options_.mix.clients, 0);
+  const std::vector<ClientAccount>& accounts = frontend_->clients();
+  for (std::size_t i = 0;
+       i < accounts.size() && i < summary.case2_per_client.size(); ++i) {
+    summary.case2_per_client[i] = accounts[i].case2_leaks;
+  }
+  fill_registry_side(summary);
+  return summary;
+}
+
+ScenarioSummary ServeScenario::run_sequential_reference() {
+  if (used_) throw std::logic_error("ServeScenario is single-shot");
+  used_ = true;
+
+  const workload::ClientMix mix(options_.mix);
+  const std::vector<workload::ClientQuery> schedule =
+      mix.generate(world_->universe());
+
+  ScenarioSummary summary;
+  summary.served = schedule.size();
+  summary.case2_per_client.assign(options_.mix.clients, 0);
+
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(schedule.size());
+  std::uint64_t last_completion = 0;
+  for (const workload::ClientQuery& query : schedule) {
+    const std::uint64_t before = case2_count(world_->registry());
+    const std::uint64_t start_us = clock_.now_us();
+    const resolver::ResolveResult result =
+        resolver_->resolve({query.name, query.type});
+    (void)result;
+    const std::uint64_t cost_us = clock_.now_us() - start_us;
+    latencies.push_back(cost_us);
+    last_completion = std::max(last_completion, query.time_us + cost_us);
+    if (query.client < summary.case2_per_client.size()) {
+      summary.case2_per_client[query.client] +=
+          case2_count(world_->registry()) - before;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  summary.p50_ms = quantile_ms(latencies, 0.50);
+  summary.p99_ms = quantile_ms(latencies, 0.99);
+  const std::uint64_t first_arrival =
+      schedule.empty() ? 0 : schedule.front().time_us;
+  const std::uint64_t makespan_us =
+      last_completion > first_arrival ? last_completion - first_arrival : 0;
+  summary.qps = makespan_us == 0
+                    ? 0.0
+                    : static_cast<double>(summary.served) /
+                          (static_cast<double>(makespan_us) / 1e6);
+  fill_registry_side(summary);
+  return summary;
+}
+
+}  // namespace lookaside::serve

@@ -1,0 +1,103 @@
+// One-stop wiring for multi-client serving experiments: clock, network,
+// UniverseWorld, validating resolver, LeakageAnalyzer, FrontendServer and a
+// ClientMix schedule, plus the sequential reference model the frontend's
+// leak totals are checked against.
+//
+// The reference model is the falsifier for coalescing: it replays the exact
+// same arrival-ordered schedule through a fresh identical world with one
+// resolve() per query and no in-flight sharing. Coalescing must not change
+// *what leaks* — a coalesced duplicate would have been a resolver cache hit
+// in the sequential world, and neither path reaches the DLV registry — so
+// the Case-2 totals and the leaked-domain sets of the two runs must be
+// identical. bench_serve_throughput exits nonzero when they are not.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/leakage.h"
+#include "resolver/config.h"
+#include "serve/frontend.h"
+#include "workload/client_mix.h"
+#include "workload/universe_world.h"
+
+namespace lookaside::obs {
+class Tracer;
+class MetricsRegistry;
+}
+
+namespace lookaside::serve {
+
+/// Everything that defines one serving run.
+struct ScenarioOptions {
+  std::uint64_t universe_size = 100'000;
+  std::uint64_t seed = 7;
+  workload::ClientMixOptions mix;
+  FrontendOptions frontend;
+  resolver::ResolverConfig resolver_config =
+      resolver::ResolverConfig::bind_yum();
+  obs::Tracer* tracer = nullptr;            // nullable
+  obs::MetricsRegistry* metrics = nullptr;  // nullable
+};
+
+/// Aggregates one run of a scenario (frontend or sequential reference).
+struct ScenarioSummary {
+  std::uint64_t served = 0;
+  std::uint64_t coalesce_hits = 0;
+  std::uint64_t coalesce_misses = 0;
+  std::uint64_t overload_drops = 0;
+  std::uint64_t max_queue_depth = 0;
+  double qps = 0.0;      // served / virtual makespan
+  double p50_ms = 0.0;   // client-observed virtual latency
+  double p99_ms = 0.0;
+  std::uint64_t case2_total = 0;            // registry-side Case-2 queries
+  std::uint64_t distinct_leaked = 0;
+  std::set<std::string> leaked_domains;     // identity check vs reference
+  std::vector<std::uint64_t> case2_per_client;
+
+  [[nodiscard]] double coalesce_rate() const {
+    const std::uint64_t resolved = coalesce_hits + coalesce_misses;
+    return resolved == 0 ? 0.0
+                         : static_cast<double>(coalesce_hits) /
+                               static_cast<double>(resolved);
+  }
+};
+
+/// Owns one full serving stack for one run (single-shot: build, run, read).
+class ServeScenario {
+ public:
+  explicit ServeScenario(ScenarioOptions options);
+  ~ServeScenario();
+
+  /// Generates the ClientMix schedule, encodes it to wire, and serves it
+  /// through the coalescing frontend.
+  [[nodiscard]] ScenarioSummary run();
+
+  /// Serves the identical schedule with one resolve() per query and no
+  /// coalescing, on this scenario's (fresh) stack. Build a separate
+  /// ServeScenario from the same options to compare against run().
+  [[nodiscard]] ScenarioSummary run_sequential_reference();
+
+  [[nodiscard]] FrontendServer& frontend() { return *frontend_; }
+  [[nodiscard]] workload::UniverseWorld& world() { return *world_; }
+  [[nodiscard]] sim::Network& network() { return network_; }
+
+ private:
+  [[nodiscard]] std::vector<WireQuery> encode_schedule(
+      const std::vector<workload::ClientQuery>& schedule) const;
+  void fill_registry_side(ScenarioSummary& summary) const;
+
+  ScenarioOptions options_;
+  sim::SimClock clock_;
+  sim::Network network_;
+  std::unique_ptr<workload::UniverseWorld> world_;
+  std::unique_ptr<core::LeakageAnalyzer> analyzer_;
+  std::unique_ptr<resolver::RecursiveResolver> resolver_;
+  std::unique_ptr<FrontendServer> frontend_;
+  bool used_ = false;
+};
+
+}  // namespace lookaside::serve

@@ -1,0 +1,60 @@
+#include "workload/client_mix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/rng.h"
+
+namespace lookaside::workload {
+
+namespace {
+
+/// Zipf(1)-like rank draw via the continuous inverse CDF: with u uniform in
+/// [0,1), floor(support^u) has mass ~ 1/rank over [1, support]. Integer
+/// clamping keeps the draw in range for every u.
+std::uint64_t zipf_rank(crypto::SplitMix64& rng, std::uint64_t support) {
+  if (support <= 1) return 1;
+  const double u = rng.next_double();
+  const auto rank = static_cast<std::uint64_t>(
+      std::pow(static_cast<double>(support), u));
+  return std::clamp<std::uint64_t>(rank, 1, support);
+}
+
+}  // namespace
+
+std::vector<ClientQuery> ClientMix::generate(const Universe& universe) const {
+  const std::uint64_t support =
+      std::min<std::uint64_t>(std::max<std::uint64_t>(options_.zipf_support, 1),
+                              universe.size());
+  std::vector<ClientQuery> schedule;
+  schedule.reserve(static_cast<std::size_t>(options_.clients) *
+                   options_.queries_per_client * 2);
+
+  for (std::uint32_t client = 0; client < options_.clients; ++client) {
+    crypto::SplitMix64 rng(crypto::derive_seed(options_.seed, client));
+    std::uint64_t now_us = 0;
+    std::uint32_t seq = 0;
+    for (std::uint32_t i = 0; i < options_.queries_per_client; ++i) {
+      // Integer gaps only: float arithmetic in the timeline would make the
+      // schedule (and hence every downstream artifact) platform-sensitive.
+      now_us += 1 + rng.next_below(2 * std::max<std::uint64_t>(
+                                           options_.mean_gap_us, 1));
+      const dns::Name name = universe.domain_at(zipf_rank(rng, support));
+      schedule.push_back({now_us, client, seq++, name, dns::RRType::kA});
+      if (rng.next_double() < options_.aaaa_probability) {
+        // The AAAA rides 1us behind its A, like a dual-stack stub's pair.
+        schedule.push_back({now_us + 1, client, seq++, name, dns::RRType::kAaaa});
+      }
+    }
+  }
+
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ClientQuery& a, const ClientQuery& b) {
+              if (a.time_us != b.time_us) return a.time_us < b.time_us;
+              if (a.client != b.client) return a.client < b.client;
+              return a.seq < b.seq;
+            });
+  return schedule;
+}
+
+}  // namespace lookaside::workload

@@ -52,8 +52,7 @@ class CnameFixture {
 
 TEST(CnameTest, CrossZoneChaseDeliversAddress) {
   CnameFixture fixture;
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("alias.aliases.com"), dns::RRType::kA);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("alias.aliases.com"), dns::RRType::kA});
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
   // Answer carries both the CNAME and the chased A record.
   bool has_cname = false, has_a = false;
@@ -68,26 +67,22 @@ TEST(CnameTest, CrossZoneChaseDeliversAddress) {
 
 TEST(CnameTest, QueryForCnameTypeDoesNotChase) {
   CnameFixture fixture;
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("alias.aliases.com"), dns::RRType::kCname);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("alias.aliases.com"), dns::RRType::kCname});
   ASSERT_NE(result.response.first_answer(dns::RRType::kCname), nullptr);
   EXPECT_EQ(result.response.first_answer(dns::RRType::kA), nullptr);
 }
 
 TEST(CnameTest, LoopTerminatesWithServfail) {
   CnameFixture fixture;
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("loop1.aliases.com"), dns::RRType::kA);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("loop1.aliases.com"), dns::RRType::kA});
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kServFail);
 }
 
 TEST(CnameTest, SecondChaseServedFromCache) {
   CnameFixture fixture;
-  (void)fixture.resolver_->resolve(dns::Name::parse("alias.aliases.com"),
-                                   dns::RRType::kA);
+  (void)fixture.resolver_->resolve({dns::Name::parse("alias.aliases.com"), dns::RRType::kA});
   const auto before = fixture.network_.counters().value("packets.query");
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("alias.aliases.com"), dns::RRType::kA);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("alias.aliases.com"), dns::RRType::kA});
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
   EXPECT_EQ(fixture.network_.counters().value("packets.query"), before);
 }

@@ -177,6 +177,21 @@ TEST(CodecTest, RejectsPointerLoop) {
   EXPECT_THROW((void)decode_message(writer.bytes()), WireFormatError);
 }
 
+TEST(CodecTest, RejectsQdcountDisagreeingWithQuestionSection) {
+  // A response claiming QDCOUNT=2 but carrying one question followed by an
+  // answer record: the decoder must refuse rather than consume the answer's
+  // bytes as a phantom second question (the serve path decodes untrusted
+  // wire on every request).
+  Message message = query_of("example.com", RRType::kA);
+  message.header.qr = true;
+  message.answers.push_back(ResourceRecord::make(
+      Name::parse("example.com"), 3600, ARdata{0x5DB8D822}));
+  Bytes wire = encode_message(message);
+  wire[4] = 0x00;  // QDCOUNT high byte
+  wire[5] = 0x02;  // QDCOUNT low byte: claims two questions
+  EXPECT_THROW((void)decode_message(wire), WireFormatError);
+}
+
 TEST(CodecPropertyTest, RandomMessagesRoundTrip) {
   crypto::SplitMix64 rng(2026);
   const char* tlds[] = {"com", "net", "org", "edu"};

@@ -51,7 +51,7 @@ class FaultFixture {
   }
 
   ResolveResult resolve(const std::string& name) {
-    return resolver_->resolve(dns::Name::parse(name), dns::RRType::kA);
+    return resolver_->resolve({dns::Name::parse(name), dns::RRType::kA});
   }
 
   sim::SimClock clock_;
@@ -209,7 +209,7 @@ TEST(ResolverRetryTest, DlvOutageLatencyMatchesClosedForm) {
   const ResolveResult result = outage.resolve("unsigned.com");
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
   EXPECT_EQ(result.status, ValidationStatus::kInsecure);
-  EXPECT_TRUE(result.dlv_timed_out);
+  EXPECT_TRUE(result.dlv.timed_out);
 
   FaultFixture baseline(baseline_config);
   (void)baseline.resolve("unsigned.com");
@@ -227,7 +227,7 @@ TEST(ResolverRetryTest, MustBeSecureFailsClosedOnRegistryOutage) {
   FaultFixture fixture(config);
   fixture.network_.set_unreachable(fixture.registry_.endpoint_id(), true);
   const ResolveResult result = fixture.resolve("unsigned.com");
-  EXPECT_TRUE(result.dlv_timed_out);
+  EXPECT_TRUE(result.dlv.timed_out);
   EXPECT_EQ(result.status, ValidationStatus::kBogus);
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kServFail);
 

@@ -65,18 +65,16 @@ class MultiDlvFixture {
 
 TEST(MultiDlvTest, PrimaryRegistryHitStopsTheSearch) {
   MultiDlvFixture fixture;
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("island1.com"), dns::RRType::kA);
-  EXPECT_TRUE(result.secured_by_dlv);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("island1.com"), dns::RRType::kA});
+  EXPECT_TRUE(result.dlv.secured);
   EXPECT_EQ(fixture.isc_->total_queries(), 1u);
   EXPECT_EQ(fixture.cert_ru_->total_queries(), 0u);  // never consulted
 }
 
 TEST(MultiDlvTest, FallThroughFindsSecondRegistryButLeaksToFirst) {
   MultiDlvFixture fixture;
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("island2.com"), dns::RRType::kA);
-  EXPECT_TRUE(result.secured_by_dlv);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("island2.com"), dns::RRType::kA});
+  EXPECT_TRUE(result.dlv.secured);
   // The first registry observed the domain without having any record for
   // it — the search itself leaks to every earlier third party.
   EXPECT_GE(fixture.isc_->total_queries(), 1u);
@@ -86,8 +84,7 @@ TEST(MultiDlvTest, FallThroughFindsSecondRegistryButLeaksToFirst) {
 
 TEST(MultiDlvTest, UnsignedDomainLeaksToEveryRegistry) {
   MultiDlvFixture fixture;
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("unsigned.com"), dns::RRType::kA);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("unsigned.com"), dns::RRType::kA});
   EXPECT_EQ(result.status, ValidationStatus::kInsecure);
   // With N registries configured, the Case-2 leak is N-fold.
   EXPECT_GE(fixture.isc_->total_queries(), 1u);
@@ -98,10 +95,9 @@ TEST(MultiDlvTest, UnsignedDomainLeaksToEveryRegistry) {
 
 TEST(MultiDlvTest, DlvQueryNamesRecordBothApexes) {
   MultiDlvFixture fixture;
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("unsigned.com"), dns::RRType::kA);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("unsigned.com"), dns::RRType::kA});
   bool saw_isc = false, saw_ru = false;
-  for (const dns::Name& name : result.dlv_query_names) {
+  for (const dns::Name& name : result.dlv.query_names) {
     saw_isc |= name.is_subdomain_of(dns::Name::parse("dlv.isc.org"));
     saw_ru |= name.is_subdomain_of(dns::Name::parse("dlv.cert.ru"));
   }
@@ -111,14 +107,12 @@ TEST(MultiDlvTest, DlvQueryNamesRecordBothApexes) {
 
 TEST(MultiDlvTest, AggressiveCachingWorksPerRegistry) {
   MultiDlvFixture fixture;
-  (void)fixture.resolver_->resolve(dns::Name::parse("unsigned.com"),
-                                   dns::RRType::kA);
+  (void)fixture.resolver_->resolve({dns::Name::parse("unsigned.com"), dns::RRType::kA});
   const auto isc_before = fixture.isc_->total_queries();
   const auto ru_before = fixture.cert_ru_->total_queries();
   // "zebra.com" sorts after both deposits' regions... it is covered by the
   // wrap NSEC cached from the unsigned.com denial at each registry.
-  (void)fixture.resolver_->resolve(dns::Name::parse("unsigned.com"),
-                                   dns::RRType::kA);  // cache hit, no queries
+  (void)fixture.resolver_->resolve({dns::Name::parse("unsigned.com"), dns::RRType::kA});  // cache hit, no queries
   EXPECT_EQ(fixture.isc_->total_queries(), isc_before);
   EXPECT_EQ(fixture.cert_ru_->total_queries(), ru_before);
 }

@@ -155,10 +155,10 @@ TEST_P(KeySizeProperty, FullChainValidatesAtEveryKeySize) {
       resolver::ResolverConfig::unbound_package());
   resolver.set_root_trust_anchor(testbed.root_trust_anchor());
 
-  EXPECT_EQ(resolver.resolve(dns::Name::parse("secure.com"), dns::RRType::kA)
+  EXPECT_EQ(resolver.resolve({dns::Name::parse("secure.com"), dns::RRType::kA})
                 .status,
             resolver::ValidationStatus::kSecure);
-  EXPECT_EQ(resolver.resolve(dns::Name::parse("plain.com"), dns::RRType::kA)
+  EXPECT_EQ(resolver.resolve({dns::Name::parse("plain.com"), dns::RRType::kA})
                 .status,
             resolver::ValidationStatus::kInsecure);
 }

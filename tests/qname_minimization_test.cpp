@@ -51,16 +51,14 @@ class QminFixture {
 
 TEST(QnameMinimizationTest, ResolutionStillSucceeds) {
   QminFixture fixture(true);
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("www.example.com"), dns::RRType::kA);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("www.example.com"), dns::RRType::kA});
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
   ASSERT_NE(result.response.first_answer(dns::RRType::kA), nullptr);
 }
 
 TEST(QnameMinimizationTest, RootAndTldSeeOnlyMinimalNames) {
   QminFixture fixture(true);
-  (void)fixture.resolver_->resolve(dns::Name::parse("www.example.com"),
-                                   dns::RRType::kA);
+  (void)fixture.resolver_->resolve({dns::Name::parse("www.example.com"), dns::RRType::kA});
   // Root sees at most 1 label ("com"), the TLD at most 2 ("example.com").
   EXPECT_LE(fixture.deepest_name_seen("root"), 1u);
   EXPECT_LE(fixture.deepest_name_seen("tld:com"), 2u);
@@ -70,8 +68,7 @@ TEST(QnameMinimizationTest, RootAndTldSeeOnlyMinimalNames) {
 
 TEST(QnameMinimizationTest, WithoutMinimizationFullNamesReachRoot) {
   QminFixture fixture(false);
-  (void)fixture.resolver_->resolve(dns::Name::parse("www.example.com"),
-                                   dns::RRType::kA);
+  (void)fixture.resolver_->resolve({dns::Name::parse("www.example.com"), dns::RRType::kA});
   EXPECT_EQ(fixture.deepest_name_seen("root"), 3u);
 }
 
@@ -79,8 +76,7 @@ TEST(QnameMinimizationTest, NodataAtIntermediateLabelWidensAndContinues) {
   // "deep.example.com" exists as a host; resolving a name below it exercises
   // the RFC 7816 NODATA-widening path ("deep" has no NS).
   QminFixture fixture(true);
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("x.deep.example.com"), dns::RRType::kA);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("x.deep.example.com"), dns::RRType::kA});
   // The name does not exist; what matters is that resolution terminated
   // with a definite answer (not SERVFAIL from a bogus NODATA shortcut).
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kNxDomain);
@@ -90,8 +86,7 @@ TEST(QnameMinimizationTest, DlvLeakIsUnaffected) {
   // The paper's asymmetry: minimization hides names from root/TLD but the
   // DLV query still carries the full domain to the third party.
   QminFixture fixture(true);
-  (void)fixture.resolver_->resolve(dns::Name::parse("www.example.com"),
-                                   dns::RRType::kA);
+  (void)fixture.resolver_->resolve({dns::Name::parse("www.example.com"), dns::RRType::kA});
   bool dlv_saw_full_domain = false;
   for (const auto& observation : fixture.registry_.observations()) {
     if (observation.domain ==

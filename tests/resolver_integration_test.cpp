@@ -54,7 +54,7 @@ class IntegrationFixture {
 
   ResolveResult resolve(const std::string& name,
                         dns::RRType type = dns::RRType::kA) {
-    return resolver_->resolve(dns::Name::parse(name), type);
+    return resolver_->resolve({dns::Name::parse(name), type});
   }
 
   sim::SimClock clock_;
@@ -68,8 +68,8 @@ TEST(IntegrationTest, ChainedDomainValidatesSecurelyWithoutDlv) {
   IntegrationFixture fixture(ResolverConfig::bind_manual_correct());
   const ResolveResult result = fixture.resolve("chained.com");
   EXPECT_EQ(result.status, ValidationStatus::kSecure);
-  EXPECT_FALSE(result.secured_by_dlv);
-  EXPECT_FALSE(result.dlv_used);
+  EXPECT_FALSE(result.dlv.secured);
+  EXPECT_FALSE(result.dlv.used);
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
   EXPECT_TRUE(result.response.header.ad);
   ASSERT_NE(result.response.first_answer(dns::RRType::kA), nullptr);
@@ -79,11 +79,11 @@ TEST(IntegrationTest, IslandOfSecurityValidatesViaDlv) {
   IntegrationFixture fixture(ResolverConfig::bind_manual_correct());
   const ResolveResult result = fixture.resolve("island.com");
   EXPECT_EQ(result.status, ValidationStatus::kSecure);
-  EXPECT_TRUE(result.secured_by_dlv);
-  EXPECT_TRUE(result.dlv_used);
-  EXPECT_TRUE(result.dlv_record_found);
-  ASSERT_FALSE(result.dlv_query_names.empty());
-  EXPECT_EQ(result.dlv_query_names.front().to_text(),
+  EXPECT_TRUE(result.dlv.secured);
+  EXPECT_TRUE(result.dlv.used);
+  EXPECT_TRUE(result.dlv.record_found);
+  ASSERT_FALSE(result.dlv.query_names.empty());
+  EXPECT_EQ(result.dlv.query_names.front().to_text(),
             "island.com.dlv.isc.org.");
   // The registry observed a Case-1 query (record deposited).
   ASSERT_FALSE(fixture.registry_.observations().empty());
@@ -94,8 +94,8 @@ TEST(IntegrationTest, UnsignedDomainLeaksToDlvAsCase2) {
   IntegrationFixture fixture(ResolverConfig::bind_manual_correct());
   const ResolveResult result = fixture.resolve("unsigned.com");
   EXPECT_EQ(result.status, ValidationStatus::kInsecure);
-  EXPECT_TRUE(result.dlv_used);           // the paper's privacy leak
-  EXPECT_FALSE(result.dlv_record_found);
+  EXPECT_TRUE(result.dlv.used);           // the paper's privacy leak
+  EXPECT_FALSE(result.dlv.record_found);
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
   // The DLV operator observed the domain without providing any utility.
   bool saw_domain = false;
@@ -112,8 +112,8 @@ TEST(IntegrationTest, UndepositedIslandStaysInsecure) {
   IntegrationFixture fixture(ResolverConfig::bind_manual_correct());
   const ResolveResult result = fixture.resolve("island2.org");
   EXPECT_EQ(result.status, ValidationStatus::kInsecure);
-  EXPECT_TRUE(result.dlv_used);
-  EXPECT_FALSE(result.dlv_record_found);
+  EXPECT_TRUE(result.dlv.used);
+  EXPECT_FALSE(result.dlv.record_found);
   EXPECT_FALSE(result.response.header.ad);
 }
 
@@ -131,7 +131,7 @@ TEST(IntegrationTest, SecondResolutionServedFromCacheWithoutLeak) {
   const std::uint64_t dlv_queries_before = fixture.registry_.total_queries();
   const ResolveResult result = fixture.resolve("unsigned.com");
   EXPECT_TRUE(result.from_cache);
-  EXPECT_FALSE(result.dlv_used);
+  EXPECT_FALSE(result.dlv.used);
   EXPECT_EQ(fixture.registry_.total_queries(), dlv_queries_before);
 }
 
@@ -144,12 +144,12 @@ TEST(IntegrationTest, AggressiveNegativeCachingSuppressesSecondLeak) {
   // covered — exactly the order-dependence of §5.1 "Order Matters".
   const ResolveResult covered = fixture.resolve("zebra.com");
   EXPECT_EQ(covered.status, ValidationStatus::kInsecure);
-  EXPECT_FALSE(covered.dlv_used);
-  EXPECT_TRUE(covered.dlv_suppressed_by_nsec);
+  EXPECT_FALSE(covered.dlv.used);
+  EXPECT_TRUE(covered.dlv.suppressed_by_nsec);
   const ResolveResult result = fixture.resolve("another.com");
   EXPECT_EQ(result.status, ValidationStatus::kInsecure);
-  EXPECT_TRUE(result.dlv_used);  // not covered: a fresh NSEC range
-  EXPECT_FALSE(result.dlv_suppressed_by_nsec);
+  EXPECT_TRUE(result.dlv.used);  // not covered: a fresh NSEC range
+  EXPECT_FALSE(result.dlv.suppressed_by_nsec);
 }
 
 TEST(IntegrationTest, NsecCachingOffSendsEveryQuery) {
@@ -158,8 +158,8 @@ TEST(IntegrationTest, NsecCachingOffSendsEveryQuery) {
   IntegrationFixture fixture(config);
   (void)fixture.resolve("unsigned.com");
   const ResolveResult result = fixture.resolve("zebra.com");
-  EXPECT_TRUE(result.dlv_used);
-  EXPECT_FALSE(result.dlv_suppressed_by_nsec);
+  EXPECT_TRUE(result.dlv.used);
+  EXPECT_FALSE(result.dlv.suppressed_by_nsec);
 }
 
 TEST(IntegrationTest, NxDomainProvenAndCached) {
@@ -167,7 +167,7 @@ TEST(IntegrationTest, NxDomainProvenAndCached) {
   const ResolveResult first = fixture.resolve("nosuchname.com");
   EXPECT_EQ(first.response.header.rcode, dns::RCode::kNxDomain);
   EXPECT_EQ(first.status, ValidationStatus::kSecure);  // signed denial
-  EXPECT_FALSE(first.dlv_used);  // negative answers are never sent to DLV
+  EXPECT_FALSE(first.dlv.used);  // negative answers are never sent to DLV
   const ResolveResult second = fixture.resolve("nosuchname.com");
   EXPECT_TRUE(second.from_cache);
   EXPECT_EQ(second.response.header.rcode, dns::RCode::kNxDomain);
@@ -178,7 +178,7 @@ TEST(IntegrationTest, MissingTrustAnchorSendsEvenSecureDomainsToDlv) {
   // missing, DLV enabled -> every domain (even chained.com) leaks.
   IntegrationFixture fixture(ResolverConfig::bind_apt_get_dagger());
   const ResolveResult result = fixture.resolve("chained.com");
-  EXPECT_TRUE(result.dlv_used);
+  EXPECT_TRUE(result.dlv.used);
   EXPECT_NE(result.status, ValidationStatus::kSecure);
 }
 
@@ -193,24 +193,24 @@ TEST(IntegrationTest, AptGetDefaultNeverTouchesDlv) {
 TEST(IntegrationTest, YumDefaultValidatesAndOnlyIslandsTouchDlv) {
   IntegrationFixture fixture(ResolverConfig::bind_yum());
   EXPECT_EQ(fixture.resolve("chained.com").status, ValidationStatus::kSecure);
-  EXPECT_FALSE(fixture.resolver_->last_result().dlv_used);
+  EXPECT_FALSE(fixture.resolver_->last_result().dlv.used);
   const ResolveResult island = fixture.resolve("island.com");
-  EXPECT_TRUE(island.dlv_used);
-  EXPECT_TRUE(island.secured_by_dlv);
+  EXPECT_TRUE(island.dlv.used);
+  EXPECT_TRUE(island.dlv.secured);
 }
 
 TEST(IntegrationTest, UnboundCorrectMatchesBindCorrect) {
   IntegrationFixture fixture(ResolverConfig::unbound_correct());
   EXPECT_EQ(fixture.resolve("chained.com").status, ValidationStatus::kSecure);
-  EXPECT_TRUE(fixture.resolve("island.com").secured_by_dlv);
-  EXPECT_TRUE(fixture.resolve("unsigned.com").dlv_used);
+  EXPECT_TRUE(fixture.resolve("island.com").dlv.secured);
+  EXPECT_TRUE(fixture.resolve("unsigned.com").dlv.used);
 }
 
 TEST(IntegrationTest, UnboundManualDoesNothingDnssec) {
   IntegrationFixture fixture(ResolverConfig::unbound_manual());
   const ResolveResult result = fixture.resolve("chained.com");
   EXPECT_EQ(result.status, ValidationStatus::kIndeterminate);
-  EXPECT_FALSE(result.dlv_used);
+  EXPECT_FALSE(result.dlv.used);
   EXPECT_EQ(fixture.registry_.total_queries(), 0u);
 }
 
@@ -222,12 +222,12 @@ TEST(IntegrationTest, TxtRemedySuppressesCase2Leak) {
   fixture.testbed_.set_txt_dlv_signal("island.com", true);
 
   const ResolveResult blocked = fixture.resolve("unsigned.com");
-  EXPECT_FALSE(blocked.dlv_used);
-  EXPECT_TRUE(blocked.dlv_suppressed_by_signal);
+  EXPECT_FALSE(blocked.dlv.used);
+  EXPECT_TRUE(blocked.dlv.suppressed_by_signal);
 
   const ResolveResult allowed = fixture.resolve("island.com");
-  EXPECT_TRUE(allowed.dlv_used);
-  EXPECT_TRUE(allowed.secured_by_dlv);
+  EXPECT_TRUE(allowed.dlv.used);
+  EXPECT_TRUE(allowed.dlv.secured);
 }
 
 TEST(IntegrationTest, ZBitRemedySuppressesCase2Leak) {
@@ -237,12 +237,12 @@ TEST(IntegrationTest, ZBitRemedySuppressesCase2Leak) {
   fixture.testbed_.authority("island.com")->set_z_bit_signal(true);
 
   const ResolveResult blocked = fixture.resolve("unsigned.com");
-  EXPECT_FALSE(blocked.dlv_used);
-  EXPECT_TRUE(blocked.dlv_suppressed_by_signal);
+  EXPECT_FALSE(blocked.dlv.used);
+  EXPECT_TRUE(blocked.dlv.suppressed_by_signal);
 
   const ResolveResult allowed = fixture.resolve("island.com");
-  EXPECT_TRUE(allowed.dlv_used);
-  EXPECT_TRUE(allowed.secured_by_dlv);
+  EXPECT_TRUE(allowed.dlv.used);
+  EXPECT_TRUE(allowed.dlv.secured);
 }
 
 TEST(IntegrationTest, HashedDlvHidesDomainFromRegistry) {
@@ -267,12 +267,11 @@ TEST(IntegrationTest, HashedDlvHidesDomainFromRegistry) {
   resolver.set_dlv_trust_anchor(registry.trust_anchor());
 
   // Deposited domain still validates through the hash.
-  const ResolveResult island = resolver.resolve(
-      dns::Name::parse("island.com"), dns::RRType::kA);
-  EXPECT_TRUE(island.secured_by_dlv);
+  const ResolveResult island = resolver.resolve({dns::Name::parse("island.com"), dns::RRType::kA});
+  EXPECT_TRUE(island.dlv.secured);
 
   // Leaked domain: the registry sees only a hash, not the name.
-  (void)resolver.resolve(dns::Name::parse("unsigned.com"), dns::RRType::kA);
+  (void)resolver.resolve({dns::Name::parse("unsigned.com"), dns::RRType::kA});
   for (const auto& observation : registry.observations()) {
     EXPECT_TRUE(observation.domain.is_root())
         << "registry recovered a domain name in hashed mode: "
@@ -336,6 +335,25 @@ TEST(IntegrationTest, StubFacingHandleQueryStripsDnssecForPlainStub) {
       8, dns::Name::parse("chained.com"), dns::RRType::kA, true, true);
   const dns::Message do_response = fixture.resolver_->handle_query(do_query);
   EXPECT_TRUE(do_response.header.ad);
+}
+
+// The only in-repo caller of the deprecated positional overload: pins the
+// shim's behavior to the v2 API until the overload is removed.
+TEST(IntegrationTest, DeprecatedPositionalResolveMatchesQueryApi) {
+  IntegrationFixture fixture(ResolverConfig::bind_manual_correct());
+  const ResolveResult v2 = fixture.resolve("island.com");
+
+  IntegrationFixture legacy_fixture(ResolverConfig::bind_manual_correct());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const ResolveResult legacy = legacy_fixture.resolver_->resolve(
+      dns::Name::parse("island.com"), dns::RRType::kA);
+#pragma GCC diagnostic pop
+
+  EXPECT_EQ(legacy.status, v2.status);
+  EXPECT_EQ(legacy.dlv.secured, v2.dlv.secured);
+  EXPECT_EQ(legacy.dlv.query_names, v2.dlv.query_names);
+  EXPECT_EQ(legacy.response, v2.response);
 }
 
 }  // namespace

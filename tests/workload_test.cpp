@@ -179,22 +179,19 @@ TEST(UniverseWorldTest, ResolvesEveryDeploymentFlavor) {
   ASSERT_NE(unsigned_rank, 0u);
 
   // Chained: secure without DLV.
-  auto chained = fixture.resolver_->resolve(universe.domain_at(chained_rank),
-                                            dns::RRType::kA);
+  auto chained = fixture.resolver_->resolve({universe.domain_at(chained_rank), dns::RRType::kA});
   EXPECT_EQ(chained.status, resolver::ValidationStatus::kSecure);
-  EXPECT_FALSE(chained.dlv_used);
+  EXPECT_FALSE(chained.dlv.used);
 
   // Deposited island: secure via DLV.
-  auto deposited = fixture.resolver_->resolve(
-      universe.domain_at(deposited_rank), dns::RRType::kA);
+  auto deposited = fixture.resolver_->resolve({universe.domain_at(deposited_rank), dns::RRType::kA});
   EXPECT_EQ(deposited.status, resolver::ValidationStatus::kSecure);
-  EXPECT_TRUE(deposited.secured_by_dlv);
+  EXPECT_TRUE(deposited.dlv.secured);
 
   // Unsigned: insecure, leaks to DLV (Case-2).
-  auto plain = fixture.resolver_->resolve(universe.domain_at(unsigned_rank),
-                                          dns::RRType::kA);
+  auto plain = fixture.resolver_->resolve({universe.domain_at(unsigned_rank), dns::RRType::kA});
   EXPECT_EQ(plain.status, resolver::ValidationStatus::kInsecure);
-  EXPECT_TRUE(plain.dlv_used || plain.dlv_suppressed_by_nsec);
+  EXPECT_TRUE(plain.dlv.used || plain.dlv.suppressed_by_nsec);
 }
 
 TEST(UniverseWorldTest, OutOfBailiwickNsForcesExtraALookups) {
@@ -210,8 +207,7 @@ TEST(UniverseWorldTest, OutOfBailiwickNsForcesExtraALookups) {
   }
   ASSERT_NE(no_glue_rank, 0u);
   const auto before = fixture.network_.counters();
-  (void)fixture.resolver_->resolve(universe.domain_at(no_glue_rank),
-                                   dns::RRType::kA);
+  (void)fixture.resolver_->resolve({universe.domain_at(no_glue_rank), dns::RRType::kA});
   const auto delta = fixture.network_.counters().delta_since(before);
   // Resolving the provider NS host costs extra A queries beyond the chain.
   EXPECT_GE(delta.value("query.A"), 3u);
@@ -268,10 +264,9 @@ TEST(UniverseWorldTest, TxtSignalingWorldSuppressesLeaks) {
       break;
     }
   }
-  const auto result = resolver.resolve(
-      world.universe().domain_at(unsigned_rank), dns::RRType::kA);
-  EXPECT_FALSE(result.dlv_used);
-  EXPECT_TRUE(result.dlv_suppressed_by_signal);
+  const auto result = resolver.resolve({world.universe().domain_at(unsigned_rank), dns::RRType::kA});
+  EXPECT_FALSE(result.dlv.used);
+  EXPECT_TRUE(result.dlv.suppressed_by_signal);
   EXPECT_EQ(world.registry().total_queries(), 0u);
 }
 
@@ -296,20 +291,17 @@ TEST(UniverseWorldTest, ZBitSignalingWorldSuppressesLeaks) {
     if (deposited_rank == 0 && info.dlv_deposited) deposited_rank = rank;
     if (unsigned_rank && deposited_rank) break;
   }
-  const auto blocked = resolver.resolve(
-      world.universe().domain_at(unsigned_rank), dns::RRType::kA);
-  EXPECT_FALSE(blocked.dlv_used);
-  EXPECT_TRUE(blocked.dlv_suppressed_by_signal);
+  const auto blocked = resolver.resolve({world.universe().domain_at(unsigned_rank), dns::RRType::kA});
+  EXPECT_FALSE(blocked.dlv.used);
+  EXPECT_TRUE(blocked.dlv.suppressed_by_signal);
 
-  const auto allowed = resolver.resolve(
-      world.universe().domain_at(deposited_rank), dns::RRType::kA);
-  EXPECT_TRUE(allowed.secured_by_dlv);
+  const auto allowed = resolver.resolve({world.universe().domain_at(deposited_rank), dns::RRType::kA});
+  EXPECT_TRUE(allowed.dlv.secured);
 }
 
 TEST(UniverseWorldTest, PtrLookupsAnswered) {
   WorldFixture fixture;
-  const auto result = fixture.resolver_->resolve(
-      dns::Name::parse("34.113.0.203.in-addr.arpa"), dns::RRType::kPtr);
+  const auto result = fixture.resolver_->resolve({dns::Name::parse("34.113.0.203.in-addr.arpa"), dns::RRType::kPtr});
   EXPECT_EQ(result.response.header.rcode, dns::RCode::kNoError);
   EXPECT_NE(result.response.first_answer(dns::RRType::kPtr), nullptr);
 }
