@@ -17,6 +17,7 @@
 // deterministically (see DESIGN.md §4d).
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -46,12 +47,30 @@ inline std::uint64_t max_scale(std::uint64_t default_max) {
   return parsed == 0 ? default_max : parsed;
 }
 
-/// The standard N ladder {100, 1k, 10k, ...} capped at `max`.
+/// The standard N ladder {100, 1k, 10k, ...} capped at `max`. A cap that is
+/// not itself a decade point becomes the final rung, so LOOKASIDE_SCALE=5000
+/// runs {100, 1000, 5000} instead of silently stopping at 1000.
 inline std::vector<std::uint64_t> n_ladder(std::uint64_t max) {
   std::vector<std::uint64_t> out;
   for (std::uint64_t n = 100; n <= max; n *= 10) out.push_back(n);
-  if (out.empty()) out.push_back(max);
+  if (out.empty() || out.back() != max) out.push_back(max);
   return out;
+}
+
+/// Strict decimal parse for flag values: the whole string must be digits.
+/// Malformed input ("abc", "12abc", "", negative) prints an error naming the
+/// flag and exits nonzero instead of silently coercing to a default.
+inline std::uint64_t parse_u64_flag(std::string_view flag_name,
+                                    std::string_view text) {
+  std::uint64_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value, 10);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    std::cerr << "error: " << flag_name << " expects an unsigned integer, got '"
+              << text << "'\n";
+    std::exit(2);
+  }
+  return value;
 }
 
 /// Observability options shared by the bench drivers.
@@ -80,8 +99,7 @@ inline ObsArgs parse_obs_args(int argc, char** argv) {
     } else if (arg == "--ring-buffer") {
       out.ring_capacity = std::size_t{1} << 16;
     } else if (arg.rfind("--ring-buffer=", 0) == 0) {
-      const std::uint64_t n =
-          std::strtoull(std::string(arg.substr(14)).c_str(), nullptr, 10);
+      const std::uint64_t n = parse_u64_flag("--ring-buffer", arg.substr(14));
       out.ring_capacity = n == 0 ? std::size_t{1} << 16
                                  : static_cast<std::size_t>(n);
     } else if (arg == "--summary") {
@@ -122,6 +140,16 @@ class ArgParser {
     return false;
   }
 
+  /// Value of the last `--<name>=V` parsed as a strict unsigned decimal, or
+  /// `fallback` when the flag is absent. Malformed values error out via
+  /// parse_u64_flag instead of being coerced.
+  [[nodiscard]] std::uint64_t numeric(std::string_view name,
+                                      std::uint64_t fallback) const {
+    const std::string text = value(name);
+    if (text.empty() && !flag_with_value_present(name)) return fallback;
+    return parse_u64_flag(std::string("--") + std::string(name), text);
+  }
+
   /// Value of the last `--<name>=V`, or `fallback` when absent.
   [[nodiscard]] std::string value(std::string_view name,
                                   std::string fallback = {}) const {
@@ -137,6 +165,20 @@ class ArgParser {
   }
 
  private:
+  /// True when `--<name>=...` appeared at all (even with an empty value),
+  /// so numeric() can distinguish "absent" from "present but empty" — the
+  /// latter is a user error that must not silently become the fallback.
+  [[nodiscard]] bool flag_with_value_present(std::string_view name) const {
+    for (const std::string& arg : args_) {
+      if (arg.compare(0, 2, "--") == 0 &&
+          arg.compare(2, name.size(), name) == 0 &&
+          arg.size() > name.size() + 2 && arg[name.size() + 2] == '=') {
+        return true;
+      }
+    }
+    return false;
+  }
+
   std::vector<std::string> args_;
   ObsArgs obs_;
   unsigned jobs_;

@@ -75,6 +75,15 @@ resolver::ResolverConfig Environment::default_config() const {
                     : resolver::ResolverConfig::bind_yum();
 }
 
+resolver::ResolverConfig Environment::production_config() const {
+  resolver::ResolverConfig config = default_config();
+  if (software == ResolverSoftware::kUnbound) {
+    config.max_cache_bytes = resolver::ResolverConfig::kUnboundDefaultCacheBytes;
+  }
+  // BIND's paper-era max-cache-size default is unlimited: leave 0.
+  return config;
+}
+
 std::vector<Environment> install_matrix(bool include_manual) {
   std::vector<Environment> out;
   for (const VersionEntry& entry : kVersions) {

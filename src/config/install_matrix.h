@@ -37,6 +37,12 @@ struct Environment {
   [[nodiscard]] std::string installer_name() const;
   /// The default ResolverConfig this environment ships (Figs. 4-7).
   [[nodiscard]] resolver::ResolverConfig default_config() const;
+  /// default_config() plus each resolver's shipped cache bound: Unbound
+  /// caps at msg-cache-size + rrset-cache-size (4 MiB + 4 MiB); paper-era
+  /// BIND ships max-cache-size unlimited. Opt-in — the Table 2 / Figs. 8-9
+  /// reproductions keep using default_config() so their outputs are
+  /// untouched by the lifecycle subsystem.
+  [[nodiscard]] resolver::ResolverConfig production_config() const;
   /// Whether this OS's package manager is apt-get (Debian family).
   [[nodiscard]] bool uses_apt() const;
 };

@@ -105,6 +105,39 @@ class NameHashMap {
     }
   }
 
+  /// Number of physical slots (power of two; 0 before first insert). The
+  /// sweep cursor space: cursors index slots, not entries.
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+  /// Incremental slot walk for sweepers and clock-eviction hands: visits up
+  /// to `max_steps` consecutive slots starting at `*cursor` (wrapping),
+  /// calling fn(key, value) on each full slot; returning true erases that
+  /// entry in place (tombstone, no rehash). `*cursor` advances past the
+  /// visited slots so repeated calls cover the whole table. A cursor from
+  /// before a rehash is clamped by the mask — the walk restarts at an
+  /// arbitrary but valid slot, which clock algorithms tolerate by design.
+  /// Returns the number of entries erased. fn must not touch the map.
+  template <typename Fn>
+  std::size_t sweep(std::size_t* cursor, std::size_t max_steps, Fn&& fn) {
+    if (slots_.empty() || max_steps == 0) return 0;
+    std::size_t erased = 0;
+    std::size_t i = *cursor & mask();
+    for (std::size_t step = 0; step < max_steps; ++step) {
+      Slot& slot = slots_[i];
+      if (slot.state == State::kFull && fn(slot.key, slot.value)) {
+        slot.key = Name{};
+        slot.value = Value{};
+        slot.state = State::kDead;
+        --size_;
+        ++dead_;
+        ++erased;
+      }
+      i = (i + 1) & mask();
+    }
+    *cursor = i;
+    return erased;
+  }
+
  private:
   enum class State : unsigned char { kEmpty, kFull, kDead };
   struct Slot {

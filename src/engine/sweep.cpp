@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <iostream>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -36,7 +37,15 @@ unsigned parse_jobs(int argc, char** argv) {
     } else {
       continue;
     }
-    const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
+    // Strict parse: --jobs=abc must be an error, not a silent fall-back to
+    // hardware concurrency (matching bench::parse_u64_flag's contract).
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0') {
+      std::cerr << "error: --jobs expects an unsigned integer, got '" << value
+                << "'\n";
+      std::exit(2);
+    }
     return parsed == 0 ? default_jobs() : static_cast<unsigned>(parsed);
   }
   return default_jobs();

@@ -92,6 +92,22 @@ void MetricsRegistry::observe(std::string_view name, const Labels& labels,
   series.histogram.add(sample);
 }
 
+void MetricsRegistry::set_gauge(std::string_view name, const Labels& labels,
+                                std::uint64_t value) {
+  const std::string key = label_string(labels);
+  auto& series = gauges_[std::string(name)][key];
+  if (series.labels.empty()) series.labels = sorted_labels(labels);
+  if (value > series.value) series.value = value;
+}
+
+std::uint64_t MetricsRegistry::gauge(std::string_view name,
+                                     const Labels& labels) const {
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return 0;
+  const auto series = it->second.find(label_string(labels));
+  return series == it->second.end() ? 0 : series->second.value;
+}
+
 std::uint64_t MetricsRegistry::value(std::string_view name,
                                      const Labels& labels) const {
   const auto it = counters_.find(name);
@@ -140,6 +156,16 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
       mine.histogram.merge(series.histogram);
     }
   }
+  // Gauges merge by max: each shard reports its own instantaneous state
+  // (e.g. its resolver's cache.bytes), and the high-water mark across
+  // shards is both the useful aggregate and independent of merge order.
+  for (const auto& [name, series_map] : other.gauges_) {
+    for (const auto& [key, series] : series_map) {
+      auto& mine = gauges_[name][key];
+      if (mine.labels.empty()) mine.labels = series.labels;
+      if (series.value > mine.value) mine.value = series.value;
+    }
+  }
 }
 
 std::string MetricsRegistry::prometheus_text() const {
@@ -147,6 +173,13 @@ std::string MetricsRegistry::prometheus_text() const {
   for (const auto& [name, series_map] : counters_) {
     const std::string metric = sanitize_metric_name(name);
     out += "# TYPE " + metric + " counter\n";
+    for (const auto& [key, series] : series_map) {
+      out += metric + key + " " + std::to_string(series.value) + "\n";
+    }
+  }
+  for (const auto& [name, series_map] : gauges_) {
+    const std::string metric = sanitize_metric_name(name);
+    out += "# TYPE " + metric + " gauge\n";
     for (const auto& [key, series] : series_map) {
       out += metric + key + " " + std::to_string(series.value) + "\n";
     }
@@ -181,6 +214,21 @@ std::string MetricsRegistry::json() const {
              ",\"value\":" + std::to_string(series.value) + "}";
     }
   }
+  // The gauges section only appears when a gauge was set, so pre-gauge
+  // producers keep emitting the exact historical document.
+  if (!gauges_.empty()) {
+    out += "],\"gauges\":[";
+    first = true;
+    for (const auto& [name, series_map] : gauges_) {
+      for (const auto& [key, series] : series_map) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"" + json_escape(name) + "\",\"labels\":" +
+               labels_json(series.labels) +
+               ",\"value\":" + std::to_string(series.value) + "}";
+      }
+    }
+  }
   out += "],\"histograms\":[";
   first = true;
   for (const auto& [name, series_map] : histograms_) {
@@ -206,6 +254,11 @@ std::string MetricsRegistry::json() const {
 void MetricsRegistry::write_csv(std::ostream& out) const {
   metrics::CsvWriter csv({"name", "labels", "value"});
   for (const auto& [name, series_map] : counters_) {
+    for (const auto& [key, series] : series_map) {
+      csv.add_row({name, key, std::to_string(series.value)});
+    }
+  }
+  for (const auto& [name, series_map] : gauges_) {
     for (const auto& [key, series] : series_map) {
       csv.add_row({name, key, std::to_string(series.value)});
     }
@@ -243,6 +296,7 @@ bool MetricsRegistry::write_file(const std::string& path) const {
 void MetricsRegistry::clear() {
   counters_.clear();
   histograms_.clear();
+  gauges_.clear();
 }
 
 }  // namespace lookaside::obs

@@ -37,6 +37,17 @@ class MetricsRegistry {
   /// Records `sample` into histogram `name{labels}`.
   void observe(std::string_view name, const Labels& labels, double sample);
 
+  /// Raises gauge `name{labels}` to `value` if higher. Registry gauges are
+  /// high-water marks, not last-write instantaneous values, because the
+  /// sweep engine's byte-identity contract needs a reduction that is
+  /// independent of cell-to-shard partitioning — max is; "latest" is not.
+  void set_gauge(std::string_view name, const Labels& labels,
+                 std::uint64_t value);
+
+  /// Value of gauge `name{labels}` (0 when absent).
+  [[nodiscard]] std::uint64_t gauge(std::string_view name,
+                                    const Labels& labels = {}) const;
+
   /// Value of the exact series `name{labels}` (0 when absent).
   [[nodiscard]] std::uint64_t value(std::string_view name,
                                     const Labels& labels = {}) const;
@@ -65,7 +76,8 @@ class MetricsRegistry {
   /// _sum and _count).
   [[nodiscard]] std::string prometheus_text() const;
 
-  /// JSON document: {"counters":[...],"histograms":[...]}.
+  /// JSON document: {"counters":[...],"histograms":[...]}, plus a
+  /// "gauges":[...] section when any gauge was set.
   [[nodiscard]] std::string json() const;
 
   /// CSV rows: name,labels,value (histograms export count/sum/mean/p99).
@@ -80,7 +92,7 @@ class MetricsRegistry {
   [[nodiscard]] static std::string label_string(const Labels& labels);
 
   [[nodiscard]] bool empty() const {
-    return counters_.empty() && histograms_.empty();
+    return counters_.empty() && histograms_.empty() && gauges_.empty();
   }
 
   void clear();
@@ -100,6 +112,12 @@ class MetricsRegistry {
       counters_;
   std::map<std::string, std::map<std::string, HistogramSeries>, std::less<>>
       histograms_;
+  // Gauges reuse CounterSeries storage; only the write semantics differ
+  // (set vs add, max vs sum on merge). Exports emit a gauges section only
+  // when one was set, so registries that never touch a gauge render
+  // byte-identically to the pre-gauge format.
+  std::map<std::string, std::map<std::string, CounterSeries>, std::less<>>
+      gauges_;
 };
 
 }  // namespace lookaside::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dns/rdata.h"
+
 namespace lookaside::resolver {
 
 namespace {
@@ -17,7 +19,77 @@ template <typename V>
   return nullptr;
 }
 
+// Fixed per-entry overhead constants for the approximate accounting model
+// (DESIGN.md §4f). They stand in for allocator/node/bookkeeping overhead and
+// only need to be deterministic and roughly proportional to real footprint —
+// eviction order and the leakage-under-pressure result depend on relative
+// cost, not on matching malloc exactly.
+constexpr std::size_t kNameOverhead = 32;     // Name object + text header
+constexpr std::size_t kRecordOverhead = 48;   // ResourceRecord + rdata variant
+constexpr std::size_t kPositiveOverhead = 96; // boxed entry + slot bookkeeping
+constexpr std::size_t kNegativeOverhead = 24; // deadline + flags + slot
+constexpr std::size_t kServfailOverhead = 16; // deadline + slot
+constexpr std::size_t kNsecOverhead = 64;     // map node + entry fields
+constexpr std::size_t kZoneCutOverhead = 16;  // deadline + slot
+
 }  // namespace
+
+// -- Byte accounting ---------------------------------------------------------
+
+std::size_t ResolverCache::name_cost(const dns::Name& name) {
+  return kNameOverhead + name.internal_text().size();
+}
+
+std::size_t ResolverCache::record_cost(const dns::ResourceRecord& r) {
+  return kRecordOverhead + name_cost(r.name) + dns::rdata_wire_length(r.rdata);
+}
+
+std::size_t ResolverCache::positive_cost(const PositiveEntry& entry) {
+  std::size_t cost = kPositiveOverhead + name_cost(entry.rrset.name());
+  for (const auto& record : entry.rrset.records()) cost += record_cost(record);
+  for (const auto& sig : entry.rrsigs) cost += record_cost(sig);
+  return cost;
+}
+
+std::size_t ResolverCache::negative_cost(const dns::Name& name) {
+  return kNegativeOverhead + name_cost(name);
+}
+
+std::size_t ResolverCache::servfail_cost(const dns::Name& name) {
+  return kServfailOverhead + name_cost(name);
+}
+
+std::size_t ResolverCache::nsec_cost(const dns::Name& owner,
+                                     const NsecEntry& entry) {
+  return kNsecOverhead + name_cost(owner) + name_cost(entry.next) +
+         entry.types.size() * sizeof(dns::RRType);
+}
+
+std::size_t ResolverCache::zone_cut_cost(const dns::Name& apex) {
+  return kZoneCutOverhead + name_cost(apex);
+}
+
+void ResolverCache::charge(std::size_t cost) {
+  bytes_ += cost;
+  if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
+}
+
+void ResolverCache::release(std::size_t cost) {
+  bytes_ = cost <= bytes_ ? bytes_ - cost : 0;
+}
+
+const char* ResolverCache::section_name(Section section) {
+  switch (section) {
+    case kPositive: return "positive";
+    case kNegative: return "negative";
+    case kServfail: return "servfail";
+    case kNsec: return "nsec";
+    case kZoneCut: return "zone_cut";
+    default: return "unknown";
+  }
+}
+
+// -- Positive cache ----------------------------------------------------------
 
 void ResolverCache::store(const dns::RRset& rrset, bool validated,
                           std::vector<dns::ResourceRecord> rrsigs) {
@@ -27,8 +99,11 @@ void ResolverCache::store(const dns::RRset& rrset, bool validated,
   entry->expires_us = ttl_to_deadline(now(), rrset.ttl());
   entry->validated = validated;
   entry->rrsigs = std::move(rrsigs);
+  entry->cost = static_cast<std::uint32_t>(positive_cost(*entry));
+  charge(entry->cost);
   PositiveSlots& slots = positive_.get_or_insert(rrset.name());
   if (auto* slot = find_type(&slots, rrset.type())) {
+    release(slot->second->cost);
     slot->second = std::move(entry);
   } else {
     slots.emplace_back(rrset.type(), std::move(entry));
@@ -47,6 +122,7 @@ std::optional<ResolverCache::Entry> ResolverCache::find_entry(
   auto* slot = find_type(slots, type);
   if (slot == nullptr || slot->second->expires_us <= now()) {
     if (slot != nullptr) {
+      release(slot->second->cost);
       slots->erase(slots->begin() + (slot - slots->data()));
       if (slots->empty()) positive_.erase(name);
     }
@@ -54,7 +130,8 @@ std::optional<ResolverCache::Entry> ResolverCache::find_entry(
     return std::nullopt;
   }
   counters_.add("cache.hit");
-  const PositiveEntry& entry = *slot->second;
+  PositiveEntry& entry = *slot->second;
+  entry.referenced = true;
   return Entry{&entry.rrset, entry.validated, &entry.rrsigs};
 }
 
@@ -70,13 +147,16 @@ void ResolverCache::mark_validated(const dns::Name& name, dns::RRType type) {
   }
 }
 
+// -- Negative cache ----------------------------------------------------------
+
 void ResolverCache::store_negative(const dns::Name& name, dns::RRType type,
                                    std::uint32_t ttl, bool nxdomain) {
   auto& slots = negative_.get_or_insert(name);
-  const NegativeRecord record{ttl_to_deadline(now(), ttl), nxdomain};
+  const NegativeRecord record{ttl_to_deadline(now(), ttl), nxdomain, false};
   if (auto* slot = find_type(&slots, type)) {
     slot->second = record;
   } else {
+    charge(negative_cost(name));
     slots.emplace_back(type, record);
   }
 }
@@ -85,42 +165,83 @@ NegativeEntry ResolverCache::find_negative(const dns::Name& name,
                                            dns::RRType type) {
   auto* slots = negative_.find(name);
   if (slots == nullptr) return NegativeEntry::kNone;
-  // Exact (name, type) entry wins when unexpired.
-  if (const auto* slot = find_type(slots, type)) {
-    if (slot->second.expires_us > now()) {
-      counters_.add("cache.negative_hit");
-      return slot->second.nxdomain ? NegativeEntry::kNxDomain
-                                   : NegativeEntry::kNoData;
+  // One pass answers both questions and purges expired slots in place
+  // (mirroring the positive path's erase-on-probe): an unexpired exact
+  // (name, type) entry wins; failing that, any unexpired NXDOMAIN entry for
+  // the name covers every type.
+  const std::uint64_t now_us = now();
+  bool nxdomain_hit = false;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < slots->size(); ++read) {
+    auto& slot = (*slots)[read];
+    if (slot.second.expires_us <= now_us) {
+      release(negative_cost(name));
+      continue;  // expired: drop by not copying it forward
     }
+    if (slot.first == type) {
+      slot.second.referenced = true;
+      const bool nxdomain = slot.second.nxdomain;
+      // Finish compacting before returning so the purge is not skipped.
+      for (std::size_t rest = read; rest < slots->size(); ++rest) {
+        auto& keep = (*slots)[rest];
+        if (keep.second.expires_us <= now_us) {
+          release(negative_cost(name));
+          continue;
+        }
+        if (write != rest) (*slots)[write] = keep;
+        ++write;
+      }
+      slots->resize(write);
+      counters_.add("cache.negative_hit");
+      return nxdomain ? NegativeEntry::kNxDomain : NegativeEntry::kNoData;
+    }
+    if (slot.second.nxdomain) {
+      slot.second.referenced = true;
+      nxdomain_hit = true;
+    }
+    if (write != read) (*slots)[write] = slot;
+    ++write;
   }
-  // Any unexpired NXDOMAIN entry for this name covers every type.
-  for (const auto& slot : *slots) {
-    if (slot.second.nxdomain && slot.second.expires_us > now()) {
-      counters_.add("cache.negative_hit");
-      return NegativeEntry::kNxDomain;
-    }
+  slots->resize(write);
+  if (slots->empty()) negative_.erase(name);
+  if (nxdomain_hit) {
+    counters_.add("cache.negative_hit");
+    return NegativeEntry::kNxDomain;
   }
   return NegativeEntry::kNone;
 }
 
+// -- SERVFAIL cache ----------------------------------------------------------
+
 void ResolverCache::store_servfail(const dns::Name& name, dns::RRType type,
                                    std::uint32_t ttl) {
   auto& slots = servfail_.get_or_insert(name);
-  const std::uint64_t deadline = ttl_to_deadline(now(), ttl);
+  const ServfailRecord record{ttl_to_deadline(now(), ttl), false};
   if (auto* slot = find_type(&slots, type)) {
-    slot->second = deadline;
+    slot->second = record;
   } else {
-    slots.emplace_back(type, deadline);
+    charge(servfail_cost(name));
+    slots.emplace_back(type, record);
   }
   counters_.add("cache.servfail_store");
 }
 
 bool ResolverCache::find_servfail(const dns::Name& name, dns::RRType type) {
-  const auto* slot = find_type(servfail_.find(name), type);
-  if (slot == nullptr || slot->second <= now()) return false;
+  auto* slots = servfail_.find(name);
+  auto* slot = find_type(slots, type);
+  if (slot == nullptr) return false;
+  if (slot->second.expires_us <= now()) {
+    release(servfail_cost(name));
+    slots->erase(slots->begin() + (slot - slots->data()));
+    if (slots->empty()) servfail_.erase(name);
+    return false;
+  }
+  slot->second.referenced = true;
   counters_.add("cache.servfail_hit");
   return true;
 }
+
+// -- Aggressive NSEC cache ---------------------------------------------------
 
 void ResolverCache::store_nsec(const dns::Name& zone_apex,
                                const dns::ResourceRecord& nsec_record) {
@@ -130,32 +251,45 @@ void ResolverCache::store_nsec(const dns::Name& zone_apex,
   entry.next = nsec->next;
   entry.types = nsec->types;
   entry.expires_us = ttl_to_deadline(now(), nsec_record.ttl);
-  nsec_by_zone_.get_or_insert(zone_apex)[nsec_record.name] = std::move(entry);
+  entry.cost = static_cast<std::uint32_t>(nsec_cost(nsec_record.name, entry));
+  charge(entry.cost);
+  NsecEntry& slot = nsec_by_zone_.get_or_insert(zone_apex)
+                        .chain[nsec_record.name];
+  if (slot.cost != 0) release(slot.cost);  // overwrite of an existing owner
+  slot = std::move(entry);
 }
 
 NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
                                        const dns::Name& qname,
                                        dns::RRType qtype) {
-  NsecChain* chain_ptr = nsec_by_zone_.find(zone_apex);
-  if (chain_ptr == nullptr) return NsecCoverage::kNoProof;
-  NsecChain& chain = *chain_ptr;
+  NsecZone* zone = nsec_by_zone_.find(zone_apex);
+  if (zone == nullptr) return NsecCoverage::kNoProof;
+  NsecChain& chain = zone->chain;
   if (!qname.is_subdomain_of(zone_apex)) return NsecCoverage::kNoProof;
 
-  // Greatest owner <= qname.
+  // Greatest owner <= qname. Expired entries met on the walk are reclaimed
+  // and skipped: a stale closer entry must not shadow a live covering proof
+  // further left in the chain, so keep stepping to the next predecessor
+  // instead of giving up on the first expired hit.
   auto it = chain.upper_bound(qname);
-  if (it == chain.begin()) return NsecCoverage::kNoProof;
-  --it;
-  const dns::Name& owner = it->first;
-  const NsecEntry& entry = it->second;
-  if (entry.expires_us <= now()) {
-    chain.erase(it);
-    return NsecCoverage::kNoProof;
+  for (;;) {
+    if (it == chain.begin()) {
+      if (chain.empty()) nsec_by_zone_.erase(zone_apex);
+      return NsecCoverage::kNoProof;
+    }
+    --it;
+    if (it->second.expires_us > now()) break;
+    release(it->second.cost);
+    it = chain.erase(it);
   }
+  const dns::Name& owner = it->first;
+  NsecEntry& entry = it->second;
 
   if (owner == qname) {
     // Exact NSEC: name exists; the bitmap decides the type.
     if (std::find(entry.types.begin(), entry.types.end(), qtype) ==
         entry.types.end()) {
+      entry.referenced = true;
       counters_.add("cache.nsec_hit");
       return NsecCoverage::kTypeAbsent;
     }
@@ -166,6 +300,7 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
   // last record wraps: next == apex means "everything after owner".
   const bool wraps = entry.next == zone_apex;
   if (wraps || qname.canonical_compare(entry.next) < 0) {
+    entry.referenced = true;
     counters_.add("cache.nsec_hit");
     return NsecCoverage::kNameCovered;
   }
@@ -173,23 +308,297 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
 }
 
 std::size_t ResolverCache::nsec_count(const dns::Name& zone_apex) const {
-  const NsecChain* chain = nsec_by_zone_.find(zone_apex);
-  return chain == nullptr ? 0 : chain->size();
+  const NsecZone* zone = nsec_by_zone_.find(zone_apex);
+  return zone == nullptr ? 0 : zone->chain.size();
 }
 
+// -- Zone-cut cache ----------------------------------------------------------
+
 void ResolverCache::store_zone_cut(const dns::Name& apex, std::uint32_t ttl) {
-  zone_cuts_.get_or_insert(apex) = ttl_to_deadline(now(), ttl);
+  ZoneCutRecord& record = zone_cuts_.get_or_insert(apex);
+  if (record.expires_us == 0) charge(zone_cut_cost(apex));
+  record.expires_us = ttl_to_deadline(now(), ttl);
+  record.referenced = false;
 }
 
 dns::Name ResolverCache::deepest_known_cut(const dns::Name& qname) {
   dns::Name candidate = qname;
   for (;;) {
-    if (const std::uint64_t* deadline = zone_cuts_.find(candidate)) {
-      if (*deadline > now()) return candidate;
+    if (ZoneCutRecord* record = zone_cuts_.find(candidate)) {
+      if (record->expires_us > now()) {
+        record->referenced = true;
+        return candidate;
+      }
+      release(zone_cut_cost(candidate));
       zone_cuts_.erase(candidate);
     }
     if (candidate.is_root()) return candidate;
     candidate = candidate.parent();
+  }
+}
+
+// -- Lifecycle: sweep + eviction ---------------------------------------------
+
+std::size_t ResolverCache::sweep_section(Section section, std::size_t budget) {
+  const std::uint64_t now_us = now();
+  std::size_t reclaimed = 0;
+  std::size_t* cursor = &sweep_cursor_[section];
+  switch (section) {
+    case kPositive:
+      positive_.sweep(cursor, budget, [&](const dns::Name&,
+                                          PositiveSlots& slots) {
+        std::size_t write = 0;
+        for (std::size_t read = 0; read < slots.size(); ++read) {
+          auto& slot = slots[read];
+          if (slot.second->expires_us <= now_us) {
+            release(slot.second->cost);
+            ++reclaimed;
+            continue;
+          }
+          if (write != read) slots[write] = std::move(slot);
+          ++write;
+        }
+        slots.resize(write);
+        return slots.empty();  // erase the name when nothing survives
+      });
+      break;
+    case kNegative:
+      negative_.sweep(cursor, budget, [&](const dns::Name& name,
+                                          TypeSlots<NegativeRecord>& slots) {
+        std::size_t write = 0;
+        for (std::size_t read = 0; read < slots.size(); ++read) {
+          auto& slot = slots[read];
+          if (slot.second.expires_us <= now_us) {
+            release(negative_cost(name));
+            ++reclaimed;
+            continue;
+          }
+          if (write != read) slots[write] = slot;
+          ++write;
+        }
+        slots.resize(write);
+        return slots.empty();
+      });
+      break;
+    case kServfail:
+      servfail_.sweep(cursor, budget, [&](const dns::Name& name,
+                                          TypeSlots<ServfailRecord>& slots) {
+        std::size_t write = 0;
+        for (std::size_t read = 0; read < slots.size(); ++read) {
+          auto& slot = slots[read];
+          if (slot.second.expires_us <= now_us) {
+            release(servfail_cost(name));
+            ++reclaimed;
+            continue;
+          }
+          if (write != read) slots[write] = slot;
+          ++write;
+        }
+        slots.resize(write);
+        return slots.empty();
+      });
+      break;
+    case kNsec:
+      // Budget counts chain entries here, not hash slots: one DLV zone can
+      // hold a 100k-entry chain, and visiting a whole chain per tick would
+      // defeat the amortization. The per-zone `hand` resumes mid-chain.
+      nsec_by_zone_.sweep(cursor, 1, [&](const dns::Name&, NsecZone& zone) {
+        auto it = zone.hand.is_root() ? zone.chain.begin()
+                                      : zone.chain.lower_bound(zone.hand);
+        std::size_t visited = 0;
+        while (it != zone.chain.end() && visited < budget) {
+          ++visited;
+          if (it->second.expires_us <= now_us) {
+            release(it->second.cost);
+            ++reclaimed;
+            it = zone.chain.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        zone.hand = it == zone.chain.end() ? dns::Name{} : it->first;
+        return zone.chain.empty();
+      });
+      break;
+    case kZoneCut:
+      zone_cuts_.sweep(cursor, budget, [&](const dns::Name& apex,
+                                           ZoneCutRecord& record) {
+        if (record.expires_us > now_us) return false;
+        release(zone_cut_cost(apex));
+        ++reclaimed;
+        return true;
+      });
+      break;
+    default:
+      break;
+  }
+  return reclaimed;
+}
+
+std::size_t ResolverCache::sweep_expired(std::size_t max_slots) {
+  std::size_t reclaimed = 0;
+  // Rotate one section per call; empty sections cost nothing, so skip
+  // through them without burning the budget.
+  for (std::size_t attempt = 0; attempt < kSectionCount; ++attempt) {
+    const auto section = static_cast<Section>(sweep_section_index_);
+    sweep_section_index_ = (sweep_section_index_ + 1) % kSectionCount;
+    const bool empty =
+        (section == kPositive && positive_.empty()) ||
+        (section == kNegative && negative_.empty()) ||
+        (section == kServfail && servfail_.empty()) ||
+        (section == kNsec && nsec_by_zone_.empty()) ||
+        (section == kZoneCut && zone_cuts_.empty());
+    if (empty) continue;
+    reclaimed = sweep_section(section, max_slots);
+    break;
+  }
+  if (reclaimed > 0) counters_.add("cache.expired_swept", reclaimed);
+  return reclaimed;
+}
+
+void ResolverCache::count_eviction(Section section, std::size_t entries) {
+  counters_.add("cache.evicted", entries);
+  counters_.add(std::string("cache.evicted.") + section_name(section),
+                entries);
+}
+
+bool ResolverCache::evict_step(Section section, std::size_t budget) {
+  std::size_t* cursor = &evict_cursor_[section];
+  std::size_t evicted = 0;
+  switch (section) {
+    case kPositive:
+      positive_.sweep(cursor, budget, [&](const dns::Name&,
+                                          PositiveSlots& slots) {
+        if (evicted > 0) return false;  // one victim per step
+        // Second chance is per name-slot: any referenced type entry spares
+        // the whole slot this pass (and spends the reference bits).
+        bool spared = false;
+        for (auto& slot : slots) {
+          if (slot.second->referenced) {
+            slot.second->referenced = false;
+            spared = true;
+          }
+        }
+        if (spared) return false;
+        for (auto& slot : slots) release(slot.second->cost);
+        evicted = slots.size();
+        return true;
+      });
+      break;
+    case kNegative:
+      negative_.sweep(cursor, budget, [&](const dns::Name& name,
+                                          TypeSlots<NegativeRecord>& slots) {
+        if (evicted > 0) return false;
+        bool spared = false;
+        for (auto& slot : slots) {
+          if (slot.second.referenced) {
+            slot.second.referenced = false;
+            spared = true;
+          }
+        }
+        if (spared) return false;
+        release(negative_cost(name) * slots.size());
+        evicted = slots.size();
+        return true;
+      });
+      break;
+    case kServfail:
+      servfail_.sweep(cursor, budget, [&](const dns::Name& name,
+                                          TypeSlots<ServfailRecord>& slots) {
+        if (evicted > 0) return false;
+        bool spared = false;
+        for (auto& slot : slots) {
+          if (slot.second.referenced) {
+            slot.second.referenced = false;
+            spared = true;
+          }
+        }
+        if (spared) return false;
+        release(servfail_cost(name) * slots.size());
+        evicted = slots.size();
+        return true;
+      });
+      break;
+    case kNsec:
+      nsec_by_zone_.sweep(cursor, 1, [&](const dns::Name&, NsecZone& zone) {
+        auto it = zone.hand.is_root() ? zone.chain.begin()
+                                      : zone.chain.lower_bound(zone.hand);
+        std::size_t visited = 0;
+        while (it != zone.chain.end() && visited < budget && evicted == 0) {
+          ++visited;
+          if (it->second.referenced) {
+            it->second.referenced = false;
+            ++it;
+          } else {
+            release(it->second.cost);
+            evicted = 1;
+            it = zone.chain.erase(it);
+          }
+        }
+        zone.hand = it == zone.chain.end() ? dns::Name{} : it->first;
+        return zone.chain.empty();
+      });
+      break;
+    case kZoneCut:
+      zone_cuts_.sweep(cursor, budget, [&](const dns::Name& apex,
+                                           ZoneCutRecord& record) {
+        if (evicted > 0) return false;
+        if (record.referenced) {
+          record.referenced = false;
+          return false;
+        }
+        release(zone_cut_cost(apex));
+        evicted = 1;
+        return true;
+      });
+      break;
+    default:
+      break;
+  }
+  if (evicted > 0) count_eviction(section, evicted);
+  return evicted > 0;
+}
+
+void ResolverCache::maintain() {
+  if (limits_.sweep_step > 0) sweep_expired(limits_.sweep_step);
+  if (limits_.max_bytes == 0 || bytes_ <= limits_.max_bytes) return;
+  // Second-chance eviction until under the cap. The clock hand rotates
+  // across sections so pressure lands proportionally on whichever stores
+  // hold data; each step scans a bounded window. The pass guard bounds the
+  // worst case (every entry referenced ⇒ one full spare-everything pass,
+  // then victims on the second) so a cap smaller than one entry cannot spin.
+  const std::size_t step_budget =
+      limits_.sweep_step > 0 ? limits_.sweep_step : 32;
+  const std::size_t total_slots =
+      positive_.slot_count() + negative_.slot_count() +
+      servfail_.slot_count() + nsec_by_zone_.slot_count() +
+      zone_cuts_.slot_count() + nsec_by_zone_.size();
+  // The guard bounds consecutive *victimless* work: at most ~4 full table
+  // walks (enough to spend every second-chance bit) before concluding no
+  // further eviction is possible — which only happens if the accounting
+  // says over-cap while the stores are empty. Progress replenishes it, so
+  // an arbitrarily deep purge still terminates: every eviction removes at
+  // least one entry and entries cannot appear mid-maintain.
+  const std::size_t initial_guard = 4 * (total_slots + kSectionCount);
+  std::size_t guard = initial_guard;
+  while (bytes_ > limits_.max_bytes && guard > 0) {
+    const auto section = static_cast<Section>(evict_section_index_);
+    evict_section_index_ = (evict_section_index_ + 1) % kSectionCount;
+    const bool empty =
+        (section == kPositive && positive_.empty()) ||
+        (section == kNegative && negative_.empty()) ||
+        (section == kServfail && servfail_.empty()) ||
+        (section == kNsec && nsec_by_zone_.empty()) ||
+        (section == kZoneCut && zone_cuts_.empty());
+    if (empty) {
+      --guard;
+      continue;
+    }
+    if (evict_step(section, step_budget)) {
+      guard = initial_guard;
+    } else {
+      guard = guard > step_budget ? guard - step_budget : 0;
+    }
   }
 }
 
@@ -199,6 +608,14 @@ void ResolverCache::clear() {
   servfail_.clear();
   nsec_by_zone_.clear();
   zone_cuts_.clear();
+  bytes_ = 0;
+  peak_bytes_ = 0;
+  sweep_section_index_ = 0;
+  evict_section_index_ = 0;
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    sweep_cursor_[i] = 0;
+    evict_cursor_[i] = 0;
+  }
 }
 
 }  // namespace lookaside::resolver

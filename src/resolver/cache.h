@@ -4,6 +4,15 @@
 // The aggressive NSEC cache is load-bearing for the paper: it is the only
 // reason leaked-domain counts grow sub-linearly (Figs. 8-9), and shuffling
 // the query order changes which domains leak (§5.1 "Order Matters").
+//
+// Lifecycle (DESIGN.md §4f): every entry is byte-accounted at store time,
+// an incremental amortized sweep reclaims expired entries instead of
+// leaving them to linger until probed, and an optional byte cap
+// (CacheLimits.max_bytes — BIND max-cache-size / Unbound msg-cache-size
+// analogue) is enforced by second-chance (clock) eviction across all five
+// stores. Evicting aggressive-NSEC proofs under memory pressure re-opens
+// the paper's Case-2 leakage channel — bench_cache_churn measures exactly
+// that.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,17 @@ enum class NsecCoverage {
   kNoProof,       // no cached NSEC speaks to this name
   kNameCovered,   // a cached NSEC proves the name does not exist
   kTypeAbsent,    // NSEC at the exact name proves the type is absent
+};
+
+/// Lifecycle limits for one ResolverCache (DESIGN.md §4f).
+struct CacheLimits {
+  /// Approximate cap on the cache's total footprint in bytes; 0 means
+  /// unbounded (the paper-era BIND default).
+  std::uint64_t max_bytes = 0;
+  /// Slots examined per maintain() tick by the amortized expiry sweep.
+  /// 0 disables the background sweep (expired entries are then reclaimed
+  /// only when probed or evicted).
+  std::size_t sweep_step = 32;
 };
 
 /// All resolver-side caches, sharing one virtual clock.
@@ -91,7 +111,9 @@ class ResolverCache {
                   const dns::ResourceRecord& nsec_record);
 
   /// Checks whether cached NSEC records prove (qname, qtype) absent
-  /// within `zone_apex`.
+  /// within `zone_apex`. Expired entries encountered on the predecessor
+  /// walk are reclaimed and skipped — a stale closer entry must not shadow
+  /// a live covering proof.
   [[nodiscard]] NsecCoverage nsec_check(const dns::Name& zone_apex,
                                         const dns::Name& qname,
                                         dns::RRType qtype);
@@ -107,12 +129,37 @@ class ResolverCache {
   /// Deepest unexpired known cut enclosing `qname`; root when none.
   [[nodiscard]] dns::Name deepest_known_cut(const dns::Name& qname);
 
+  // -- Lifecycle (accounting / sweep / eviction) ------------------------------
+
+  /// Installs the byte cap and sweep amortization step.
+  void set_limits(const CacheLimits& limits) { limits_ = limits; }
+  [[nodiscard]] const CacheLimits& limits() const { return limits_; }
+
+  /// Approximate current footprint in bytes across all five stores.
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  /// High-water mark of bytes() since construction (or clear()).
+  [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_; }
+
+  /// Incremental expiry sweep: visits up to `max_slots` slots, resuming
+  /// where the previous sweep stopped and rotating across the five stores,
+  /// and reclaims every expired entry found. Counts "cache.expired_swept".
+  /// Returns the number of entries reclaimed by this call.
+  std::size_t sweep_expired(std::size_t max_slots);
+
+  /// One maintenance tick, called by the resolver at resolution boundaries
+  /// (never mid-resolution: eviction frees boxed entries, so handed-out
+  /// Entry pointers are only guaranteed stable within one resolution once a
+  /// cap is set): an amortized sweep step plus second-chance eviction while
+  /// over the byte cap. Counts "cache.evicted" (+ per-store breakdowns).
+  void maintain();
+
   // -- Maintenance ------------------------------------------------------------
 
   void clear();
 
   /// Counters: "cache.hit", "cache.miss", "cache.negative_hit",
-  /// "cache.nsec_hit", ...
+  /// "cache.nsec_hit", "cache.expired_swept", "cache.evicted",
+  /// "cache.evicted.positive|negative|servfail|nsec|zone_cut", ...
   [[nodiscard]] const metrics::CounterSet& counters() const { return counters_; }
 
  private:
@@ -126,16 +173,29 @@ class ResolverCache {
     dns::RRset rrset;
     std::uint64_t expires_us = 0;
     bool validated = false;
+    bool referenced = false;  // second-chance bit, set on hit
+    std::uint32_t cost = 0;   // accounted bytes
     std::vector<dns::ResourceRecord> rrsigs;
   };
   struct NegativeRecord {
     std::uint64_t expires_us = 0;
     bool nxdomain = false;
+    bool referenced = false;
+  };
+  struct ServfailRecord {
+    std::uint64_t expires_us = 0;
+    bool referenced = false;
   };
   struct NsecEntry {
     dns::Name next;
     std::vector<dns::RRType> types;
     std::uint64_t expires_us = 0;
+    bool referenced = false;
+    std::uint32_t cost = 0;
+  };
+  struct ZoneCutRecord {
+    std::uint64_t expires_us = 0;
+    bool referenced = false;
   };
 
   // Per-name slot lists: one hash probe finds every type cached under a
@@ -147,8 +207,26 @@ class ResolverCache {
   using TypeSlots = std::vector<std::pair<dns::RRType, V>>;
   using PositiveSlots = TypeSlots<std::unique_ptr<PositiveEntry>>;
   // NSEC chains stay ordered: coverage checks need the greatest owner
-  // <= qname (predecessor query), which a hash table cannot answer.
+  // <= qname (predecessor query), which a hash table cannot answer. The
+  // wrapper carries the per-zone resume hand for incremental sweeps, so a
+  // 100k-entry DLV chain is reclaimed a few entries per tick instead of in
+  // one stall.
   using NsecChain = std::map<dns::Name, NsecEntry, CanonicalLess>;
+  struct NsecZone {
+    NsecChain chain;
+    dns::Name hand;  // sweep/eviction resume position (root = begin)
+  };
+
+  /// The five stores, as clock-hand / sweep-rotation indices.
+  enum Section : std::size_t {
+    kPositive = 0,
+    kNegative,
+    kServfail,
+    kNsec,
+    kZoneCut,
+    kSectionCount,
+  };
+  static const char* section_name(Section section);
 
   [[nodiscard]] std::uint64_t now() const { return clock_->now_us(); }
   [[nodiscard]] static std::uint64_t ttl_to_deadline(std::uint64_t now_us,
@@ -156,13 +234,49 @@ class ResolverCache {
     return now_us + static_cast<std::uint64_t>(ttl) * 1'000'000ULL;
   }
 
+  // -- Byte accounting (approximate, deterministic) --------------------------
+
+  [[nodiscard]] static std::size_t name_cost(const dns::Name& name);
+  [[nodiscard]] static std::size_t record_cost(const dns::ResourceRecord& r);
+  [[nodiscard]] static std::size_t positive_cost(const PositiveEntry& entry);
+  [[nodiscard]] static std::size_t negative_cost(const dns::Name& name);
+  [[nodiscard]] static std::size_t servfail_cost(const dns::Name& name);
+  [[nodiscard]] static std::size_t nsec_cost(const dns::Name& owner,
+                                             const NsecEntry& entry);
+  [[nodiscard]] static std::size_t zone_cut_cost(const dns::Name& apex);
+
+  void charge(std::size_t cost);
+  void release(std::size_t cost);
+
+  // -- Sweep / eviction internals --------------------------------------------
+
+  /// Sweeps up to `budget` slots of `section` for expired entries;
+  /// returns entries reclaimed.
+  std::size_t sweep_section(Section section, std::size_t budget);
+  /// One clock step in `section`: visits up to `budget` slots; gives
+  /// referenced entries a second chance (clearing the bit) and evicts the
+  /// first unreferenced one. Returns true when something was evicted.
+  bool evict_step(Section section, std::size_t budget);
+  void count_eviction(Section section, std::size_t entries);
+
   const sim::SimClock* clock_;
   metrics::CounterSet counters_;
+  CacheLimits limits_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
   dns::NameHashMap<PositiveSlots> positive_;
   dns::NameHashMap<TypeSlots<NegativeRecord>> negative_;
-  dns::NameHashMap<TypeSlots<std::uint64_t>> servfail_;
-  dns::NameHashMap<NsecChain> nsec_by_zone_;
-  dns::NameHashMap<std::uint64_t> zone_cuts_;
+  dns::NameHashMap<TypeSlots<ServfailRecord>> servfail_;
+  dns::NameHashMap<NsecZone> nsec_by_zone_;
+  dns::NameHashMap<ZoneCutRecord> zone_cuts_;
+  // Sweep rotation state: which section the next sweep tick works on, plus
+  // one resume cursor per section (slot indices into the hash tables).
+  std::size_t sweep_section_index_ = 0;
+  std::size_t sweep_cursor_[kSectionCount] = {};
+  // Eviction clock state: independent hands so pressure eviction does not
+  // perturb the expiry sweep's coverage.
+  std::size_t evict_section_index_ = 0;
+  std::size_t evict_cursor_[kSectionCount] = {};
 };
 
 }  // namespace lookaside::resolver

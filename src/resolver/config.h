@@ -136,6 +136,23 @@ struct ResolverConfig {
   /// degrading to insecure (§8.4's strict-policy column).
   bool dlv_must_be_secure = false;
 
+  // -- Cache lifecycle (DESIGN.md §4f) --------------------------------------
+
+  /// Approximate cache byte cap (BIND `max-cache-size` / the sum of
+  /// Unbound's `msg-cache-size` + `rrset-cache-size`). 0 means unlimited —
+  /// the paper-era BIND default, and what every factory ships so the
+  /// Table 2 / Figs. 8-9 reproductions are unaffected. Production-style
+  /// caps are opt-in via Environment::production_config() or directly.
+  std::uint64_t max_cache_bytes = 0;
+
+  /// Unbound's shipped default: 4 MiB message cache + 4 MiB RRset cache.
+  static constexpr std::uint64_t kUnboundDefaultCacheBytes = 8ull << 20;
+
+  /// Cache slots examined per resolution by the amortized expiry sweep
+  /// (and per eviction clock step under memory pressure). 0 disables the
+  /// background sweep; expired entries are then reclaimed only on probe.
+  std::uint32_t cache_sweep_step = 32;
+
   // -- Effective behavior (what the knobs combine to) -----------------------
 
   /// Validation is attempted at all.

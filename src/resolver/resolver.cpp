@@ -50,7 +50,10 @@ RecursiveResolver::RecursiveResolver(sim::Network& network,
       directory_(&directory),
       config_(std::move(config)),
       cache_(network.clock()),
-      validator_(network.clock()) {}
+      validator_(network.clock()) {
+  cache_.set_limits(
+      CacheLimits{config_.max_cache_bytes, config_.cache_sweep_step});
+}
 
 void RecursiveResolver::trace_event(obs::EventKind kind,
                                     const dns::Name& name, dns::RRType qtype,
@@ -944,6 +947,10 @@ ResolveResult RecursiveResolver::resolve(const Query& query) {
 
   last_result_ = std::move(result);
   current_ = nullptr;
+  // Cache maintenance runs strictly between resolutions: eviction destroys
+  // boxed entries, and last_result_ holds copies, so nothing handed out
+  // during this resolution can dangle.
+  cache_.maintain();
   return last_result_;
 }
 

@@ -170,6 +170,10 @@ Served FrontendServer::serve_decoded(const WireQuery& query,
   if (metrics_ != nullptr) {
     metrics_->add("serve_coalesce", {{"result", "miss"}});
     if (leaked > 0) metrics_->add("serve_case2_leaks", {}, leaked);
+    // High-water footprint of the shared resolver cache every client
+    // behind this frontend populates; under a configured cap this is the
+    // number the eviction clock holds down.
+    metrics_->set_gauge("resolver_cache_bytes", {}, resolver_->cache().bytes());
   }
   ClientAccount& acct = account(query.client);
   acct.case2_leaks += leaked;

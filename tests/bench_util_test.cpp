@@ -1,0 +1,86 @@
+// Tests for the shared bench helpers: the N ladder's exact-cap rung and the
+// strict numeric flag parsing (malformed values must abort, not coerce).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace lookaside::bench {
+namespace {
+
+TEST(NLadder, DecadeCapKeepsClassicLadder) {
+  EXPECT_EQ(n_ladder(100'000),
+            (std::vector<std::uint64_t>{100, 1'000, 10'000, 100'000}));
+}
+
+TEST(NLadder, NonDecadeCapBecomesFinalRung) {
+  // Regression: LOOKASIDE_SCALE=5000 used to run only {100, 1000},
+  // silently dropping the requested cap.
+  EXPECT_EQ(n_ladder(5'000), (std::vector<std::uint64_t>{100, 1'000, 5'000}));
+  EXPECT_EQ(n_ladder(2'500'000),
+            (std::vector<std::uint64_t>{100, 1'000, 10'000, 100'000,
+                                        1'000'000, 2'500'000}));
+}
+
+TEST(NLadder, CapBelowFirstRungRunsJustTheCap) {
+  EXPECT_EQ(n_ladder(50), (std::vector<std::uint64_t>{50}));
+}
+
+TEST(NLadder, ExactDecadeCapIsNotDuplicated) {
+  EXPECT_EQ(n_ladder(1'000), (std::vector<std::uint64_t>{100, 1'000}));
+  EXPECT_EQ(n_ladder(100), (std::vector<std::uint64_t>{100}));
+}
+
+TEST(ParseU64Flag, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_u64_flag("--n", "0"), 0u);
+  EXPECT_EQ(parse_u64_flag("--n", "65536"), 65536u);
+}
+
+TEST(ParseU64FlagDeathTest, RejectsMalformedValues) {
+  EXPECT_EXIT(parse_u64_flag("--ring-buffer", "abc"),
+              ::testing::ExitedWithCode(2), "--ring-buffer expects");
+  EXPECT_EXIT(parse_u64_flag("--ring-buffer", "12abc"),
+              ::testing::ExitedWithCode(2), "--ring-buffer expects");
+  EXPECT_EXIT(parse_u64_flag("--ring-buffer", ""),
+              ::testing::ExitedWithCode(2), "--ring-buffer expects");
+  EXPECT_EXIT(parse_u64_flag("--ring-buffer", "-3"),
+              ::testing::ExitedWithCode(2), "--ring-buffer expects");
+}
+
+TEST(ArgParserNumeric, ParsesAndFallsBack) {
+  const char* argv[] = {"bench", "--rounds=7", "--jobs=1"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.numeric("rounds", 4), 7u);
+  EXPECT_EQ(args.numeric("caps", 9), 9u);  // absent flag -> fallback
+}
+
+TEST(ArgParserNumericDeathTest, MalformedValueAborts) {
+  const char* argv[] = {"bench", "--rounds=many", "--jobs=1"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_EXIT((void)args.numeric("rounds", 4), ::testing::ExitedWithCode(2),
+              "--rounds expects");
+}
+
+TEST(ArgParserNumericDeathTest, EmptyValueAborts) {
+  const char* argv[] = {"bench", "--rounds=", "--jobs=1"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_EXIT((void)args.numeric("rounds", 4), ::testing::ExitedWithCode(2),
+              "--rounds expects");
+}
+
+TEST(ParseObsArgsDeathTest, MalformedRingBufferAborts) {
+  const char* argv[] = {"bench", "--ring-buffer=abc"};
+  EXPECT_EXIT((void)parse_obs_args(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "--ring-buffer expects");
+}
+
+TEST(ParseObsArgs, WellFormedRingBufferStillParses) {
+  const char* argv[] = {"bench", "--ring-buffer=1024"};
+  const ObsArgs obs = parse_obs_args(2, const_cast<char**>(argv));
+  EXPECT_EQ(obs.ring_capacity, 1024u);
+}
+
+}  // namespace
+}  // namespace lookaside::bench

@@ -168,6 +168,71 @@ TEST_F(CacheTest, NsecExpires) {
             NsecCoverage::kNoProof);
 }
 
+TEST_F(CacheTest, NsecStaleCloserEntryDoesNotShadowLiveCoveringProof) {
+  // Regression: a covering proof with a long TTL and a *closer* (greater,
+  // still <= qname) entry with a short TTL. Once the closer entry expires,
+  // the predecessor walk must step past it to the live covering proof —
+  // the old code erased the expired entry and immediately gave up,
+  // manufacturing a spurious Case-2 DLV query.
+  store_nsec("dlv.isc.org", "b.com.dlv.isc.org", "z.com.dlv.isc.org", 3600);
+  store_nsec("dlv.isc.org", "f.com.dlv.isc.org", "z.com.dlv.isc.org", 50);
+  ASSERT_EQ(cache_.nsec_count(dns::Name::parse("dlv.isc.org")), 2u);
+  clock_.advance_seconds(51);  // f expires; b (3600s) is still live
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("m.com.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNameCovered);
+  // The walk also reclaimed the expired closer entry.
+  EXPECT_EQ(cache_.nsec_count(dns::Name::parse("dlv.isc.org")), 1u);
+}
+
+TEST_F(CacheTest, NsecWalkReclaimsRunOfExpiredEntries) {
+  // Several consecutive expired closer entries must all be skipped (and
+  // reclaimed), not just the first.
+  store_nsec("dlv.isc.org", "b.com.dlv.isc.org", "z.com.dlv.isc.org", 3600);
+  store_nsec("dlv.isc.org", "d.com.dlv.isc.org", "z.com.dlv.isc.org", 40);
+  store_nsec("dlv.isc.org", "f.com.dlv.isc.org", "z.com.dlv.isc.org", 50);
+  clock_.advance_seconds(51);
+  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+                              dns::Name::parse("m.com.dlv.isc.org"),
+                              dns::RRType::kDlv),
+            NsecCoverage::kNameCovered);
+  EXPECT_EQ(cache_.nsec_count(dns::Name::parse("dlv.isc.org")), 1u);
+}
+
+TEST_F(CacheTest, NegativeProbePurgesExpiredSlots) {
+  // The negative path mirrors the positive cache's erase-on-probe: expired
+  // slots encountered during the exact-type and any-type NXDOMAIN scans are
+  // reclaimed (observable through the byte accounting).
+  cache_.store_negative(dns::Name::parse("a.com"), dns::RRType::kMx, 10,
+                        /*nxdomain=*/false);
+  cache_.store_negative(dns::Name::parse("a.com"), dns::RRType::kTxt, 10,
+                        /*nxdomain=*/false);
+  cache_.store_negative(dns::Name::parse("a.com"), dns::RRType::kA, 100,
+                        /*nxdomain=*/true);
+  const std::uint64_t before = cache_.bytes();
+  clock_.advance_seconds(11);
+  // Exact probe for an expired type: the NXDOMAIN entry still answers, and
+  // both expired slots are purged in the same pass.
+  EXPECT_EQ(cache_.find_negative(dns::Name::parse("a.com"), dns::RRType::kMx),
+            NegativeEntry::kNxDomain);
+  EXPECT_LT(cache_.bytes(), before);
+  const std::uint64_t after_purge = cache_.bytes();
+  // Probing again reclaims nothing further.
+  EXPECT_EQ(cache_.find_negative(dns::Name::parse("a.com"), dns::RRType::kTxt),
+            NegativeEntry::kNxDomain);
+  EXPECT_EQ(cache_.bytes(), after_purge);
+}
+
+TEST_F(CacheTest, NegativeProbeErasesFullyExpiredName) {
+  cache_.store_negative(dns::Name::parse("gone.com"), dns::RRType::kA, 10,
+                        /*nxdomain=*/true);
+  clock_.advance_seconds(11);
+  EXPECT_EQ(cache_.find_negative(dns::Name::parse("gone.com"), dns::RRType::kA),
+            NegativeEntry::kNone);
+  EXPECT_EQ(cache_.bytes(), 0u);
+}
+
 TEST_F(CacheTest, ZoneCutsDeepestWins) {
   cache_.store_zone_cut(dns::Name::parse("com"), 3600);
   cache_.store_zone_cut(dns::Name::parse("example.com"), 3600);
@@ -230,8 +295,9 @@ TEST_F(CacheTest, EntryPointersSurviveRehash) {
 /// lockstep with the real cache on a randomized operation trace. Guards
 /// the open-addressing migration: outcomes AND counters must match the
 /// old ordered-map behavior exactly (including the RFC 2308 rule that an
-/// unexpired NXDOMAIN for a name answers every type, and expired-entry
-/// erase-on-probe for the positive cache only).
+/// unexpired NXDOMAIN for a name answers every type). Both the positive
+/// and negative caches erase expired entries on probe; the model tolerates
+/// that because expired entries never produce hits on either side.
 class CacheModelTest : public CacheTest {
  protected:
   using Key = std::pair<std::string, dns::RRType>;

@@ -248,6 +248,29 @@ TEST(ServeScenarioTest, CoalescedRunLeaksExactlyWhatSequentialWould) {
   EXPECT_EQ(attributed, coalesced.case2_total);
 }
 
+TEST(ServeTest, BoundedSharedCacheStaysUnderCapAcrossClients) {
+  // Every client behind the frontend populates one shared resolver cache;
+  // a configured cap must hold its footprint down (evicting under
+  // pressure) without breaking service.
+  ResolverConfig config = ResolverConfig::bind_yum();
+  config.max_cache_bytes = 2 * 1024;
+  ServeFixture fixture(FrontendOptions{}, config);
+  std::uint64_t t = 0;
+  const char* names[] = {"island.com", "unsigned.com", "another.com",
+                         "chained.com", "www.unsigned.com"};
+  for (int round = 0; round < 20; ++round) {
+    for (std::uint32_t client = 0; client < 4; ++client) {
+      const Served served = fixture.submit(
+          t, client, names[(round + client) % 5],
+          round % 2 == 0 ? dns::RRType::kA : dns::RRType::kTxt);
+      t = served.completion_us + 400'000;
+    }
+  }
+  const resolver::ResolverCache& cache = fixture.resolver_->cache();
+  EXPECT_LE(cache.bytes(), config.max_cache_bytes);
+  EXPECT_GT(cache.peak_bytes(), 0u);
+}
+
 TEST(ServeScenarioTest, RunsAreDeterministic) {
   const ScenarioSummary a = ServeScenario(small_scenario()).run();
   const ScenarioSummary b = ServeScenario(small_scenario()).run();
