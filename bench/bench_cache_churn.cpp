@@ -123,6 +123,11 @@ int main(int argc, char** argv) {
                "unbounded. Set LOOKASIDE_SCALE to cap N.\n";
 
   bench::ObsSession obs_session(args.obs());
+  // The leak ledger is not optional here: the cap -> Case-2 curve is only
+  // interpretable with the per-cause breakdown (cold-miss vs ttl-expiry vs
+  // eviction vs nsec-gap), so every cell carries a ledger and the JSON
+  // gains a "causes" object whose counts must sum to case2_queries.
+  obs_session.enable_ledger();
 
   // Grid tuning: the unbounded footprint at the default scale is a few
   // hundred KiB; the capped rungs sit at roughly 1/2, 1/8 and 1/32 of it
@@ -168,6 +173,41 @@ int main(int argc, char** argv) {
   std::string cells_json;
   for (std::size_t index = 0; index < grid.size(); ++index) {
     const CellResult& cell = grid[index].result;
+
+    // Ledger acceptance per cell: the trace-derived ledger must agree with
+    // the registry-side analyzer exactly, every record must carry a cause
+    // tag, and every record's query_id must resolve to a complete span
+    // chain that reached the DLV registry.
+    const obs::LeakLedger* ledger = grid[index].obs->ledger();
+    const obs::SpanTimeline* timeline = grid[index].obs->timeline();
+    std::string causes_json = "{";
+    if (ledger != nullptr) {
+      if (ledger->case2_total() != cell.case2_queries) {
+        fail("cap " + cap_label(cell.cap_bytes) + ": ledger counted " +
+             std::to_string(ledger->case2_total()) +
+             " Case-2 records but the registry saw " +
+             std::to_string(cell.case2_queries));
+      }
+      const std::size_t broken =
+          timeline == nullptr
+              ? ledger->records().size()
+              : obs::broken_leak_chains(*timeline, ledger->records());
+      if (broken != 0) {
+        fail("cap " + cap_label(cell.cap_bytes) + ": " +
+             std::to_string(broken) +
+             " ledger records lack a complete query->resolver->DLV chain");
+      }
+      bool first_cause = true;
+      for (const auto& [cause, count] : ledger->cause_totals()) {
+        if (!first_cause) causes_json += ",";
+        first_cause = false;
+        causes_json += "\"" + cause + "\":" + std::to_string(count);
+      }
+    }
+    causes_json += "}";
+    const std::uint64_t ledger_case2 =
+        ledger == nullptr ? 0 : ledger->case2_total();
+
     grid[index].obs->merge_into(obs_session);
     table.row()
         .cell(cap_label(cell.cap_bytes))
@@ -201,6 +241,8 @@ int main(int argc, char** argv) {
                   std::to_string(cell.cache_peak_bytes) +
                   ",\"cache_bytes\":" + std::to_string(cell.cache_bytes) +
                   ",\"nsec_entries\":" + std::to_string(cell.nsec_entries) +
+                  ",\"ledger_case2\":" + std::to_string(ledger_case2) +
+                  ",\"causes\":" + causes_json +
                   ",\"virtual_seconds\":" +
                   metrics::Table::fixed(cell.virtual_seconds, 3) + "}";
     std::cout << "  [done] cap=" << cap_label(cell.cap_bytes)
@@ -244,7 +286,7 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream out(out_path);
-  out << "{\"schema\":\"bench_cache_churn/v1\",\"workload\":{\"top_n\":"
+  out << "{\"schema\":\"bench_cache_churn/v2\",\"workload\":{\"top_n\":"
       << top_n << ",\"rounds\":" << rounds << ",\"universe\":" << universe
       << ",\"inter_round_gap_s\":2100,\"smoke\":" << (smoke ? "true" : "false")
       << "},\"checks_ok\":" << (ok ? "true" : "false") << ",\"cells\":["

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,12 +64,19 @@ serve::ScenarioOptions cell_options(std::uint32_t clients, bool smoke,
   return options;
 }
 
-CellResult run_cell(std::uint32_t clients, bool smoke, std::size_t index) {
+CellResult run_cell(std::uint32_t clients, bool smoke, std::size_t index,
+                    obs::Tracer* tracer) {
   CellResult cell;
   cell.clients = clients;
   cell.queries = static_cast<std::uint64_t>(clients) *
                  cell_options(clients, smoke, index).mix.queries_per_client;
-  serve::ServeScenario coalesced(cell_options(clients, smoke, index));
+  // Only the coalesced run is traced. The sequential reference replays the
+  // same schedule against its own fresh world; tracing it too would feed
+  // every leak into the ledger twice and the ledger==registry identity
+  // below would be off by exactly 2x.
+  serve::ScenarioOptions coalesced_options = cell_options(clients, smoke, index);
+  coalesced_options.tracer = tracer;
+  serve::ServeScenario coalesced(coalesced_options);
   cell.coalesced = coalesced.run();
   serve::ServeScenario reference(cell_options(clients, smoke, index));
   cell.reference = reference.run_sequential_reference();
@@ -78,7 +86,8 @@ CellResult run_cell(std::uint32_t clients, bool smoke, std::size_t index) {
   return cell;
 }
 
-std::string cell_json(const CellResult& cell) {
+std::string cell_json(const CellResult& cell, std::uint64_t ledger_case2,
+                      const std::string& causes_json, bool ledger_ok) {
   std::string out = "    {\"clients\": " + std::to_string(cell.clients) +
                     ", \"queries\": " + std::to_string(cell.queries) +
                     ",\n     \"qps\": " + fixed(cell.coalesced.qps, 2) +
@@ -105,6 +114,9 @@ std::string cell_json(const CellResult& cell) {
          std::to_string(cell.reference.case2_total) +
          ", \"distinct_leaked\": " +
          std::to_string(cell.reference.distinct_leaked) +
+         "},\n     \"ledger\": {\"case2\": " + std::to_string(ledger_case2) +
+         ", \"causes\": " + causes_json +
+         ", \"chains_ok\": " + (ledger_ok ? "true" : "false") +
          "},\n     \"leak_identity\": " +
          (cell.leak_identity ? "true" : "false") + "}";
   return out;
@@ -132,15 +144,72 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::uint32_t>{2, 4}
             : std::vector<std::uint32_t>{4, 8, 16};
 
-  const std::vector<CellResult> cells = engine::run_sharded(
-      client_grid.size(), jobs,
-      [&](std::size_t i) { return run_cell(client_grid[i], smoke, i); });
+  bench::ObsSession obs_session(args.obs());
+  // The ledger is always on: BENCH_serve.json carries the per-cause Case-2
+  // breakdown, and the trace-derived ledger must equal the registry-side
+  // count per cell (a second falsifier next to the sequential reference).
+  obs_session.enable_ledger();
+
+  struct GridCell {
+    CellResult result;
+    std::unique_ptr<bench::ShardObs> obs;
+  };
+  std::vector<GridCell> cells = engine::run_sharded(
+      client_grid.size(), jobs, [&](std::size_t i) {
+        GridCell cell;
+        cell.obs = std::make_unique<bench::ShardObs>(obs_session,
+                                                     /*primary=*/i == 0);
+        cell.result = run_cell(client_grid[i], smoke, i, cell.obs->tracer());
+        return cell;
+      });
 
   metrics::Table table({"Clients", "Queries", "QPS(virt)", "p50 ms", "p99 ms",
                         "Coalesce", "Drops", "Case-2", "Leak identity"});
   std::uint64_t total_hits = 0;
   bool all_identical = true;
-  for (const CellResult& cell : cells) {
+  bool ledger_ok = true;
+  std::vector<std::string> cell_jsons;
+  for (GridCell& grid_cell : cells) {
+    const CellResult& cell = grid_cell.result;
+
+    // Trace-side acceptance: ledger total equals the registry-side Case-2
+    // count, and every record's query_id resolves to a complete
+    // frontend -> resolver -> DLV span chain.
+    const obs::LeakLedger* ledger = grid_cell.obs->ledger();
+    const obs::SpanTimeline* timeline = grid_cell.obs->timeline();
+    const std::uint64_t ledger_case2 =
+        ledger == nullptr ? 0 : ledger->case2_total();
+    bool cell_ledger_ok = true;
+    if (ledger_case2 != cell.coalesced.case2_total) {
+      std::cout << "[serve] FAIL: clients=" << cell.clients << " ledger saw "
+                << ledger_case2 << " Case-2 records, registry saw "
+                << cell.coalesced.case2_total << "\n";
+      cell_ledger_ok = false;
+    }
+    const std::size_t broken =
+        ledger == nullptr ? 0
+        : timeline == nullptr
+            ? ledger->records().size()
+            : obs::broken_leak_chains(*timeline, ledger->records());
+    if (broken != 0) {
+      std::cout << "[serve] FAIL: clients=" << cell.clients << " " << broken
+                << " ledger records lack a complete query->resolver->DLV "
+                   "chain\n";
+      cell_ledger_ok = false;
+    }
+    std::string causes_json = "{";
+    if (ledger != nullptr) {
+      bool first = true;
+      for (const auto& [cause, count] : ledger->cause_totals()) {
+        if (!first) causes_json += ", ";
+        first = false;
+        causes_json += "\"" + cause + "\": " + std::to_string(count);
+      }
+    }
+    causes_json += "}";
+    ledger_ok = ledger_ok && cell_ledger_ok;
+    grid_cell.obs->merge_into(obs_session);
+
     total_hits += cell.coalesced.coalesce_hits;
     all_identical = all_identical && cell.leak_identity;
     table.row()
@@ -153,25 +222,35 @@ int main(int argc, char** argv) {
         .cell(std::to_string(cell.coalesced.overload_drops))
         .cell(std::to_string(cell.coalesced.case2_total))
         .cell(cell.leak_identity ? "ok" : "MISMATCH");
+    cell_jsons.push_back(
+        cell_json(cell, ledger_case2, causes_json, cell_ledger_ok));
   }
   table.print(std::cout);
 
-  std::string json = "{\n  \"schema\": \"lookaside.bench_serve.v1\",\n";
+  std::string json = "{\n  \"schema\": \"lookaside.bench_serve.v2\",\n";
   json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
   json += "  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    json += cell_json(cells[i]);
-    json += (i + 1 < cells.size()) ? ",\n" : "\n";
+  for (std::size_t i = 0; i < cell_jsons.size(); ++i) {
+    json += cell_jsons[i];
+    json += (i + 1 < cell_jsons.size()) ? ",\n" : "\n";
   }
   json += "  ],\n  \"total\": {\"coalesce_hits\": " +
           std::to_string(total_hits) + ", \"leak_identity\": " +
-          (all_identical ? "true" : "false") + "}\n}\n";
+          (all_identical ? "true" : "false") + ", \"ledger_ok\": " +
+          (ledger_ok ? "true" : "false") + "}\n}\n";
 
   std::ofstream out(out_path);
   out << json;
   std::cout << "\n[serve] wrote " << out_path
             << (out.good() ? "" : " (WRITE FAILED)") << "\n";
 
+  obs_session.finish(std::cout);
+
+  if (!ledger_ok) {
+    std::cout << "[serve] FAIL: trace-derived ledger disagrees with the "
+                 "registry (see above)\n";
+    return 1;
+  }
   if (!all_identical) {
     std::cout << "[serve] FAIL: coalesced run leaked differently from the "
                  "sequential reference\n";

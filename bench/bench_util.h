@@ -20,6 +20,7 @@
 #include <charconv>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -27,8 +28,10 @@
 #include <vector>
 
 #include "engine/sweep.h"
+#include "obs/leak_ledger.h"
 #include "obs/metrics_registry.h"
 #include "obs/metrics_sink.h"
+#include "obs/span_timeline.h"
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
 
@@ -77,11 +80,14 @@ inline std::uint64_t parse_u64_flag(std::string_view flag_name,
 struct ObsArgs {
   std::string trace_out;        // --trace-out=<path>
   std::string metrics_out;      // --metrics-out=<path>
+  std::string ledger_out;       // --ledger-out=<path> (leak ledger JSONL)
+  std::string profile_out;      // --profile-out=<path> (per-query profiles)
   std::size_t ring_capacity = 0;  // --ring-buffer[=N]; 0 = off
   bool summary = false;         // --summary
 
   [[nodiscard]] bool any() const {
-    return !trace_out.empty() || !metrics_out.empty() || ring_capacity > 0 ||
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !ledger_out.empty() || !profile_out.empty() || ring_capacity > 0 ||
            summary;
   }
 };
@@ -96,6 +102,10 @@ inline ObsArgs parse_obs_args(int argc, char** argv) {
       out.trace_out = std::string(arg.substr(12));
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       out.metrics_out = std::string(arg.substr(14));
+    } else if (arg.rfind("--ledger-out=", 0) == 0) {
+      out.ledger_out = std::string(arg.substr(13));
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      out.profile_out = std::string(arg.substr(14));
     } else if (arg == "--ring-buffer") {
       out.ring_capacity = std::size_t{1} << 16;
     } else if (arg.rfind("--ring-buffer=", 0) == 0) {
@@ -205,6 +215,26 @@ class ObsSession {
       summary_ = std::make_shared<obs::SummarySink>();
       tracer_.add_sink(summary_);
     }
+    if (!args_.ledger_out.empty()) enable_ledger();
+    if (!args_.profile_out.empty()) enable_profiles();
+  }
+
+  /// Turns the leak ledger on even without --ledger-out (the cache/serve
+  /// benches always account causes so their JSON can carry the breakdown).
+  /// Adds a session-level ledger + timeline to the shared tracer for
+  /// single-tracer drivers; sharded drivers get per-shard copies via
+  /// ShardObs and merge them back in shard order.
+  void enable_ledger() {
+    if (ledger_sink_ != nullptr) return;
+    ledger_sink_ = std::make_shared<obs::LeakLedger>();
+    tracer_.add_sink(ledger_sink_);
+    ensure_timeline();
+  }
+
+  /// Per-query critical-path profiles (implied by --profile-out).
+  void enable_profiles() {
+    profiles_requested_ = true;
+    ensure_timeline();
   }
 
   /// Tracer to hand to the experiment; nullptr when no sinks were asked for.
@@ -227,12 +257,31 @@ class ObsSession {
 
   [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
   [[nodiscard]] bool metrics_enabled() const { return metrics_sink_ != nullptr; }
+  [[nodiscard]] bool ledger_enabled() const { return ledger_sink_ != nullptr; }
+  [[nodiscard]] bool profiles_enabled() const { return profiles_requested_; }
   [[nodiscard]] obs::RingBufferSink* ring() { return ring_.get(); }
+
+  /// The merged cross-shard ledger. Single-tracer drivers see the session
+  /// sink folded in by finish(); sharded drivers populate it through
+  /// ShardObs::merge_into() in shard order.
+  [[nodiscard]] obs::LeakLedger& merged_ledger() { return merged_ledger_; }
+
+  /// Appends one shard/timeline's query profiles (serialized, in query
+  /// order) to the session profile stream.
+  void append_profiles(const obs::SpanTimeline& timeline) {
+    for (const obs::QueryProfile& profile : timeline.query_profiles()) {
+      profile_lines_.push_back(obs::profile_jsonl(profile));
+    }
+  }
 
   /// Flushes sinks, writes the metrics file and reports what was produced.
   void finish(std::ostream& out) {
     if (!tracer_.has_sinks()) return;
     tracer_.flush();
+    if (ledger_sink_ != nullptr) merged_ledger_.merge_from(*ledger_sink_);
+    if (timeline_sink_ != nullptr && profiles_requested_) {
+      append_profiles(timeline_sink_->timeline());
+    }
     out << "\n";
     if (jsonl_ != nullptr) {
       out << "[obs] trace: " << args_.trace_out << " ("
@@ -240,9 +289,34 @@ class ObsSession {
           << (jsonl_->ok() ? "" : "; WRITE FAILED") << ")\n";
     }
     if (!args_.metrics_out.empty()) {
+      // Lost-event accounting rides in the same export: a nonzero
+      // obs_trace_dropped means the trace under-reports and every derived
+      // artifact (ledger, profiles) inherits that caveat.
+      if (ring_ != nullptr && ring_->dropped() > 0) {
+        registry_.add("obs_trace_dropped", {{"sink", "ring"}},
+                      ring_->dropped());
+      }
+      if (jsonl_ != nullptr && jsonl_->dropped() > 0) {
+        registry_.add("obs_trace_dropped", {{"sink", "jsonl"}},
+                      jsonl_->dropped());
+      }
+      if (ledger_enabled()) merged_ledger_.export_to(registry_);
       out << "[obs] metrics: " << args_.metrics_out
           << (registry_.write_file(args_.metrics_out) ? "" : " (WRITE FAILED)")
           << "\n";
+    }
+    if (!args_.ledger_out.empty()) {
+      out << "[obs] ledger: " << args_.ledger_out << " ("
+          << merged_ledger_.case2_total() << " case-2 records"
+          << (merged_ledger_.write_file(args_.ledger_out) ? ""
+                                                          : "; WRITE FAILED")
+          << ")\n";
+    }
+    if (!args_.profile_out.empty()) {
+      out << "[obs] profiles: " << args_.profile_out << " ("
+          << profile_lines_.size() << " queries"
+          << (write_profiles(args_.profile_out) ? "" : "; WRITE FAILED")
+          << ")\n";
     }
     if (ring_ != nullptr) {
       out << "[obs] ring buffer: " << ring_->size() << " buffered, "
@@ -253,6 +327,19 @@ class ObsSession {
   }
 
  private:
+  void ensure_timeline() {
+    if (timeline_sink_ != nullptr) return;
+    timeline_sink_ = std::make_shared<obs::TimelineSink>();
+    tracer_.add_sink(timeline_sink_);
+  }
+
+  [[nodiscard]] bool write_profiles(const std::string& path) const {
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) return false;
+    for (const std::string& line : profile_lines_) file << line << "\n";
+    return file.good();
+  }
+
   ObsArgs args_;
   obs::Tracer tracer_;
   obs::MetricsRegistry registry_;
@@ -260,6 +347,11 @@ class ObsSession {
   std::shared_ptr<obs::MetricsSink> metrics_sink_;
   std::shared_ptr<obs::RingBufferSink> ring_;
   std::shared_ptr<obs::SummarySink> summary_;
+  std::shared_ptr<obs::LeakLedger> ledger_sink_;
+  std::shared_ptr<obs::TimelineSink> timeline_sink_;
+  obs::LeakLedger merged_ledger_;
+  std::vector<std::string> profile_lines_;
+  bool profiles_requested_ = false;
 };
 
 /// Per-shard observability bundle for engine-parallel sweeps. Every shard
@@ -277,6 +369,14 @@ class ShardObs {
       metrics_sink_ = std::make_shared<obs::MetricsSink>(registry_);
       tracer_.add_sink(metrics_sink_);
     }
+    if (session.ledger_enabled()) {
+      ledger_ = std::make_shared<obs::LeakLedger>();
+      tracer_.add_sink(ledger_);
+    }
+    if (session.ledger_enabled() || session.profiles_enabled()) {
+      timeline_ = std::make_shared<obs::TimelineSink>();
+      tracer_.add_sink(timeline_);
+    }
     if (primary) session.attach_stream_sinks(tracer_);
   }
 
@@ -285,16 +385,30 @@ class ShardObs {
     return tracer_.has_sinks() ? &tracer_ : nullptr;
   }
 
-  /// Folds this shard's metrics into the session registry (main thread).
+  /// This shard's ledger / timeline, for per-cell acceptance checks before
+  /// the merge. Null unless the session enabled the corresponding feature.
+  [[nodiscard]] obs::LeakLedger* ledger() { return ledger_.get(); }
+  [[nodiscard]] const obs::SpanTimeline* timeline() const {
+    return timeline_ == nullptr ? nullptr : &timeline_->timeline();
+  }
+
+  /// Folds this shard's metrics, ledger and profiles into the session
+  /// (main thread; call in shard order for byte-identical output).
   void merge_into(ObsSession& session) {
     tracer_.flush();
     session.registry().merge_from(registry_);
+    if (ledger_ != nullptr) session.merged_ledger().merge_from(*ledger_);
+    if (timeline_ != nullptr && session.profiles_enabled()) {
+      session.append_profiles(timeline_->timeline());
+    }
   }
 
  private:
   obs::Tracer tracer_;
   obs::MetricsRegistry registry_;
   std::shared_ptr<obs::MetricsSink> metrics_sink_;
+  std::shared_ptr<obs::LeakLedger> ledger_;
+  std::shared_ptr<obs::TimelineSink> timeline_;
 };
 
 }  // namespace lookaside::bench

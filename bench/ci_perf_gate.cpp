@@ -1,0 +1,316 @@
+// CI perf gate: fails the pipeline when a freshly generated bench JSON
+// regresses against the committed baseline.
+//
+// Both inputs are flattened to dotted numeric paths
+// ("single_thread.resolutions_per_sec", "cells.0.qps", ...) and every
+// numeric the baseline carries is compared under a per-metric rule chosen
+// from the file's "schema" field:
+//
+//   lookaside.bench_perf.*   wall-clock numbers from a shared CI runner are
+//                            noisy, so throughput may drop up to 60% and
+//                            latencies may grow up to 150% before the gate
+//                            trips — the gate catches order-of-magnitude
+//                            cliffs, not jitter. Shape fields (jobs,
+//                            resolution counts) are ignored.
+//   lookaside.bench_serve.*  virtual-time quantities: qps/p50/p99 get a 15%
+//                            band (room for deliberate retuning), while
+//                            every leak/ledger/coalesce count is exact —
+//                            a drifting Case-2 count is a correctness bug,
+//                            never noise.
+//   anything else            every shared numeric must match exactly.
+//
+// Per-path overrides: trailing `path=TOL` args (relative band in either
+// direction), `path=exact`, or `path=skip`.
+//
+// Usage: ci_perf_gate <baseline.json> <fresh.json> [path=rule...]
+// Exit: 0 pass, 1 regression or missing metric, 2 usage/parse error.
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+/// Minimal recursive-descent JSON reader that flattens numeric and string
+/// leaves into dotted-path maps. Booleans become 0/1 so contract flags
+/// ("leak_identity") gate like any other exact metric.
+class FlatJson {
+ public:
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+
+  bool parse(const std::string& text) {
+    text_ = text;
+    pos_ = 0;
+    if (!value("")) return false;
+    skip();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string text_;
+  std::size_t pos_ = 0;
+
+  void skip() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    skip();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  static std::string join(const std::string& parent, const std::string& key) {
+    return parent.empty() ? key : parent + "." + key;
+  }
+
+  bool string_literal(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out += c;
+    }
+    return consume('"');
+  }
+
+  bool value(const std::string& path) {
+    skip();
+    const char c = peek();
+    if (c == '{') return object(path);
+    if (c == '[') return array(path);
+    if (c == '"') {
+      std::string text;
+      if (!string_literal(text)) return false;
+      strings[path] = text;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      numbers[path] = 1.0;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      numbers[path] = 0.0;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    numbers[path] = parsed;
+    return true;
+  }
+
+  bool object(const std::string& path) {
+    if (!consume('{')) return false;
+    skip();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      skip();
+      if (!string_literal(key)) return false;
+      if (!consume(':')) return false;
+      if (!value(join(path, key))) return false;
+      skip();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array(const std::string& path) {
+    if (!consume('[')) return false;
+    skip();
+    if (consume(']')) return true;
+    std::size_t index = 0;
+    while (true) {
+      if (!value(join(path, std::to_string(index++)))) return false;
+      skip();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+enum class Direction { kHigherBetter, kLowerBetter, kBand, kExact, kSkip };
+
+struct Rule {
+  Direction direction = Direction::kExact;
+  double tolerance = 0.0;  // relative band
+};
+
+/// Last dotted-path component ("cells.0.qps" -> "qps").
+std::string leaf(const std::string& path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+bool ends_with(const std::string& text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Rule schema_rule(const std::string& schema, const std::string& path) {
+  const std::string name = leaf(path);
+  if (schema.rfind("lookaside.bench_perf", 0) == 0) {
+    if (name == "resolutions_per_sec") {
+      return {Direction::kHigherBetter, 0.60};
+    }
+    if (name == "seconds" || ends_with(name, "_ns")) {
+      return {Direction::kLowerBetter, 1.50};
+    }
+    // jobs, hardware_concurrency, resolutions, speedup: shape/noise fields.
+    return {Direction::kSkip, 0.0};
+  }
+  if (schema.rfind("lookaside.bench_serve", 0) == 0) {
+    if (name == "qps") return {Direction::kHigherBetter, 0.15};
+    if (name == "p50_ms" || name == "p99_ms" || name == "max_queue_depth") {
+      return {Direction::kLowerBetter, 0.15};
+    }
+    if (name == "coalesce_rate") return {Direction::kHigherBetter, 0.15};
+    return {Direction::kExact, 0.0};  // every count and contract flag
+  }
+  return {Direction::kExact, 0.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: ci_perf_gate <baseline.json> <fresh.json> "
+                 "[path=TOL|exact|skip ...]\n";
+    return 2;
+  }
+
+  const auto read_flat = [](const char* path, FlatJson& out) {
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return false;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    if (!out.parse(buffer.str())) {
+      std::cerr << "error: " << path << " is not valid JSON\n";
+      return false;
+    }
+    return true;
+  };
+
+  FlatJson baseline;
+  FlatJson fresh;
+  if (!read_flat(argv[1], baseline) || !read_flat(argv[2], fresh)) return 2;
+
+  std::map<std::string, Rule> overrides;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.rfind('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::cerr << "error: override '" << arg << "' is not path=RULE\n";
+      return 2;
+    }
+    const std::string spec = arg.substr(eq + 1);
+    Rule rule;
+    if (spec == "exact") {
+      rule = {Direction::kExact, 0.0};
+    } else if (spec == "skip") {
+      rule = {Direction::kSkip, 0.0};
+    } else {
+      char* end = nullptr;
+      rule.tolerance = std::strtod(spec.c_str(), &end);
+      if (end != spec.c_str() + spec.size() || rule.tolerance < 0) {
+        std::cerr << "error: bad tolerance in '" << arg << "'\n";
+        return 2;
+      }
+      // A plain tolerance bounds drift in both directions.
+      rule.direction = Direction::kBand;
+    }
+    overrides[arg.substr(0, eq)] = rule;
+  }
+
+  const std::string schema = baseline.strings.count("schema") != 0
+                                 ? baseline.strings.at("schema")
+                                 : "";
+  if (fresh.strings.count("schema") != 0 && !schema.empty() &&
+      fresh.strings.at("schema") != schema) {
+    std::cout << "[gate] note: schema changed " << schema << " -> "
+              << fresh.strings.at("schema") << "\n";
+  }
+
+  std::size_t compared = 0;
+  std::size_t failed = 0;
+  for (const auto& [path, base] : baseline.numbers) {
+    Rule rule = schema_rule(schema, path);
+    if (const auto it = overrides.find(path); it != overrides.end()) {
+      rule = it->second;
+    }
+    if (rule.direction == Direction::kSkip) continue;
+
+    const auto fresh_it = fresh.numbers.find(path);
+    if (fresh_it == fresh.numbers.end()) {
+      std::cout << "[gate] FAIL " << path << ": present in baseline, missing "
+                << "from fresh output\n";
+      ++failed;
+      continue;
+    }
+    const double now = fresh_it->second;
+    ++compared;
+
+    bool ok = true;
+    switch (rule.direction) {
+      case Direction::kExact:
+        ok = now == base;
+        break;
+      case Direction::kHigherBetter:
+        ok = now >= base * (1.0 - rule.tolerance);
+        break;
+      case Direction::kLowerBetter:
+        ok = now <= base * (1.0 + rule.tolerance);
+        break;
+      case Direction::kBand:
+        ok = std::fabs(now - base) <= rule.tolerance * std::fabs(base);
+        break;
+      case Direction::kSkip:
+        break;
+    }
+    if (!ok) {
+      std::cout << "[gate] FAIL " << path << ": baseline " << base
+                << ", fresh " << now;
+      if (rule.direction != Direction::kExact) {
+        std::cout << " (tolerance " << rule.tolerance * 100 << "%)";
+      }
+      std::cout << "\n";
+      ++failed;
+    }
+  }
+
+  std::cout << "[gate] " << compared << " metrics compared against " << argv[1]
+            << ", " << failed << " regressed\n";
+  if (failed != 0) {
+    std::cout << "[gate] FAILED: perf/leak trajectory regressed — if the "
+                 "change is intentional, regenerate the baseline JSON and "
+                 "commit it with the code\n";
+    return 1;
+  }
+  std::cout << "[gate] OK\n";
+  return 0;
+}

@@ -1,17 +1,24 @@
 // trace_inspect: reconstructs resolution span timelines from a JSONL trace.
 //
 // Usage:
-//   trace_inspect <trace.jsonl>            # overview of every span
-//   trace_inspect <trace.jsonl> <domain>   # full timeline for one domain
+//   trace_inspect <trace.jsonl>              # overview of every span
+//   trace_inspect <trace.jsonl> <domain>     # full timeline for one domain
+//   trace_inspect <trace.jsonl> --tree       # per-query causal trees
+//   trace_inspect <trace.jsonl> --profile    # critical-path table per query
 //
 // Produce a trace with any instrumented bench, e.g.:
 //   LOOKASIDE_SCALE=10000 bench_fig08_09_leakage --trace-out=t.jsonl
+//   bench_serve_throughput --smoke --trace-out=t.jsonl
 //
-// For each matching span the tool prints every upstream hop (server, qname,
-// rcode, bytes, round trip), the resolver-internal annotations (cache hits,
-// NSEC suppressions, DLV lookups), the per-phase latency breakdown, and the
+// The domain mode prints every upstream hop (server, qname, rcode, bytes,
+// round trip), the resolver-internal annotations (cache hits, NSEC
+// suppressions, DLV lookups), the per-phase latency breakdown, and the
 // consistency check that the hop round trips sum to the resolution's
-// reported response time.
+// reported response time. --tree walks the causal chain instead: each
+// frontend client query, the resolver span it initiated or joined (with
+// every recorded parent — a coalesced span lists all N waiters), and that
+// span's hops. --profile condenses the same data into one attribution row
+// per query (queue wait / network / internal split).
 #include <iostream>
 #include <string>
 
@@ -23,29 +30,74 @@ int main(int argc, char** argv) {
   using namespace lookaside;
 
   if (argc < 2 || argc > 3) {
-    std::cerr << "usage: trace_inspect <trace.jsonl> [domain]\n";
+    std::cerr << "usage: trace_inspect <trace.jsonl> [domain|--tree|--profile]\n";
     return 2;
   }
   const std::string path = argv[1];
+  const std::string mode = argc == 3 ? argv[2] : "";
 
-  std::size_t malformed = 0;
-  const std::vector<obs::Event> events =
-      obs::read_jsonl_file(path, &malformed);
+  obs::TraceReadStats stats;
+  const std::vector<obs::Event> events = obs::read_jsonl_file(path, &stats);
   if (events.empty()) {
     std::cerr << "trace_inspect: no events read from " << path << "\n";
     return 1;
   }
   const obs::SpanTimeline timeline = obs::SpanTimeline::from_events(events);
 
-  std::cout << path << ": " << events.size() << " events, "
+  std::cout << path << ": " << stats.events << " events, "
             << timeline.spans().size() << " resolution spans";
-  if (malformed > 0) std::cout << ", " << malformed << " malformed lines";
+  if (!timeline.client_spans().empty()) {
+    std::cout << ", " << timeline.client_spans().size() << " client queries";
+  }
+  if (stats.malformed > 0) {
+    std::cout << ", " << stats.malformed << " malformed lines skipped";
+    if (stats.truncated_tail) std::cout << " (file ends mid-record)";
+  }
   std::cout << "\n\n";
 
-  if (argc == 3) {
-    const auto matches = timeline.find_by_name(argv[2]);
+  if (mode == "--tree") {
+    if (timeline.client_spans().empty()) {
+      // Direct-resolution traces have no frontend layer; the span print is
+      // the whole tree.
+      for (const obs::ResolutionSpan& span : timeline.spans()) {
+        obs::SpanTimeline::print(std::cout, span);
+        std::cout << "\n";
+      }
+      return 0;
+    }
+    for (const obs::ClientQuerySpan& query : timeline.client_spans()) {
+      timeline.print_query_tree(std::cout, query);
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  if (mode == "--profile") {
+    metrics::Table table({"Query", "Client", "Domain", "Total ms", "Queue ms",
+                          "Net ms", "Internal ms", "Coalesced", "DLV",
+                          "Verify"});
+    for (const obs::QueryProfile& profile : timeline.query_profiles()) {
+      table.row()
+          .cell(profile.query_id)
+          .cell(profile.client == 0 ? std::string("direct")
+                                    : std::to_string(profile.client - 1))
+          .cell(profile.name)
+          .cell(static_cast<double>(profile.total_us) / 1000.0, 2)
+          .cell(static_cast<double>(profile.queue_wait_us) / 1000.0, 2)
+          .cell(static_cast<double>(profile.network_us) / 1000.0, 2)
+          .cell(static_cast<double>(profile.internal_us) / 1000.0, 2)
+          .cell(profile.coalesced ? "yes" : "no")
+          .cell(profile.dlv_lookups)
+          .cell(profile.crypto_verifies);
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  if (!mode.empty()) {
+    const auto matches = timeline.find_by_name(mode);
     if (matches.empty()) {
-      std::cerr << "trace_inspect: no span for domain " << argv[2] << "\n";
+      std::cerr << "trace_inspect: no span for domain " << mode << "\n";
       return 1;
     }
     for (const obs::ResolutionSpan* span : matches) {
@@ -55,7 +107,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // No domain given: one overview row per span.
+  // No argument: one overview row per span.
   metrics::Table table(
       {"Span", "Domain", "Hops", "Latency (ms)", "Status", "DLV hops"});
   for (const obs::ResolutionSpan& span : timeline.spans()) {
@@ -72,6 +124,8 @@ int main(int argc, char** argv) {
         .cell(dlv_hops);
   }
   table.print(std::cout);
-  std::cout << "\nRun with a domain argument for the full hop timeline.\n";
+  std::cout << "\nRun with a domain for the hop timeline, --tree for causal\n"
+               "query trees, or --profile for the per-query attribution "
+               "table.\n";
   return 0;
 }

@@ -12,6 +12,8 @@ constexpr std::array<const char*, kEventKindCount> kKindNames = {
     "cache_hit",   "nsec_suppression", "validation",
     "dlv_lookup",  "dlv_observation", "authority",
     "retry",       "fault_injected",  "server_marked_dead",
+    "client_query", "client_response", "coalesce_join",
+    "leak_cause",  "cache_evicted",
 };
 
 }  // namespace
@@ -61,6 +63,12 @@ std::string to_jsonl(const Event& event) {
   out += std::to_string(event.time_us);
   out += ",\"span\":";
   out += std::to_string(event.span_id);
+  out += ",\"parent\":";
+  out += std::to_string(event.parent_span_id);
+  out += ",\"query\":";
+  out += std::to_string(event.query_id);
+  out += ",\"client\":";
+  out += std::to_string(event.client);
   out += ",\"kind\":\"";
   out += event_kind_name(event.kind);
   out += "\",\"name\":\"";

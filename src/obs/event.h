@@ -36,9 +36,14 @@ enum class EventKind : std::uint8_t {
   kRetry,            // an exchange attempt failed and will be resent
   kFaultInjected,    // the network's fault injector fired (detail = cause)
   kServerMarkedDead, // retry schedule exhausted; server in holddown
+  kClientQuery,      // frontend intake: one wire query from one client
+  kClientResponse,   // frontend completion (detail = resolved/coalesced/...)
+  kCoalesceJoin,     // a client query joined an in-flight resolver span
+  kLeakCause,        // why a DLV query is about to leave the resolver
+  kCacheEvicted,     // the byte-cap evicted a cache entry (detail = section)
 };
 
-inline constexpr int kEventKindCount = 12;
+inline constexpr int kEventKindCount = 17;
 
 /// Stable lower-snake name ("upstream_query"); used in JSONL and tables.
 [[nodiscard]] const char* event_kind_name(EventKind kind);
@@ -52,6 +57,9 @@ inline constexpr int kEventKindCount = 12;
 struct Event {
   std::uint64_t time_us = 0;   // simulation timestamp
   std::uint64_t span_id = 0;   // resolution span (0 = outside any span)
+  std::uint64_t parent_span_id = 0;  // enclosing span (0 = root / none)
+  std::uint64_t query_id = 0;  // trace context: originating client query
+  std::uint64_t client = 0;    // 1-based client tag (0 = no client context)
   EventKind kind = EventKind::kStubQuery;
   std::string name;            // qname / domain, dotted text
   std::string server;          // endpoint id ("root", "tld:com", "dlv:...")

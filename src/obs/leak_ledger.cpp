@@ -1,0 +1,161 @@
+#include "obs/leak_ledger.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics_registry.h"
+#include "obs/span_timeline.h"
+
+namespace lookaside::obs {
+
+void LeakLedger::on_event(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kClientQuery:
+      // The frontend is the recursive vantage for served clients.
+      ++observations_["recursive"][event.client];
+      break;
+    case EventKind::kStubQuery:
+      // Direct stub resolutions (no frontend): the recursive vantage sees
+      // the query without a client tag. Served queries are already counted
+      // at intake, so only the untagged ones count here.
+      if (event.client == 0) ++observations_["recursive"][0];
+      break;
+    case EventKind::kUpstreamQuery: {
+      const std::string cls = server_class(event.server);
+      // The registry's own view comes from its observation events (which
+      // carry the Case-1/Case-2 verdict); everything else is an authority
+      // vantage on the resolution path.
+      if (cls == "root" || cls == "tld" || cls == "sld" || cls == "arpa") {
+        ++observations_[cls][event.client];
+      }
+      break;
+    }
+    case EventKind::kLeakCause:
+      // Emitted by the resolver immediately before a DLV exchange; the
+      // registry's observation of that exchange follows in stream order.
+      pending_cause_[event.query_id] = event.detail;
+      break;
+    case EventKind::kDlvObservation: {
+      ++observations_["dlv"][event.client];
+      const auto pending = pending_cause_.find(event.query_id);
+      if (event.detail == "2") {
+        LeakRecord record;
+        record.time_us = event.time_us;
+        record.query_id = event.query_id;
+        record.client = event.client;
+        record.domain = event.name;
+        record.vantage = event.server;
+        record.cause = pending == pending_cause_.end() ? "unattributed"
+                                                       : pending->second;
+        ++cause_totals_[record.cause];
+        records_.push_back(std::move(record));
+      } else {
+        ++case1_;
+      }
+      if (pending != pending_cause_.end()) pending_cause_.erase(pending);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void LeakLedger::merge_from(const LeakLedger& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+  case1_ += other.case1_;
+  for (const auto& [cause, count] : other.cause_totals_) {
+    cause_totals_[cause] += count;
+  }
+  for (const auto& [vantage, per_client] : other.observations_) {
+    for (const auto& [client, count] : per_client) {
+      observations_[vantage][client] += count;
+    }
+  }
+}
+
+void LeakLedger::export_to(MetricsRegistry& registry) const {
+  for (const auto& [vantage, per_client] : observations_) {
+    for (const auto& [client, count] : per_client) {
+      registry.add("ledger_observations",
+                   {{"vantage", vantage},
+                    {"client", client == 0 ? "direct"
+                                           : std::to_string(client - 1)}},
+                   count);
+    }
+  }
+  for (const auto& [cause, count] : cause_totals_) {
+    registry.add("ledger_case2", {{"cause", cause}}, count);
+  }
+  if (case1_ != 0) registry.add("ledger_case1", {}, case1_);
+}
+
+std::string LeakLedger::record_jsonl(const LeakRecord& record) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"time_us\":";
+  out += std::to_string(record.time_us);
+  out += ",\"query\":";
+  out += std::to_string(record.query_id);
+  out += ",\"client\":";
+  out += std::to_string(record.client);
+  out += ",\"domain\":\"";
+  out += json_escape(record.domain);
+  out += "\",\"vantage\":\"";
+  out += json_escape(record.vantage);
+  out += "\",\"cause\":\"";
+  out += record.cause;
+  out += "\"}";
+  return out;
+}
+
+void LeakLedger::write_jsonl(std::ostream& out) const {
+  for (const LeakRecord& record : records_) {
+    out << record_jsonl(record) << '\n';
+  }
+}
+
+bool LeakLedger::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  write_jsonl(out);
+  out.flush();
+  return out.good();
+}
+
+std::size_t broken_leak_chains(const SpanTimeline& timeline,
+                               const std::vector<LeakRecord>& records) {
+  std::size_t broken = 0;
+  for (const LeakRecord& record : records) {
+    if (record.cause == "unattributed" || record.query_id == 0) {
+      ++broken;
+      continue;
+    }
+    // Walk intake -> resolver span. A coalesced leak is attributed to the
+    // initiator, so the initiating query's chain is the one to check.
+    const ResolutionSpan* span = nullptr;
+    if (const ClientQuerySpan* client =
+            timeline.client_span_by_query(record.query_id)) {
+      span = timeline.span_by_id(client->resolver_span_id);
+    } else {
+      span = timeline.span_by_query(record.query_id);
+    }
+    if (span == nullptr) {
+      ++broken;
+      continue;
+    }
+    // The resolver span must show the DLV exchange this record came from:
+    // a hop against the registry endpoint.
+    bool reached_dlv = false;
+    for (const SpanHop& hop : span->hops) {
+      if (hop.server == record.vantage) {
+        reached_dlv = true;
+        break;
+      }
+    }
+    if (!reached_dlv) ++broken;
+  }
+  return broken;
+}
+
+}  // namespace lookaside::obs

@@ -1,0 +1,101 @@
+// LeakLedger: per-vantage-point observation accounting with leak-cause
+// attribution, derived from the trace event stream.
+//
+// The paper's privacy argument is a ledger question: each vantage point on
+// the resolution path (the recursive frontend, the root/TLD/SLD
+// authorities, and above all the DLV registry) sees some subset of client
+// activity. This sink folds the causal trace into exactly that ledger —
+// observations keyed by (vantage class, client) — and tags every Case-2
+// DLV observation with *why* the query escaped the resolver's negative
+// cache: a cold cache (first contact), an expired proof (ttl-expiry), an
+// evicted proof (the byte-cap churned it out early), or a cached NSEC
+// chain that simply does not cover the name (nsec-gap). The resolver emits
+// the cause as a leak_cause event immediately before the DLV exchange, so
+// in stream order the cause always precedes the registry's observation of
+// the same query — the pairing used here needs no lookahead.
+//
+// The ledger is a pure function of the event stream; shard-local ledgers
+// merged in shard order equal the single-shard ledger, which is how the
+// bench drivers keep ledger output byte-identical across --jobs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace lookaside::obs {
+
+class MetricsRegistry;
+class SpanTimeline;
+
+/// One Case-2 DLV observation: the registry learned a domain it holds no
+/// record for, attributed to the client query that caused it.
+struct LeakRecord {
+  std::uint64_t time_us = 0;
+  std::uint64_t query_id = 0;
+  std::uint64_t client = 0;  // 1-based (0 = direct stub resolution)
+  std::string domain;        // what the registry learned
+  std::string vantage;       // registry endpoint id ("dlv:<apex>")
+  std::string cause;         // cold-miss|ttl-expiry|eviction|nsec-gap
+};
+
+class LeakLedger : public TraceSink {
+ public:
+  void on_event(const Event& event) override;
+
+  /// Case-2 records in observation order.
+  [[nodiscard]] const std::vector<LeakRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] std::uint64_t case1_total() const { return case1_; }
+  [[nodiscard]] std::uint64_t case2_total() const { return records_.size(); }
+
+  /// Case-2 count per cause tag (ordered, so iteration is deterministic).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& cause_totals()
+      const {
+    return cause_totals_;
+  }
+
+  /// Observations per (vantage class, 1-based client); vantage is
+  /// "recursive", "root", "tld", "sld", "arpa" or "dlv".
+  [[nodiscard]] const std::map<std::string,
+                               std::map<std::uint64_t, std::uint64_t>>&
+  observations() const {
+    return observations_;
+  }
+
+  /// Folds another shard's ledger in (records append in call order, so
+  /// merge shards in index order for deterministic output).
+  void merge_from(const LeakLedger& other);
+
+  /// Mirrors the ledger into labeled counters:
+  /// ledger_observations{vantage,client}, ledger_case2{cause}, ledger_case1.
+  void export_to(MetricsRegistry& registry) const;
+
+  /// One JSONL line per Case-2 record.
+  void write_jsonl(std::ostream& out) const;
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  [[nodiscard]] static std::string record_jsonl(const LeakRecord& record);
+
+ private:
+  std::vector<LeakRecord> records_;
+  std::uint64_t case1_ = 0;
+  std::map<std::string, std::uint64_t> cause_totals_;
+  std::map<std::string, std::map<std::uint64_t, std::uint64_t>> observations_;
+  std::map<std::uint64_t, std::string> pending_cause_;  // query_id -> cause
+};
+
+/// Chain-completeness check for the acceptance contract: every ledger
+/// record's query_id must resolve, in `timeline`, to a frontend client
+/// span (or a direct resolver span) whose resolution actually reached the
+/// DLV registry. Returns the number of records whose chain is broken.
+[[nodiscard]] std::size_t broken_leak_chains(
+    const SpanTimeline& timeline, const std::vector<LeakRecord>& records);
+
+}  // namespace lookaside::obs

@@ -81,6 +81,21 @@ void MetricsSink::on_event(const Event& event) {
     case EventKind::kServerMarkedDead:
       reg.add("servers_marked_dead", {{"server", classify(event)}});
       break;
+    case EventKind::kClientQuery:
+      reg.add("client_queries", {});
+      break;
+    case EventKind::kClientResponse:
+      reg.add("client_responses", {{"result", event.detail}});
+      break;
+    case EventKind::kCoalesceJoin:
+      reg.add("coalesce_joins", {});
+      break;
+    case EventKind::kLeakCause:
+      reg.add("leak_causes", {{"cause", event.detail}});
+      break;
+    case EventKind::kCacheEvicted:
+      reg.add("cache_evictions", {{"section", event.detail}});
+      break;
   }
 }
 

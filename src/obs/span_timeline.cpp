@@ -26,16 +26,65 @@ ResolutionSpan* SpanTimeline::span_for(std::uint64_t span_id) {
   return &spans_[it->second];
 }
 
+ClientQuerySpan* SpanTimeline::client_span_for(std::uint64_t span_id) {
+  if (span_id == 0) return nullptr;
+  const auto it = client_index_by_span_.find(span_id);
+  if (it == client_index_by_span_.end()) return nullptr;
+  return &client_spans_[it->second];
+}
+
 void SpanTimeline::add(const Event& event) {
   switch (event.kind) {
     case EventKind::kStubQuery: {
       ResolutionSpan span;
       span.span_id = event.span_id;
+      span.query_id = event.query_id;
+      span.client = event.client;
       span.name = event.name;
       span.qtype = event.qtype;
       span.start_us = event.time_us;
+      if (event.parent_span_id != 0) {
+        span.parent_span_ids.push_back(event.parent_span_id);
+        if (ClientQuerySpan* parent = client_span_for(event.parent_span_id)) {
+          parent->resolver_span_id = event.span_id;
+        }
+      }
       index_by_id_[event.span_id] = spans_.size();
       spans_.push_back(std::move(span));
+      break;
+    }
+    case EventKind::kClientQuery: {
+      ClientQuerySpan span;
+      span.span_id = event.span_id;
+      span.query_id = event.query_id;
+      span.client = event.client;
+      span.name = event.name;
+      span.qtype = event.qtype;
+      span.arrival_us = event.time_us;
+      client_index_by_span_[event.span_id] = client_spans_.size();
+      client_spans_.push_back(std::move(span));
+      break;
+    }
+    case EventKind::kClientResponse: {
+      ClientQuerySpan* span = client_span_for(event.span_id);
+      if (span == nullptr) break;
+      span->completion_us = event.time_us;
+      span->latency_us = event.latency_us;
+      span->rcode = event.rcode;
+      span->result = event.detail;
+      span->closed = true;
+      break;
+    }
+    case EventKind::kCoalesceJoin: {
+      // span_id = the shared resolver span; parent = the waiter's frontend
+      // span. The resolver span gains one more parent; the waiter's client
+      // span links to the shared resolution.
+      if (ResolutionSpan* span = span_for(event.span_id)) {
+        span->parent_span_ids.push_back(event.parent_span_id);
+      }
+      if (ClientQuerySpan* waiter = client_span_for(event.parent_span_id)) {
+        waiter->resolver_span_id = event.span_id;
+      }
       break;
     }
     case EventKind::kUpstreamQuery: {
@@ -86,6 +135,8 @@ void SpanTimeline::add(const Event& event) {
     case EventKind::kNsecSuppression:
     case EventKind::kDlvLookup:
     case EventKind::kDlvObservation:
+    case EventKind::kLeakCause:
+    case EventKind::kCacheEvicted:
     case EventKind::kRetry:
     case EventKind::kFaultInjected:
     case EventKind::kServerMarkedDead: {
@@ -112,6 +163,138 @@ std::vector<const ResolutionSpan*> SpanTimeline::find_by_name(
   for (const ResolutionSpan& span : spans_) {
     if (span.name == wanted) out.push_back(&span);
   }
+  return out;
+}
+
+const ResolutionSpan* SpanTimeline::span_by_id(std::uint64_t span_id) const {
+  const auto it = index_by_id_.find(span_id);
+  return it == index_by_id_.end() ? nullptr : &spans_[it->second];
+}
+
+const ClientQuerySpan* SpanTimeline::client_span_by_query(
+    std::uint64_t query_id) const {
+  for (const ClientQuerySpan& span : client_spans_) {
+    if (span.query_id == query_id) return &span;
+  }
+  return nullptr;
+}
+
+const ResolutionSpan* SpanTimeline::span_by_query(
+    std::uint64_t query_id) const {
+  for (const ResolutionSpan& span : spans_) {
+    if (span.query_id == query_id) return &span;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void count_annotations(const ResolutionSpan& span, QueryProfile* profile) {
+  for (const Event& note : span.annotations) {
+    switch (note.kind) {
+      case EventKind::kCacheHit: ++profile->cache_probes; break;
+      case EventKind::kNsecSuppression: ++profile->nsec_suppressions; break;
+      case EventKind::kDlvLookup: ++profile->dlv_lookups; break;
+      case EventKind::kValidation: ++profile->crypto_verifies; break;
+      default: break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<QueryProfile> SpanTimeline::query_profiles() const {
+  std::vector<QueryProfile> out;
+  if (client_spans_.empty()) {
+    // Direct stub traces: one profile per resolver span.
+    out.reserve(spans_.size());
+    for (const ResolutionSpan& span : spans_) {
+      QueryProfile profile;
+      profile.query_id = span.query_id;
+      profile.client = span.client;
+      profile.span_id = span.span_id;
+      profile.name = span.name;
+      profile.qtype = span.qtype;
+      profile.total_us = span.reported_latency_us;
+      profile.network_us = span.hop_latency_total_us();
+      profile.network_by_class = span.phase_durations_us();
+      profile.internal_us = profile.total_us > profile.network_us
+                                ? profile.total_us - profile.network_us
+                                : 0;
+      count_annotations(span, &profile);
+      out.push_back(std::move(profile));
+    }
+    return out;
+  }
+  out.reserve(client_spans_.size());
+  for (const ClientQuerySpan& query : client_spans_) {
+    QueryProfile profile;
+    profile.query_id = query.query_id;
+    profile.client = query.client;
+    profile.span_id = query.span_id;
+    profile.name = query.name;
+    profile.qtype = query.qtype;
+    profile.coalesced = query.result == "coalesced";
+    profile.total_us = query.latency_us;
+    if (profile.coalesced) {
+      // A waiter does no work of its own: its whole latency is time spent
+      // queued on the initiator's in-flight resolution.
+      profile.queue_wait_us = query.latency_us;
+    } else if (const ResolutionSpan* span = span_by_id(query.resolver_span_id)) {
+      profile.network_us = span->hop_latency_total_us();
+      profile.network_by_class = span->phase_durations_us();
+      count_annotations(*span, &profile);
+    }
+    const std::uint64_t accounted = profile.queue_wait_us + profile.network_us;
+    profile.internal_us =
+        profile.total_us > accounted ? profile.total_us - accounted : 0;
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+std::string profile_jsonl(const QueryProfile& profile) {
+  std::string out;
+  out.reserve(256);
+  out += "{\"query\":";
+  out += std::to_string(profile.query_id);
+  out += ",\"client\":";
+  out += std::to_string(profile.client);
+  out += ",\"span\":";
+  out += std::to_string(profile.span_id);
+  out += ",\"name\":\"";
+  out += json_escape(profile.name);
+  out += "\",\"qtype\":";
+  out += std::to_string(static_cast<std::uint16_t>(profile.qtype));
+  out += ",\"coalesced\":";
+  out += profile.coalesced ? "true" : "false";
+  out += ",\"total_us\":";
+  out += std::to_string(profile.total_us);
+  out += ",\"queue_wait_us\":";
+  out += std::to_string(profile.queue_wait_us);
+  out += ",\"network_us\":";
+  out += std::to_string(profile.network_us);
+  out += ",\"internal_us\":";
+  out += std::to_string(profile.internal_us);
+  out += ",\"network\":{";
+  bool first = true;
+  for (const auto& [cls, us] : profile.network_by_class) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(cls);
+    out += "\":";
+    out += std::to_string(us);
+  }
+  out += "},\"cache_probes\":";
+  out += std::to_string(profile.cache_probes);
+  out += ",\"nsec_suppressions\":";
+  out += std::to_string(profile.nsec_suppressions);
+  out += ",\"dlv_lookups\":";
+  out += std::to_string(profile.dlv_lookups);
+  out += ",\"crypto_verifies\":";
+  out += std::to_string(profile.crypto_verifies);
+  out += "}";
   return out;
 }
 
@@ -164,6 +347,56 @@ void SpanTimeline::print(std::ostream& out, const ResolutionSpan& span) {
         << (hop_sum == span.reported_latency_us ? "  [consistent]"
                                                 : "  [MISMATCH]")
         << "\n";
+  }
+}
+
+void SpanTimeline::print_query_tree(std::ostream& out,
+                                    const ClientQuerySpan& query) const {
+  out << "query " << query.query_id << "  client=" << query.client
+      << "  span=" << query.span_id << ": " << query.name << " "
+      << dns::rr_type_name(query.qtype) << "  arrival=" << query.arrival_us
+      << "us";
+  if (query.closed) {
+    out << "  latency=" << query.latency_us << "us  rcode="
+        << dns::rcode_name(query.rcode) << "  [" << query.result << "]";
+  } else {
+    out << "  (unclosed)";
+  }
+  out << "\n";
+
+  const ResolutionSpan* span = span_by_id(query.resolver_span_id);
+  if (span == nullptr) {
+    out << "  (no resolver span: answered without upstream work)\n";
+    return;
+  }
+  out << "  resolver span " << span->span_id << "  parents=[";
+  for (std::size_t i = 0; i < span->parent_span_ids.size(); ++i) {
+    if (i != 0) out << ",";
+    out << span->parent_span_ids[i];
+  }
+  out << "]";
+  const bool shared = span->parent_span_ids.size() > 1;
+  if (shared) {
+    out << "  (shared by " << span->parent_span_ids.size() << " queries)";
+  }
+  out << "\n";
+  for (const SpanHop& hop : span->hops) {
+    out << "    +" << (hop.time_us - span->start_us) << "us  "
+        << server_class(hop.server) << " (" << hop.server << ")  " << hop.name
+        << " " << dns::rr_type_name(hop.qtype);
+    if (hop.answered) {
+      out << "  rtt=" << hop.latency_us << "us  "
+          << dns::rcode_name(hop.rcode);
+    } else {
+      out << "  (no response)";
+    }
+    out << "\n";
+  }
+  for (const Event& note : span->annotations) {
+    out << "    *  " << event_kind_name(note.kind);
+    if (!note.detail.empty()) out << " [" << note.detail << "]";
+    if (!note.name.empty()) out << " " << note.name;
+    out << "\n";
   }
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/event.h"
+#include "obs/trace_sink.h"
 
 namespace lookaside::obs {
 
@@ -38,6 +39,8 @@ struct SpanHop {
 /// One reconstructed resolution.
 struct ResolutionSpan {
   std::uint64_t span_id = 0;
+  std::uint64_t query_id = 0;  // trace context of the initiating query
+  std::uint64_t client = 0;    // 1-based initiator (0 = direct stub)
   std::string name;  // the stub's qname
   dns::RRType qtype = dns::RRType::kA;
   std::uint64_t start_us = 0;
@@ -48,6 +51,9 @@ struct ResolutionSpan {
   bool closed = false;
   std::vector<SpanHop> hops;
   std::vector<Event> annotations;  // cache/nsec/dlv/validation events
+  /// Every parent this resolution serves: the initiator's frontend span
+  /// first, then one entry per coalesce_join (N waiters => N parents).
+  std::vector<std::uint64_t> parent_span_ids;
 
   /// Sum of hop round trips; equals reported_latency_us for closed spans.
   [[nodiscard]] std::uint64_t hop_latency_total_us() const;
@@ -56,6 +62,50 @@ struct ResolutionSpan {
   [[nodiscard]] std::map<std::string, std::uint64_t> phase_durations_us()
       const;
 };
+
+/// One frontend-level client query (client_query .. client_response pair).
+/// Coalesced waiters share a resolver span with the initiator; the link is
+/// `resolver_span_id`.
+struct ClientQuerySpan {
+  std::uint64_t span_id = 0;   // the frontend span
+  std::uint64_t query_id = 0;  // ((client+1)<<32)|seq, minted at intake
+  std::uint64_t client = 0;    // 1-based
+  std::string name;
+  dns::RRType qtype = dns::RRType::kA;
+  std::uint64_t arrival_us = 0;
+  std::uint64_t completion_us = 0;
+  std::uint64_t latency_us = 0;
+  dns::RCode rcode = dns::RCode::kNoError;
+  std::string result;  // resolved|cache|coalesced|overload|formerr
+  bool closed = false;
+  std::uint64_t resolver_span_id = 0;  // 0 = never reached the resolver
+};
+
+/// Per-query critical-path attribution. Virtual time only advances inside
+/// network exchanges, so the honest split is: wait on a shared in-flight
+/// resolution (queue), per-server-class network RTT, and everything else
+/// (cache probes + crypto verification, instantaneous on the virtual
+/// clock — reported as event counts instead of fabricated durations).
+struct QueryProfile {
+  std::uint64_t query_id = 0;
+  std::uint64_t client = 0;  // 1-based (0 = direct stub resolution)
+  std::uint64_t span_id = 0;
+  std::string name;
+  dns::RRType qtype = dns::RRType::kA;
+  bool coalesced = false;
+  std::uint64_t total_us = 0;
+  std::uint64_t queue_wait_us = 0;  // coalesced wait on the shared span
+  std::uint64_t network_us = 0;     // sum of this query's own hop RTTs
+  std::uint64_t internal_us = 0;    // total - queue - network
+  std::map<std::string, std::uint64_t> network_by_class;
+  std::uint64_t cache_probes = 0;
+  std::uint64_t nsec_suppressions = 0;
+  std::uint64_t dlv_lookups = 0;
+  std::uint64_t crypto_verifies = 0;
+};
+
+/// Fixed-key JSONL serialization of one profile (no trailing newline).
+[[nodiscard]] std::string profile_jsonl(const QueryProfile& profile);
 
 /// Streaming span-tree builder. Feed events in emission order (the JSONL
 /// file and the ring buffer both preserve it).
@@ -70,19 +120,55 @@ class SpanTimeline {
     return spans_;
   }
 
+  /// Frontend-level client query spans, in arrival order (empty for traces
+  /// captured without a serve frontend).
+  [[nodiscard]] const std::vector<ClientQuerySpan>& client_spans() const {
+    return client_spans_;
+  }
+
   /// Spans whose qname matches `name` (with or without trailing dot).
   [[nodiscard]] std::vector<const ResolutionSpan*> find_by_name(
       std::string_view name) const;
+
+  [[nodiscard]] const ResolutionSpan* span_by_id(std::uint64_t span_id) const;
+  [[nodiscard]] const ClientQuerySpan* client_span_by_query(
+      std::uint64_t query_id) const;
+  [[nodiscard]] const ResolutionSpan* span_by_query(
+      std::uint64_t query_id) const;
+
+  /// Critical-path attribution for every query, in arrival order. When the
+  /// trace has client spans those are profiled (one row per client query);
+  /// otherwise each resolver span is profiled directly.
+  [[nodiscard]] std::vector<QueryProfile> query_profiles() const;
 
   /// Pretty-prints one span as an indented hop timeline with the per-phase
   /// breakdown and the sum-vs-reported latency check.
   static void print(std::ostream& out, const ResolutionSpan& span);
 
+  /// Pretty-prints one client query as a tree: the client line, the shared
+  /// resolver span (with all recorded parents), its hops and annotations.
+  void print_query_tree(std::ostream& out, const ClientQuerySpan& query) const;
+
  private:
   std::vector<ResolutionSpan> spans_;
+  std::vector<ClientQuerySpan> client_spans_;
   std::map<std::uint64_t, std::size_t> index_by_id_;
+  std::map<std::uint64_t, std::size_t> client_index_by_span_;
 
   ResolutionSpan* span_for(std::uint64_t span_id);
+  ClientQuerySpan* client_span_for(std::uint64_t span_id);
+};
+
+/// TraceSink adapter: feeds every event into a SpanTimeline so bench
+/// drivers can reconstruct profiles without buffering the raw stream.
+class TimelineSink : public TraceSink {
+ public:
+  void on_event(const Event& event) override { timeline_.add(event); }
+
+  [[nodiscard]] const SpanTimeline& timeline() const { return timeline_; }
+
+ private:
+  SpanTimeline timeline_;
 };
 
 }  // namespace lookaside::obs

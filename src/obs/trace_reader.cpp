@@ -121,6 +121,9 @@ bool parse_jsonl_event(std::string_view line, Event* out) {
       if (!parse_number(cursor, &value)) return false;
       if (key == "time_us") event.time_us = value;
       else if (key == "span") event.span_id = value;
+      else if (key == "parent") event.parent_span_id = value;
+      else if (key == "query") event.query_id = value;
+      else if (key == "client") event.client = value;
       else if (key == "qtype") event.qtype = static_cast<dns::RRType>(value);
       else if (key == "rcode") event.rcode = static_cast<dns::RCode>(value);
       else if (key == "bytes") event.bytes = value;
@@ -133,32 +136,53 @@ bool parse_jsonl_event(std::string_view line, Event* out) {
   return true;
 }
 
-std::vector<Event> read_jsonl_events(std::istream& in,
-                                     std::size_t* malformed) {
+std::vector<Event> read_jsonl_events(std::istream& in, TraceReadStats* stats) {
   std::vector<Event> out;
-  std::size_t bad = 0;
+  TraceReadStats local;
   std::string line;
   while (std::getline(in, line)) {
+    // getline hitting EOF before a '\n' means the final record was cut off
+    // mid-write; if it also fails to parse, flag it as a truncated tail
+    // rather than silently lumping it with ordinary garbage.
+    const bool tail_without_newline = in.eof();
     if (line.empty()) continue;
     Event event;
     if (parse_jsonl_event(line, &event)) {
       out.push_back(std::move(event));
     } else {
-      ++bad;
+      ++local.malformed;
+      if (tail_without_newline) local.truncated_tail = true;
     }
   }
-  if (malformed != nullptr) *malformed = bad;
+  local.events = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<Event> read_jsonl_events(std::istream& in,
+                                     std::size_t* malformed) {
+  TraceReadStats stats;
+  std::vector<Event> out = read_jsonl_events(in, &stats);
+  if (malformed != nullptr) *malformed = stats.malformed;
   return out;
 }
 
 std::vector<Event> read_jsonl_file(const std::string& path,
-                                   std::size_t* malformed) {
+                                   TraceReadStats* stats) {
   std::ifstream in(path);
   if (!in.good()) {
-    if (malformed != nullptr) *malformed = 0;
+    if (stats != nullptr) *stats = {};
     return {};
   }
-  return read_jsonl_events(in, malformed);
+  return read_jsonl_events(in, stats);
+}
+
+std::vector<Event> read_jsonl_file(const std::string& path,
+                                   std::size_t* malformed) {
+  TraceReadStats stats;
+  std::vector<Event> out = read_jsonl_file(path, &stats);
+  if (malformed != nullptr) *malformed = stats.malformed;
+  return out;
 }
 
 }  // namespace lookaside::obs

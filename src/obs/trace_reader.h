@@ -19,13 +19,30 @@ namespace lookaside::obs {
 /// event kind.
 [[nodiscard]] bool parse_jsonl_event(std::string_view line, Event* out);
 
-/// Reads every well-formed event line from `in`; malformed lines are
-/// skipped and counted into `*malformed` when provided.
+/// What one read pass saw: parsed events, malformed lines skipped, and
+/// whether the final line was cut off mid-record (no trailing newline and
+/// unparseable — the signature of a truncated write / crashed producer).
+struct TraceReadStats {
+  std::size_t events = 0;
+  std::size_t malformed = 0;
+  bool truncated_tail = false;
+};
+
+/// Reads every well-formed event line from `in`; never aborts on a bad
+/// line — malformed lines (including a truncated trailing record) are
+/// skipped and counted into `*stats` when provided.
 [[nodiscard]] std::vector<Event> read_jsonl_events(
-    std::istream& in, std::size_t* malformed = nullptr);
+    std::istream& in, TraceReadStats* stats = nullptr);
+
+/// Back-compat overload counting only malformed lines.
+[[nodiscard]] std::vector<Event> read_jsonl_events(std::istream& in,
+                                                   std::size_t* malformed);
 
 /// Convenience: opens `path` and reads it. Empty result on open failure.
 [[nodiscard]] std::vector<Event> read_jsonl_file(
-    const std::string& path, std::size_t* malformed = nullptr);
+    const std::string& path, TraceReadStats* stats = nullptr);
+
+[[nodiscard]] std::vector<Event> read_jsonl_file(const std::string& path,
+                                                 std::size_t* malformed);
 
 }  // namespace lookaside::obs

@@ -58,7 +58,10 @@ void RingBufferSink::clear() {
 JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {}
 
 void JsonlFileSink::on_event(const Event& event) {
-  if (!out_.good()) return;
+  if (!out_.good()) {
+    ++dropped_;
+    return;
+  }
   out_ << to_jsonl(event) << '\n';
   ++written_;
 }

@@ -73,10 +73,13 @@ class JsonlFileSink : public TraceSink {
 
   [[nodiscard]] bool ok() const { return out_.good(); }
   [[nodiscard]] std::uint64_t events_written() const { return written_; }
+  /// Events swallowed because the file failed to open or a write failed.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
  private:
   std::ofstream out_;
   std::uint64_t written_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Aggregates the stream into the two tables a paper reader wants: the

@@ -63,25 +63,48 @@ void Tracer::attach_network(sim::Network& network, std::string resolver_id) {
 
 std::uint64_t Tracer::begin_span() {
   const std::uint64_t id = next_span_++;
-  span_stack_.push_back(id);
+  span_stack_.push_back({id, current_span()});
   return id;
 }
 
 void Tracer::end_span(std::uint64_t span_id) {
   // Normal case: the span being ended is the innermost one.
-  if (!span_stack_.empty() && span_stack_.back() == span_id) {
+  if (!span_stack_.empty() && span_stack_.back().id == span_id) {
     span_stack_.pop_back();
     return;
   }
   span_stack_.erase(
-      std::remove(span_stack_.begin(), span_stack_.end(), span_id),
+      std::remove_if(span_stack_.begin(), span_stack_.end(),
+                     [span_id](const SpanFrame& frame) {
+                       return frame.id == span_id;
+                     }),
       span_stack_.end());
+}
+
+std::uint64_t Tracer::parent_of(std::uint64_t span_id) const {
+  for (auto it = span_stack_.rbegin(); it != span_stack_.rend(); ++it) {
+    if (it->id == span_id) return it->parent;
+  }
+  return 0;
+}
+
+void Tracer::push_query(std::uint64_t query_id, std::uint64_t client) {
+  query_stack_.push_back({query_id, client});
+}
+
+void Tracer::pop_query() {
+  if (!query_stack_.empty()) query_stack_.pop_back();
 }
 
 void Tracer::emit(Event event) {
   if (sinks_.empty()) return;
   if (event.time_us == 0) event.time_us = now_us();
   if (event.span_id == 0) event.span_id = current_span();
+  if (event.parent_span_id == 0) {
+    event.parent_span_id = parent_of(event.span_id);
+  }
+  if (event.query_id == 0) event.query_id = current_query_id();
+  if (event.client == 0) event.client = current_client();
   ++emitted_;
   for (const std::shared_ptr<TraceSink>& sink : sinks_) {
     sink->on_event(event);

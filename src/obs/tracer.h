@@ -42,14 +42,31 @@ class Tracer {
                       std::string resolver_id = "recursive");
 
   /// Opens a new resolution span and makes it current. Spans nest (a
-  /// stack), though the synchronous resolver only ever holds one.
+  /// stack); the new span's parent is the previously-current span, and
+  /// events emitted while it is current carry that lineage.
   std::uint64_t begin_span();
 
   /// Closes `span_id`, restoring the previous current span.
   void end_span(std::uint64_t span_id);
 
   [[nodiscard]] std::uint64_t current_span() const {
-    return span_stack_.empty() ? 0 : span_stack_.back();
+    return span_stack_.empty() ? 0 : span_stack_.back().id;
+  }
+
+  /// Parent of an *open* span (0 when unknown or root).
+  [[nodiscard]] std::uint64_t parent_of(std::uint64_t span_id) const;
+
+  /// Enters a client-query trace context: every event emitted until the
+  /// matching pop_query() is stamped with `query_id` and `client` (1-based;
+  /// 0 means "no client"). Contexts nest like spans.
+  void push_query(std::uint64_t query_id, std::uint64_t client);
+  void pop_query();
+  [[nodiscard]] bool in_query() const { return !query_stack_.empty(); }
+  [[nodiscard]] std::uint64_t current_query_id() const {
+    return query_stack_.empty() ? 0 : query_stack_.back().query_id;
+  }
+  [[nodiscard]] std::uint64_t current_client() const {
+    return query_stack_.empty() ? 0 : query_stack_.back().client;
   }
 
   [[nodiscard]] std::uint64_t now_us() const {
@@ -57,7 +74,9 @@ class Tracer {
   }
 
   /// Delivers `event` to every sink. A zero time_us is stamped with the
-  /// attached clock; a zero span_id inherits the current span.
+  /// attached clock; a zero span_id inherits the current span; a zero
+  /// parent_span_id inherits the open parent of the (possibly inherited)
+  /// span; zero query_id/client inherit the current query context.
   void emit(Event event);
 
   void flush();
@@ -66,9 +85,19 @@ class Tracer {
   [[nodiscard]] std::uint64_t events_emitted() const { return emitted_; }
 
  private:
+  struct SpanFrame {
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+  };
+  struct QueryFrame {
+    std::uint64_t query_id = 0;
+    std::uint64_t client = 0;
+  };
+
   std::vector<std::shared_ptr<TraceSink>> sinks_;
   const sim::SimClock* clock_ = nullptr;
-  std::vector<std::uint64_t> span_stack_;
+  std::vector<SpanFrame> span_stack_;
+  std::vector<QueryFrame> query_stack_;
   std::uint64_t next_span_ = 1;
   std::uint64_t emitted_ = 0;
 };

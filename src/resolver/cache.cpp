@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dns/rdata.h"
+#include "obs/tracer.h"
 
 namespace lookaside::resolver {
 
@@ -162,7 +163,8 @@ void ResolverCache::store_negative(const dns::Name& name, dns::RRType type,
 }
 
 NegativeEntry ResolverCache::find_negative(const dns::Name& name,
-                                           dns::RRType type) {
+                                           dns::RRType type,
+                                           std::uint64_t* expires_us) {
   auto* slots = negative_.find(name);
   if (slots == nullptr) return NegativeEntry::kNone;
   // One pass answers both questions and purges expired slots in place
@@ -181,6 +183,7 @@ NegativeEntry ResolverCache::find_negative(const dns::Name& name,
     if (slot.first == type) {
       slot.second.referenced = true;
       const bool nxdomain = slot.second.nxdomain;
+      if (expires_us != nullptr) *expires_us = slot.second.expires_us;
       // Finish compacting before returning so the purge is not skipped.
       for (std::size_t rest = read; rest < slots->size(); ++rest) {
         auto& keep = (*slots)[rest];
@@ -198,6 +201,7 @@ NegativeEntry ResolverCache::find_negative(const dns::Name& name,
     if (slot.second.nxdomain) {
       slot.second.referenced = true;
       nxdomain_hit = true;
+      if (expires_us != nullptr) *expires_us = slot.second.expires_us;
     }
     if (write != read) (*slots)[write] = slot;
     ++write;
@@ -261,7 +265,8 @@ void ResolverCache::store_nsec(const dns::Name& zone_apex,
 
 NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
                                        const dns::Name& qname,
-                                       dns::RRType qtype) {
+                                       dns::RRType qtype,
+                                       std::uint64_t* expires_us) {
   NsecZone* zone = nsec_by_zone_.find(zone_apex);
   if (zone == nullptr) return NsecCoverage::kNoProof;
   NsecChain& chain = zone->chain;
@@ -290,6 +295,7 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
     if (std::find(entry.types.begin(), entry.types.end(), qtype) ==
         entry.types.end()) {
       entry.referenced = true;
+      if (expires_us != nullptr) *expires_us = entry.expires_us;
       counters_.add("cache.nsec_hit");
       return NsecCoverage::kTypeAbsent;
     }
@@ -301,6 +307,7 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
   const bool wraps = entry.next == zone_apex;
   if (wraps || qname.canonical_compare(entry.next) < 0) {
     entry.referenced = true;
+    if (expires_us != nullptr) *expires_us = entry.expires_us;
     counters_.add("cache.nsec_hit");
     return NsecCoverage::kNameCovered;
   }
@@ -462,12 +469,21 @@ void ResolverCache::count_eviction(Section section, std::size_t entries) {
                 entries);
 }
 
+void ResolverCache::trace_eviction(Section section, const dns::Name& owner) {
+  if (tracer_ == nullptr) return;
+  obs::Event event;
+  event.kind = obs::EventKind::kCacheEvicted;
+  event.name = owner.to_text();
+  event.detail = section_name(section);
+  tracer_->emit(std::move(event));
+}
+
 bool ResolverCache::evict_step(Section section, std::size_t budget) {
   std::size_t* cursor = &evict_cursor_[section];
   std::size_t evicted = 0;
   switch (section) {
     case kPositive:
-      positive_.sweep(cursor, budget, [&](const dns::Name&,
+      positive_.sweep(cursor, budget, [&](const dns::Name& name,
                                           PositiveSlots& slots) {
         if (evicted > 0) return false;  // one victim per step
         // Second chance is per name-slot: any referenced type entry spares
@@ -482,6 +498,7 @@ bool ResolverCache::evict_step(Section section, std::size_t budget) {
         if (spared) return false;
         for (auto& slot : slots) release(slot.second->cost);
         evicted = slots.size();
+        trace_eviction(kPositive, name);
         return true;
       });
       break;
@@ -499,6 +516,7 @@ bool ResolverCache::evict_step(Section section, std::size_t budget) {
         if (spared) return false;
         release(negative_cost(name) * slots.size());
         evicted = slots.size();
+        trace_eviction(kNegative, name);
         return true;
       });
       break;
@@ -516,6 +534,7 @@ bool ResolverCache::evict_step(Section section, std::size_t budget) {
         if (spared) return false;
         release(servfail_cost(name) * slots.size());
         evicted = slots.size();
+        trace_eviction(kServfail, name);
         return true;
       });
       break;
@@ -532,6 +551,7 @@ bool ResolverCache::evict_step(Section section, std::size_t budget) {
           } else {
             release(it->second.cost);
             evicted = 1;
+            trace_eviction(kNsec, it->first);
             it = zone.chain.erase(it);
           }
         }
@@ -549,6 +569,7 @@ bool ResolverCache::evict_step(Section section, std::size_t budget) {
         }
         release(zone_cut_cost(apex));
         evicted = 1;
+        trace_eviction(kZoneCut, apex);
         return true;
       });
       break;

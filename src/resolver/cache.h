@@ -28,6 +28,10 @@
 #include "metrics/counters.h"
 #include "sim/clock.h"
 
+namespace lookaside::obs {
+class Tracer;
+}
+
 namespace lookaside::resolver {
 
 /// Negative-cache lookup outcome.
@@ -93,8 +97,12 @@ class ResolverCache {
 
   void store_negative(const dns::Name& name, dns::RRType type,
                       std::uint32_t ttl, bool nxdomain);
+  /// On a hit, `*expires_us` (when non-null) receives the proof's
+  /// expiry deadline — the leak-cause attribution needs to know *until
+  /// when* the denial would have kept suppressing queries.
   [[nodiscard]] NegativeEntry find_negative(const dns::Name& name,
-                                            dns::RRType type);
+                                            dns::RRType type,
+                                            std::uint64_t* expires_us = nullptr);
 
   // -- SERVFAIL cache (RFC 2308 §7) ------------------------------------------
 
@@ -114,9 +122,12 @@ class ResolverCache {
   /// within `zone_apex`. Expired entries encountered on the predecessor
   /// walk are reclaimed and skipped — a stale closer entry must not shadow
   /// a live covering proof.
+  /// On a covering hit, `*expires_us` (when non-null) receives the
+  /// covering NSEC entry's expiry deadline.
   [[nodiscard]] NsecCoverage nsec_check(const dns::Name& zone_apex,
                                         const dns::Name& qname,
-                                        dns::RRType qtype);
+                                        dns::RRType qtype,
+                                        std::uint64_t* expires_us = nullptr);
 
   /// Number of live NSEC entries cached for `zone_apex`.
   [[nodiscard]] std::size_t nsec_count(const dns::Name& zone_apex) const;
@@ -130,6 +141,11 @@ class ResolverCache {
   [[nodiscard]] dns::Name deepest_known_cut(const dns::Name& qname);
 
   // -- Lifecycle (accounting / sweep / eviction) ------------------------------
+
+  /// Attaches a tracer (nullable): pressure evictions then emit
+  /// cache_evicted events (detail = section), making churn visible on
+  /// timelines and attributable in the leak ledger.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Installs the byte cap and sweep amortization step.
   void set_limits(const CacheLimits& limits) { limits_ = limits; }
@@ -258,8 +274,10 @@ class ResolverCache {
   /// first unreferenced one. Returns true when something was evicted.
   bool evict_step(Section section, std::size_t budget);
   void count_eviction(Section section, std::size_t entries);
+  void trace_eviction(Section section, const dns::Name& owner);
 
   const sim::SimClock* clock_;
+  obs::Tracer* tracer_ = nullptr;
   metrics::CounterSet counters_;
   CacheLimits limits_;
   std::uint64_t bytes_ = 0;

@@ -620,23 +620,49 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
   }
 
   for (const auto& [candidate, candidate_domain] : candidates) {
-    if (cache_.find_negative(candidate, dns::RRType::kDlv) !=
-        NegativeEntry::kNone) {
+    std::uint64_t proof_expires_us = 0;
+    if (cache_.find_negative(candidate, dns::RRType::kDlv,
+                             &proof_expires_us) != NegativeEntry::kNone) {
       result.dlv.suppressed_by_nsec = true;
       stats_.add("dlv.suppressed.negative");
+      dlv_denial_deadline_.get_or_insert(candidate) = proof_expires_us;
       trace_event(obs::EventKind::kNsecSuppression, candidate,
                   dns::RRType::kDlv, "negative-cache",
                   registry->endpoint_id());
       continue;
     }
     if (config_.aggressive_negative_caching &&
-        cache_.nsec_check(apex, candidate, dns::RRType::kDlv) !=
-            NsecCoverage::kNoProof) {
+        cache_.nsec_check(apex, candidate, dns::RRType::kDlv,
+                          &proof_expires_us) != NsecCoverage::kNoProof) {
       result.dlv.suppressed_by_nsec = true;
       stats_.add("dlv.suppressed.nsec");
+      dlv_denial_deadline_.get_or_insert(candidate) = proof_expires_us;
       trace_event(obs::EventKind::kNsecSuppression, candidate,
                   dns::RRType::kDlv, "nsec", registry->endpoint_id());
       continue;
+    }
+
+    // No cached denial covers this candidate, so a DLV query is about to
+    // leave the resolver and the registry is about to observe it. Classify
+    // *why* the query escaped — the leak ledger pairs this event (emitted
+    // before the exchange, so it precedes the registry's observation in
+    // stream order) with the Case-1/Case-2 verdict the registry assigns.
+    if (tracer_ != nullptr) {
+      const char* cause = "cold-miss";
+      if (const std::uint64_t* deadline =
+              dlv_denial_deadline_.find(candidate)) {
+        // The resolver held a denial proof for this exact name before: if
+        // its TTL has lapsed this is ordinary expiry; if the deadline is
+        // still ahead, the proof can only have been evicted under pressure.
+        cause = *deadline <= network_->clock().now_us() ? "ttl-expiry"
+                                                        : "eviction";
+      } else if (cache_.nsec_count(apex) > 0) {
+        // Never proven before, but the zone's NSEC chain is warm — the
+        // cached spans simply do not cover this name.
+        cause = "nsec-gap";
+      }
+      trace_event(obs::EventKind::kLeakCause, candidate, dns::RRType::kDlv,
+                  cause, registry->endpoint_id());
     }
 
     const dns::Message query = dns::Message::make_query(
@@ -690,9 +716,12 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
     }
 
     // "No such name" (or NODATA): cache the denial, then keep stripping.
-    cache_.store_negative(candidate, dns::RRType::kDlv,
-                          soa_negative_ttl(authority),
+    const std::uint32_t denial_ttl = soa_negative_ttl(authority);
+    cache_.store_negative(candidate, dns::RRType::kDlv, denial_ttl,
                           response->header.rcode == dns::RCode::kNxDomain);
+    dlv_denial_deadline_.get_or_insert(candidate) =
+        network_->clock().now_us() +
+        static_cast<std::uint64_t>(denial_ttl) * 1'000'000ULL;
     if (dlv_keys != nullptr) {
       cache_validated_nsecs(authority, apex, *dlv_keys);
     }
@@ -737,9 +766,17 @@ ResolveResult RecursiveResolver::resolve(const Query& query) {
 
   std::uint64_t span_id = 0;
   std::uint64_t span_start_us = 0;
+  bool pushed_query_context = false;
   if (tracer_ != nullptr) {
     span_id = tracer_->begin_span();
     span_start_us = tracer_->now_us();
+    // Direct resolutions (no serve frontend) mint their own trace context
+    // from the span id, so every event still carries a usable query_id.
+    if (!tracer_->in_query()) {
+      tracer_->push_query(span_id, /*client=*/0);
+      pushed_query_context = true;
+    }
+    result.trace_span_id = span_id;
     trace_event(obs::EventKind::kStubQuery, qname, qtype, {});
   }
 
@@ -949,8 +986,11 @@ ResolveResult RecursiveResolver::resolve(const Query& query) {
   current_ = nullptr;
   // Cache maintenance runs strictly between resolutions: eviction destroys
   // boxed entries, and last_result_ holds copies, so nothing handed out
-  // during this resolution can dangle.
+  // during this resolution can dangle. The query context stays pushed so
+  // eviction events are attributed to the resolution whose tick they ran
+  // under, mirroring the serve frontend's still-open context.
   cache_.maintain();
+  if (pushed_query_context) tracer_->pop_query();
   return last_result_;
 }
 

@@ -79,6 +79,10 @@ struct ResolveResult {
   ValidationStatus status = ValidationStatus::kIndeterminate;
   bool from_cache = false;
   int upstream_exchanges = 0;   // counts every attempt, retries included
+  /// Trace span of this resolution (0 when tracing is off). The serve
+  /// frontend records it so coalesced waiters can join their lineage onto
+  /// the shared span.
+  std::uint64_t trace_span_id = 0;
 
   /// Everything the DLV look-aside path did for this resolution, grouped so
   /// callers read one sub-object instead of seven loose fields.
@@ -147,9 +151,13 @@ class RecursiveResolver : public sim::Endpoint {
 
   /// Attaches a structured tracer (nullable; null disables tracing). The
   /// resolver opens one span per resolution and emits stub_query,
-  /// cache_hit, nsec_suppression, dlv_lookup, validation and stub-facing
-  /// response events into it.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// cache_hit, nsec_suppression, dlv_lookup, leak_cause, validation and
+  /// stub-facing response events into it; the cache shares the tracer for
+  /// its eviction events.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    cache_.set_tracer(tracer);
+  }
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
  private:
@@ -263,6 +271,11 @@ class RecursiveResolver : public sim::Endpoint {
   ResolveResult last_result_;
   ResolveResult* current_ = nullptr;  // in-flight result for nested counting
   std::uint16_t next_id_ = 1;
+  // Leak-cause memo: DLV candidate name -> expiry deadline of the last
+  // denial proof (negative-cache or NSEC) known to cover it. At DLV send
+  // time this discriminates ttl-expiry (deadline passed) from eviction
+  // (deadline still in the future but the proof is gone).
+  dns::NameHashMap<std::uint64_t> dlv_denial_deadline_;
   // Lame/dead-server holddown: endpoint id -> virtual time the entry lapses.
   std::unordered_map<std::string, std::uint64_t> dead_until_us_;
 };

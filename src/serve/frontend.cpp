@@ -5,6 +5,7 @@
 
 #include "dlv/registry.h"
 #include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 
 namespace lookaside::serve {
 
@@ -121,6 +122,18 @@ Served FrontendServer::serve_decoded(const WireQuery& query,
     note_depth();
     served.coalesced = true;
     served.completion_us = entry.completion_us;
+    if (tracer_ != nullptr && entry.result.trace_span_id != 0) {
+      // Coalesce lineage: the shared (already closed) resolver span gains
+      // this waiter's frontend span as one more parent.
+      obs::Event join;
+      join.kind = obs::EventKind::kCoalesceJoin;
+      join.time_us = query.time_us;
+      join.span_id = entry.result.trace_span_id;
+      join.parent_span_id = tracer_->current_span();
+      join.name = served.qname.to_text();
+      join.qtype = served.qtype;
+      tracer_->emit(std::move(join));
+    }
     stats_.add("serve.coalesce.hits");
     if (metrics_ != nullptr) {
       metrics_->add("serve_coalesce", {{"result", "hit"}});
@@ -198,15 +211,62 @@ Served FrontendServer::submit(const WireQuery& query) {
   account(arrival.client).queries += 1;
 
   dns::Message message;
+  bool decoded = true;
   try {
     message = dns::decode_message(arrival.wire);
   } catch (const dns::WireFormatError&) {
-    return make_formerr(arrival);
+    decoded = false;
   }
-  if (message.questions.size() != 1 || message.header.qr) {
-    return make_formerr(arrival);
+  if (decoded && (message.questions.size() != 1 || message.header.qr)) {
+    decoded = false;
   }
-  return serve_decoded(arrival, message);
+
+  if (tracer_ == nullptr) {
+    return decoded ? serve_decoded(arrival, message) : make_formerr(arrival);
+  }
+
+  // Trace context for the whole intake..response window: every event the
+  // resolution emits downstream (resolver, cache, network bridge, DLV
+  // registry) inherits this query_id and client tag.
+  const std::uint64_t query_id = make_query_id(arrival.client, arrival.seq);
+  tracer_->push_query(query_id, arrival.client + 1);
+  const std::uint64_t frontend_span = tracer_->begin_span();
+  {
+    obs::Event intake;
+    intake.kind = obs::EventKind::kClientQuery;
+    intake.time_us = arrival.time_us;
+    intake.span_id = frontend_span;
+    if (decoded) {
+      intake.name = message.question().name.to_text();
+      intake.qtype = message.question().type;
+    }
+    intake.bytes = arrival.wire.size();
+    tracer_->emit(std::move(intake));
+  }
+
+  const Served served =
+      decoded ? serve_decoded(arrival, message) : make_formerr(arrival);
+
+  obs::Event done;
+  done.kind = obs::EventKind::kClientResponse;
+  done.time_us = served.completion_us;
+  done.span_id = frontend_span;
+  if (served.has_question) {
+    done.name = served.qname.to_text();
+    done.qtype = served.qtype;
+  }
+  done.rcode = served.rcode;
+  done.bytes = served.response_bytes;
+  done.latency_us = served.latency_us();
+  done.detail = served.overload_drop ? "overload"
+                : served.formerr     ? "formerr"
+                : served.coalesced   ? "coalesced"
+                : served.from_cache  ? "cache"
+                                     : "resolved";
+  tracer_->emit(std::move(done));
+  tracer_->end_span(frontend_span);
+  tracer_->pop_query();
+  return served;
 }
 
 std::vector<Served> FrontendServer::run(std::vector<WireQuery> arrivals) {

@@ -47,6 +47,7 @@ class DlvRegistry;
 }
 namespace lookaside::obs {
 class MetricsRegistry;
+class Tracer;
 }
 
 namespace lookaside::serve {
@@ -118,6 +119,20 @@ class FrontendServer : public sim::Endpoint {
   /// (the queue-depth gauge). Nullable.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches a structured tracer (nullable). The frontend then opens one
+  /// span per client query (client_query .. client_response), pushes the
+  /// trace context (query_id, client) so every downstream resolver / cache
+  /// / registry event carries it, and emits coalesce_join lineage events
+  /// when a query joins an in-flight resolution — N coalesced queries give
+  /// the shared resolver span N recorded parents.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Deterministic, client-recoverable trace id for one wire query.
+  [[nodiscard]] static std::uint64_t make_query_id(std::uint32_t client,
+                                                   std::uint32_t seq) {
+    return ((static_cast<std::uint64_t>(client) + 1) << 32) | seq;
+  }
+
   /// Serves one query. Arrivals must be submitted in nondecreasing
   /// (time, client, seq) order — run() sorts for you.
   Served submit(const WireQuery& query);
@@ -179,6 +194,7 @@ class FrontendServer : public sim::Endpoint {
   FrontendOptions options_;
   const dlv::DlvRegistry* registry_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::unordered_map<Key, InFlight, KeyHash> inflight_;
   std::size_t depth_ = 0;      // outstanding client queries across entries
   std::size_t max_depth_ = 0;

@@ -55,6 +55,7 @@ ServeScenario::ServeScenario(ScenarioOptions options)
     options_.tracer->attach_network(network_);
     world_->set_tracer(options_.tracer);
     resolver_->set_tracer(options_.tracer);
+    frontend_->set_tracer(options_.tracer);
   }
 }
 

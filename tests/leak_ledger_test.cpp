@@ -1,0 +1,155 @@
+// LeakLedger tests: cause attribution for every way a Case-2 query can
+// escape the resolver's negative cache (cold-miss, ttl-expiry, eviction,
+// nsec-gap), the ledger==registry identity, chain completeness against the
+// reconstructed span timeline, and the shard-merge determinism the bench
+// drivers rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "core/experiment.h"
+#include "obs/leak_ledger.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_timeline.h"
+#include "obs/tracer.h"
+
+namespace lookaside {
+namespace {
+
+/// A traced top-N experiment with a ledger and a timeline listening.
+struct TracedRun {
+  obs::Tracer tracer;
+  std::shared_ptr<obs::LeakLedger> ledger;
+  std::shared_ptr<obs::TimelineSink> timeline;
+  std::unique_ptr<core::UniverseExperiment> experiment;
+
+  explicit TracedRun(std::uint64_t cap_bytes = 0)
+      : ledger(std::make_shared<obs::LeakLedger>()),
+        timeline(std::make_shared<obs::TimelineSink>()) {
+    tracer.add_sink(ledger);
+    tracer.add_sink(timeline);
+    core::UniverseExperiment::Options options;
+    options.universe_size = 5'000;
+    options.resolver_config.max_cache_bytes = cap_bytes;
+    options.ns_fetch_probability = 0.0;
+    options.tracer = &tracer;
+    experiment = std::make_unique<core::UniverseExperiment>(options);
+  }
+
+  void visit_top(std::uint64_t n) {
+    for (std::uint64_t rank = 1; rank <= n; ++rank) {
+      (void)experiment->stub().visit(
+          experiment->world().universe().domain_at(rank));
+    }
+  }
+};
+
+TEST(LeakLedgerTest, LedgerEqualsRegistryAndEveryRecordHasACause) {
+  TracedRun run;
+  run.visit_top(40);
+
+  const core::LeakageReport report = run.experiment->analyzer().report();
+  EXPECT_GT(report.case2_queries, 0u);
+  EXPECT_EQ(run.ledger->case2_total(), report.case2_queries);
+
+  const std::set<std::string> known = {"cold-miss", "ttl-expiry", "eviction",
+                                       "nsec-gap"};
+  std::uint64_t cause_sum = 0;
+  for (const auto& [cause, count] : run.ledger->cause_totals()) {
+    EXPECT_TRUE(known.count(cause) == 1) << "unknown cause " << cause;
+    cause_sum += count;
+  }
+  EXPECT_EQ(cause_sum, run.ledger->case2_total());
+  for (const obs::LeakRecord& record : run.ledger->records()) {
+    EXPECT_NE(record.query_id, 0u);
+    EXPECT_FALSE(record.domain.empty());
+    EXPECT_EQ(record.vantage.rfind("dlv:", 0), 0u) << record.vantage;
+  }
+}
+
+TEST(LeakLedgerTest, FirstContactIsColdMissLaterGapsAreNsecGaps) {
+  TracedRun run;
+  run.visit_top(10);
+  ASSERT_FALSE(run.ledger->records().empty());
+  // The very first Case-2 query hits an empty NSEC cache; once the apex
+  // has any cached chain, an uncovered name is a gap, not a cold miss.
+  EXPECT_EQ(run.ledger->records().front().cause, "cold-miss");
+  const auto& causes = run.ledger->cause_totals();
+  EXPECT_EQ(causes.at("cold-miss"), 1u);
+  ASSERT_TRUE(causes.count("nsec-gap") == 1);
+  EXPECT_GT(causes.at("nsec-gap"), 0u);
+}
+
+TEST(LeakLedgerTest, ExpiredDenialProofIsTaggedTtlExpiry) {
+  TracedRun run;
+  run.visit_top(5);
+  const std::uint64_t before = run.ledger->case2_total();
+  EXPECT_GT(before, 0u);
+  ASSERT_EQ(run.ledger->cause_totals().count("ttl-expiry"), 0u);
+
+  // Let every cached denial proof (3600 s registry TTL) age out, then
+  // rebrowse: each re-leak must be attributed to the expiry, not to a gap.
+  run.experiment->clock().advance_seconds(4'000);
+  run.visit_top(5);
+  EXPECT_GT(run.ledger->case2_total(), before);
+  ASSERT_EQ(run.ledger->cause_totals().count("ttl-expiry"), 1u);
+  EXPECT_GT(run.ledger->cause_totals().at("ttl-expiry"), 0u);
+}
+
+TEST(LeakLedgerTest, EvictedDenialProofIsTaggedEviction) {
+  // A starved byte cap churns NSEC proofs out while their TTLs are still
+  // live; the re-leak is the eviction's fault and must say so.
+  TracedRun run(/*cap_bytes=*/8 * 1024);
+  run.visit_top(60);
+  run.visit_top(60);
+  ASSERT_EQ(run.ledger->cause_totals().count("eviction"), 1u);
+  EXPECT_GT(run.ledger->cause_totals().at("eviction"), 0u);
+}
+
+TEST(LeakLedgerTest, EveryRecordChainsToACompleteSpan) {
+  TracedRun run;
+  run.visit_top(25);
+  EXPECT_GT(run.ledger->case2_total(), 0u);
+  EXPECT_EQ(obs::broken_leak_chains(run.timeline->timeline(),
+                                    run.ledger->records()),
+            0u);
+}
+
+TEST(LeakLedgerTest, ShardMergeMatchesSequentialLedger) {
+  // Two shards merged in index order must equal one ledger that saw both
+  // event streams back to back — the cross-jobs determinism contract.
+  TracedRun shard_a;
+  shard_a.visit_top(12);
+  TracedRun shard_b;
+  shard_b.visit_top(12);
+
+  obs::LeakLedger merged;
+  merged.merge_from(*shard_a.ledger);
+  merged.merge_from(*shard_b.ledger);
+  EXPECT_EQ(merged.case2_total(),
+            shard_a.ledger->case2_total() + shard_b.ledger->case2_total());
+  EXPECT_EQ(merged.case1_total(),
+            shard_a.ledger->case1_total() + shard_b.ledger->case1_total());
+
+  std::ostringstream merged_jsonl;
+  merged.write_jsonl(merged_jsonl);
+  std::ostringstream sequential;
+  shard_a.ledger->write_jsonl(sequential);
+  shard_b.ledger->write_jsonl(sequential);
+  EXPECT_EQ(merged_jsonl.str(), sequential.str());
+
+  obs::MetricsRegistry registry;
+  merged.export_to(registry);
+  std::uint64_t exported_case2 = 0;
+  for (const auto& [cause, count] : merged.cause_totals()) {
+    exported_case2 +=
+        static_cast<std::uint64_t>(registry.value("ledger_case2",
+                                                  {{"cause", cause}}));
+  }
+  EXPECT_EQ(exported_case2, merged.case2_total());
+}
+
+}  // namespace
+}  // namespace lookaside

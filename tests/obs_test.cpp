@@ -40,6 +40,9 @@ TEST(EventTest, JsonlGolden) {
   Event event;
   event.time_us = 42;
   event.span_id = 7;
+  event.parent_span_id = 6;
+  event.query_id = (5ULL << 32) | 9;
+  event.client = 5;
   event.kind = EventKind::kUpstreamQuery;
   event.name = "example.com.";
   event.server = "tld:com";
@@ -49,7 +52,8 @@ TEST(EventTest, JsonlGolden) {
   event.latency_us = 80000;
   event.detail = "x";
   EXPECT_EQ(to_jsonl(event),
-            "{\"time_us\":42,\"span\":7,\"kind\":\"upstream_query\","
+            "{\"time_us\":42,\"span\":7,\"parent\":6,\"query\":21474836489,"
+            "\"client\":5,\"kind\":\"upstream_query\","
             "\"name\":\"example.com.\",\"server\":\"tld:com\",\"qtype\":32769,"
             "\"rcode\":3,\"bytes\":53,\"latency_us\":80000,\"detail\":\"x\"}");
 }
@@ -177,6 +181,45 @@ TEST(TracerTest, SpansNestLikeAStack) {
   EXPECT_EQ(tracer.current_span(), outer);
   tracer.end_span(outer);
   EXPECT_EQ(tracer.current_span(), 0u);
+}
+
+TEST(TracerTest, StampsParentSpanAndQueryContext) {
+  Tracer tracer;
+  auto ring = std::make_shared<RingBufferSink>(8);
+  tracer.add_sink(ring);
+
+  tracer.push_query(/*query_id=*/0x42, /*client=*/3);
+  EXPECT_TRUE(tracer.in_query());
+  EXPECT_EQ(tracer.current_query_id(), 0x42u);
+  const std::uint64_t outer = tracer.begin_span();
+  const std::uint64_t inner = tracer.begin_span();
+  tracer.emit(Event{});  // all-zero context: stamped from the stacks
+  tracer.end_span(inner);
+  tracer.end_span(outer);
+  tracer.pop_query();
+  EXPECT_FALSE(tracer.in_query());
+  tracer.emit(Event{});  // outside any query: untagged
+
+  const std::vector<Event> events = ring->events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].span_id, inner);
+  EXPECT_EQ(events[0].parent_span_id, outer);
+  EXPECT_EQ(events[0].query_id, 0x42u);
+  EXPECT_EQ(events[0].client, 3u);
+  EXPECT_EQ(events[1].parent_span_id, 0u);
+  EXPECT_EQ(events[1].query_id, 0u);
+  EXPECT_EQ(events[1].client, 0u);
+}
+
+TEST(JsonlFileSinkTest, WriteFailuresAreCountedAsDropped) {
+  // Events emitted after the stream dies must be accounted, not silently
+  // lost: ObsSession surfaces this as obs_trace_dropped{sink="jsonl"}.
+  JsonlFileSink sink("/nonexistent-dir/trace.jsonl");
+  EXPECT_FALSE(sink.ok());
+  sink.on_event(Event{});
+  sink.on_event(Event{});
+  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_EQ(sink.events_written(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -307,6 +350,48 @@ TEST(TraceReaderTest, CountsMalformedLines) {
   const std::vector<Event> events = read_jsonl_events(in, &malformed);
   EXPECT_EQ(events.size(), 2u);
   EXPECT_EQ(malformed, 2u);
+}
+
+TEST(TraceReaderTest, TruncatedTrailingRecordIsSkippedAndCounted) {
+  // A crashed or killed writer leaves the file's last record cut mid-JSON
+  // with no trailing newline. The reader must keep every complete record,
+  // count the fragment as malformed, and flag the truncation.
+  const std::string full = to_jsonl(numbered_event(1)) + "\n" +
+                           to_jsonl(numbered_event(2)) + "\n";
+  const std::string tail = to_jsonl(numbered_event(3));
+  std::istringstream in(full + tail.substr(0, tail.size() / 2));
+
+  TraceReadStats stats;
+  const std::vector<Event> events = read_jsonl_events(in, &stats);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_TRUE(stats.truncated_tail);
+}
+
+TEST(TraceReaderTest, CompleteFinalLineWithoutNewlineIsNotTruncation) {
+  // A final record that parses is fine even if the newline is missing —
+  // truncation means the *record* is cut, not the file.
+  std::istringstream in(to_jsonl(numbered_event(1)) + "\n" +
+                        to_jsonl(numbered_event(2)));
+  TraceReadStats stats;
+  const std::vector<Event> events = read_jsonl_events(in, &stats);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_FALSE(stats.truncated_tail);
+}
+
+TEST(TraceReaderTest, TraceContextFieldsRoundTrip) {
+  Event original = numbered_event(7);
+  original.span_id = 40;
+  original.parent_span_id = 39;
+  original.query_id = (5ULL << 32) | 11;
+  original.client = 5;
+  Event parsed;
+  ASSERT_TRUE(parse_jsonl_event(to_jsonl(original), &parsed));
+  EXPECT_EQ(parsed.parent_span_id, original.parent_span_id);
+  EXPECT_EQ(parsed.query_id, original.query_id);
+  EXPECT_EQ(parsed.client, original.client);
 }
 
 // ---------------------------------------------------------------------------

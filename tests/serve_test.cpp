@@ -5,10 +5,15 @@
 // coalescing frontend and the sequential reference model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
+#include <sstream>
 
 #include "dlv/registry.h"
+#include "obs/leak_ledger.h"
+#include "obs/span_timeline.h"
+#include "obs/tracer.h"
 #include "resolver/resolver.h"
 #include "serve/frontend.h"
 #include "serve/scenario.h"
@@ -269,6 +274,104 @@ TEST(ServeTest, BoundedSharedCacheStaysUnderCapAcrossClients) {
   const resolver::ResolverCache& cache = fixture.resolver_->cache();
   EXPECT_LE(cache.bytes(), config.max_cache_bytes);
   EXPECT_GT(cache.peak_bytes(), 0u);
+}
+
+TEST(ServeTraceTest, CoalescedResolutionRecordsEveryWaiterAsParent) {
+  // N identical concurrent queries -> one resolver span whose recorded
+  // parentage names all N frontend spans: the initiator via the stub_query
+  // parent stamp, each waiter via its coalesce_join event.
+  ServeFixture fixture;
+  obs::Tracer tracer;
+  tracer.attach_clock(fixture.clock_);
+  tracer.attach_network(fixture.network_);
+  auto timeline = std::make_shared<obs::TimelineSink>();
+  tracer.add_sink(timeline);
+  fixture.resolver_->set_tracer(&tracer);
+  fixture.frontend_->set_tracer(&tracer);
+  fixture.registry_.set_tracer(&tracer);
+
+  const Served first = fixture.submit(0, 0, "island.com");
+  ASSERT_FALSE(first.coalesced);
+  const Served second = fixture.submit(2'000, 1, "island.com");
+  const Served third = fixture.submit(4'000, 2, "island.com");
+  ASSERT_TRUE(second.coalesced);
+  ASSERT_TRUE(third.coalesced);
+
+  ASSERT_EQ(timeline->timeline().spans().size(), 1u);
+  const obs::ResolutionSpan& span = timeline->timeline().spans().front();
+  ASSERT_EQ(timeline->timeline().client_spans().size(), 3u);
+  ASSERT_EQ(span.parent_span_ids.size(), 3u);
+  for (const obs::ClientQuerySpan& client : timeline->timeline().client_spans()) {
+    EXPECT_TRUE(client.closed);
+    EXPECT_EQ(client.resolver_span_id, span.span_id);
+    EXPECT_EQ(std::count(span.parent_span_ids.begin(),
+                         span.parent_span_ids.end(), client.span_id),
+              1);
+  }
+  // Trace context survives the whole chain: the span carries the
+  // initiator's query_id and the 1-based client tag.
+  EXPECT_EQ(span.query_id, serve::FrontendServer::make_query_id(0, 0));
+  EXPECT_EQ(span.client, 1u);
+}
+
+TEST(ServeTraceTest, LedgerAgreesWithScenarioCase2Accounting) {
+  obs::Tracer tracer;
+  auto ledger = std::make_shared<obs::LeakLedger>();
+  auto timeline = std::make_shared<obs::TimelineSink>();
+  tracer.add_sink(ledger);
+  tracer.add_sink(timeline);
+
+  ScenarioOptions options = small_scenario();
+  options.tracer = &tracer;
+  const ScenarioSummary summary = ServeScenario(std::move(options)).run();
+
+  EXPECT_GT(summary.case2_total, 0u);
+  EXPECT_EQ(ledger->case2_total(), summary.case2_total);
+  // Every ledger record chains query -> frontend span -> resolver span ->
+  // a hop that actually reached the DLV registry vantage it names.
+  EXPECT_EQ(obs::broken_leak_chains(timeline->timeline(), ledger->records()),
+            0u);
+  // Per-client attribution agrees record-by-record with the frontend's
+  // own accounting (records carry 1-based client tags).
+  std::vector<std::uint64_t> per_client(summary.case2_per_client.size(), 0);
+  for (const obs::LeakRecord& record : ledger->records()) {
+    ASSERT_GT(record.client, 0u);
+    ASSERT_LE(record.client, per_client.size());
+    per_client[record.client - 1] += 1;
+  }
+  EXPECT_EQ(per_client, summary.case2_per_client);
+}
+
+TEST(ServeTraceTest, ProfilesAndLedgerAreRunToRunIdentical) {
+  // The per-query profile and ledger JSONL must be pure functions of the
+  // schedule — byte-identical across independent runs (the cross---jobs
+  // byte-identity in the bench drivers reduces to exactly this plus
+  // in-order shard merging).
+  const auto capture = [] {
+    obs::Tracer tracer;
+    auto ledger = std::make_shared<obs::LeakLedger>();
+    auto timeline = std::make_shared<obs::TimelineSink>();
+    tracer.add_sink(ledger);
+    tracer.add_sink(timeline);
+    ScenarioOptions options = small_scenario();
+    options.tracer = &tracer;
+    (void)ServeScenario(std::move(options)).run();
+
+    std::string blob;
+    for (const obs::QueryProfile& profile :
+         timeline->timeline().query_profiles()) {
+      blob += obs::profile_jsonl(profile);
+      blob += "\n";
+    }
+    std::ostringstream records;
+    ledger->write_jsonl(records);
+    blob += records.str();
+    return blob;
+  };
+  const std::string first = capture();
+  const std::string second = capture();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 TEST(ServeScenarioTest, RunsAreDeterministic) {
