@@ -111,7 +111,7 @@ std::string cap_label(std::uint64_t cap_bytes) {
 int main(int argc, char** argv) {
   using namespace lookaside;
 
-  const bench::ArgParser args(argc, argv);
+  const bench::ArgParser args(argc, argv, {"top", "rounds"});
   const bool smoke = args.smoke();
   const std::string out_path = args.out("BENCH_cache.json");
 

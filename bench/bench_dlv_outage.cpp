@@ -94,7 +94,7 @@ CellResult run_cell(std::uint64_t n, double loss,
 int main(int argc, char** argv) {
   using namespace lookaside;
 
-  const bench::ArgParser args(argc, argv);
+  const bench::ArgParser args(argc, argv, {"must-be-secure"});
   const bool smoke = args.smoke();
   const bool must_be_secure = args.flag("must-be-secure");
 

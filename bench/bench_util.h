@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -122,14 +123,20 @@ inline ObsArgs parse_obs_args(int argc, char** argv) {
 /// The one flag parser every driver shares. Wraps the observability flags
 /// (parse_obs_args) and --jobs (engine::parse_jobs) that used to be parsed
 /// in per-driver copies, plus the common booleans (--smoke, --quick) and
-/// --out=PATH; driver-specific extras go through flag()/value() so no
-/// driver grows its own argv loop again. Unknown arguments are ignored.
+/// --out=PATH; driver-specific extras are declared at construction and read
+/// through flag()/value() so no driver grows its own argv loop again. An
+/// undeclared `--flag` is a usage error: it prints the accepted set to
+/// stderr and exits 2 instead of being silently ignored (a typo like
+/// --smokee must not quietly run the full-size sweep).
 class ArgParser {
  public:
-  ArgParser(int argc, char** argv)
+  ArgParser(int argc, char** argv,
+            std::initializer_list<std::string_view> extra_flags = {})
       : args_(argv + 1, argv + argc),
         obs_(parse_obs_args(argc, argv)),
-        jobs_(engine::parse_jobs(argc, argv)) {}
+        jobs_(engine::parse_jobs(argc, argv)) {
+    reject_unknown(extra_flags);
+  }
 
   [[nodiscard]] const ObsArgs& obs() const { return obs_; }
   [[nodiscard]] unsigned jobs() const { return jobs_; }
@@ -175,6 +182,41 @@ class ArgParser {
   }
 
  private:
+  /// Exits 2 on any `--flag` outside the builtin + declared sets. The
+  /// two-token `--jobs N` form consumes its value token.
+  void reject_unknown(std::initializer_list<std::string_view> extra) const {
+    static constexpr std::string_view kBuiltin[] = {
+        "smoke",      "quick",       "out",        "jobs",
+        "trace-out",  "metrics-out", "ledger-out", "profile-out",
+        "ring-buffer", "summary"};
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string& arg = args_[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      std::string_view name = std::string_view(arg).substr(2);
+      if (const auto eq = name.find('='); eq != std::string_view::npos) {
+        name = name.substr(0, eq);
+      }
+      if (arg == "--jobs") ++i;  // skip the separate value token
+      bool known = false;
+      for (const std::string_view builtin : kBuiltin) {
+        known = known || builtin == name;
+      }
+      for (const std::string_view declared : extra) {
+        known = known || declared == name;
+      }
+      if (known) continue;
+      std::cerr << "error: unknown flag '--" << name
+                << "'; accepted: --smoke --quick --out=PATH --jobs=N "
+                   "--trace-out=PATH --metrics-out=PATH --ledger-out=PATH "
+                   "--profile-out=PATH --ring-buffer[=N] --summary";
+      for (const std::string_view declared : extra) {
+        std::cerr << " --" << declared;
+      }
+      std::cerr << "\n";
+      std::exit(2);
+    }
+  }
+
   /// True when `--<name>=...` appeared at all (even with an empty value),
   /// so numeric() can distinguish "absent" from "present but empty" — the
   /// latter is a user error that must not silently become the fallback.

@@ -17,6 +17,10 @@
 //                            every leak/ledger/coalesce count is exact —
 //                            a drifting Case-2 count is a correctness bug,
 //                            never noise.
+//   bench_cache_churn/*      pure virtual-time: every count including the
+//                            per-cause Case-2 ledger breakdown is exact.
+//   lookaside.bench_nsec3.*  pure virtual-time: CPU bills, shed counts and
+//                            cause breakdowns are exact.
 //   anything else            every shared numeric must match exactly.
 //
 // Per-path overrides: trailing `path=TOL` args (relative band in either
@@ -188,6 +192,19 @@ Rule schema_rule(const std::string& schema, const std::string& path) {
     }
     if (name == "coalesce_rate") return {Direction::kHigherBetter, 0.15};
     return {Direction::kExact, 0.0};  // every count and contract flag
+  }
+  if (schema.rfind("bench_cache_churn", 0) == 0) {
+    // Pure virtual-time bench: every number — Case-2 counts, the per-cause
+    // ledger breakdown (cold-miss/ttl-expiry/eviction/nsec-gap), cache
+    // footprints, virtual seconds — is a deterministic function of the
+    // workload. Any drift is a behavior change, so everything is exact.
+    return {Direction::kExact, 0.0};
+  }
+  if (schema.rfind("lookaside.bench_nsec3", 0) == 0) {
+    // Same determinism contract as the cache bench: validation-CPU bills,
+    // shed counts, per-cause Case-2 breakdowns and latency quantiles all
+    // come off the virtual clock and must reproduce exactly.
+    return {Direction::kExact, 0.0};
   }
   return {Direction::kExact, 0.0};
 }

@@ -33,7 +33,15 @@ zone::Zone make_empty_zone(const DlvRegistry::Options& options) {
 DlvRegistry::DlvRegistry(Options options) : options_(std::move(options)) {
   crypto::SplitMix64 rng(options_.seed);
   keys_ = zone::ZoneKeys::generate(options_.key_bits, rng);
+  rebuild_zone();
+}
+
+void DlvRegistry::rebuild_zone() {
   zone_ = std::make_shared<zone::SignedZone>(make_empty_zone(options_), *keys_);
+  if (options_.nsec3_enabled) {
+    zone_->enable_nsec3(
+        zone::Nsec3Params{options_.nsec3_iterations, options_.nsec3_salt});
+  }
   authority_ = std::make_unique<server::ZoneAuthority>(endpoint_id(), zone_);
 }
 
@@ -68,8 +76,8 @@ bool DlvRegistry::has_record(const dns::Name& domain) const {
 }
 
 void DlvRegistry::remove_all_records() {
-  zone_ = std::make_shared<zone::SignedZone>(make_empty_zone(options_), *keys_);
-  authority_ = std::make_unique<server::ZoneAuthority>(endpoint_id(), zone_);
+  // Rebuilding keeps the signing keys (and NSEC3 mode) of the original zone.
+  rebuild_zone();
   record_count_ = 0;
 }
 

@@ -57,6 +57,12 @@ class DlvRegistry : public sim::Endpoint {
     std::uint32_t negative_ttl = 3600;
     /// §6.2.2: register and serve crypto_hash(domain) instead of the name.
     bool hashed_registration = false;
+    /// RFC 5155: serve NSEC3 hashed denial instead of plain NSEC. The
+    /// iteration count is the attacker-relevant CPU knob (RFC 9276 wants 0;
+    /// historical zones shipped hundreds).
+    bool nsec3_enabled = false;
+    std::uint16_t nsec3_iterations = 0;
+    crypto::Bytes nsec3_salt;
   };
 
   explicit DlvRegistry(Options options);
@@ -125,6 +131,8 @@ class DlvRegistry : public sim::Endpoint {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  void rebuild_zone();
+
   Options options_;
   std::optional<zone::ZoneKeys> keys_;  // survives remove_all_records()
   std::shared_ptr<zone::SignedZone> zone_;

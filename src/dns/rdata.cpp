@@ -105,6 +105,9 @@ RRType rdata_type(const Rdata& rdata) {
         else if constexpr (std::is_same_v<T, DsRdata>) return RRType::kDs;
         else if constexpr (std::is_same_v<T, RrsigRdata>) return RRType::kRrsig;
         else if constexpr (std::is_same_v<T, NsecRdata>) return RRType::kNsec;
+        else if constexpr (std::is_same_v<T, Nsec3Rdata>) return RRType::kNsec3;
+        else if constexpr (std::is_same_v<T, Nsec3ParamRdata>)
+          return RRType::kNsec3Param;
         else return RRType::kOpt;
       },
       rdata);
@@ -165,6 +168,27 @@ void encode_rdata(const Rdata& rdata, ByteWriter& writer) {
         } else if constexpr (std::is_same_v<T, NsecRdata>) {
           encode_name(value.next, writer);
           encode_type_bitmap(value.types, writer);
+        } else if constexpr (std::is_same_v<T, Nsec3Rdata>) {
+          if (value.salt.size() > 255)
+            throw WireFormatError("NSEC3 salt too long");
+          if (value.next_hashed.size() > 255)
+            throw WireFormatError("NSEC3 hash too long");
+          writer.u8(value.hash_algorithm);
+          writer.u8(value.flags);
+          writer.u16(value.iterations);
+          writer.u8(static_cast<std::uint8_t>(value.salt.size()));
+          writer.raw(value.salt);
+          writer.u8(static_cast<std::uint8_t>(value.next_hashed.size()));
+          writer.raw(value.next_hashed);
+          encode_type_bitmap(value.types, writer);
+        } else if constexpr (std::is_same_v<T, Nsec3ParamRdata>) {
+          if (value.salt.size() > 255)
+            throw WireFormatError("NSEC3PARAM salt too long");
+          writer.u8(value.hash_algorithm);
+          writer.u8(value.flags);
+          writer.u16(value.iterations);
+          writer.u8(static_cast<std::uint8_t>(value.salt.size()));
+          writer.raw(value.salt);
         } else if constexpr (std::is_same_v<T, OptRdata>) {
           // OPT carries its fields in CLASS/TTL; RDATA itself is empty here.
         }
@@ -278,6 +302,24 @@ Rdata decode_rdata(RRType type, std::size_t rdlength, ByteReader& reader) {
       NsecRdata out;
       out.next = decode_uncompressed_name(reader);
       out.types = decode_type_bitmap(reader, end);
+      return check_consumed(out);
+    }
+    case RRType::kNsec3: {
+      Nsec3Rdata out;
+      out.hash_algorithm = reader.u8();
+      out.flags = reader.u8();
+      out.iterations = reader.u16();
+      out.salt = reader.raw(reader.u8());
+      out.next_hashed = reader.raw(reader.u8());
+      out.types = decode_type_bitmap(reader, end);
+      return check_consumed(out);
+    }
+    case RRType::kNsec3Param: {
+      Nsec3ParamRdata out;
+      out.hash_algorithm = reader.u8();
+      out.flags = reader.u8();
+      out.iterations = reader.u16();
+      out.salt = reader.raw(reader.u8());
       return check_consumed(out);
     }
     case RRType::kOpt: {

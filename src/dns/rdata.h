@@ -134,6 +134,33 @@ struct NsecRdata {
   friend bool operator==(const NsecRdata&, const NsecRdata&) = default;
 };
 
+/// Hashed authenticated denial of existence (RFC 5155 §3). The owner name of
+/// an NSEC3 record is the base32hex hash of the original owner; `next_hashed`
+/// closes the hashed chain and `types` lists types present at the original
+/// owner. Hash algorithm 1 is SHA-1 — the only value IANA ever registered.
+struct Nsec3Rdata {
+  std::uint8_t hash_algorithm = 1;  // SHA-1
+  std::uint8_t flags = 0;           // opt-out unsupported in the simulator
+  std::uint16_t iterations = 0;
+  Bytes salt;
+  Bytes next_hashed;  // raw 20-byte digest, not base32hex
+  std::vector<RRType> types;
+
+  friend bool operator==(const Nsec3Rdata&, const Nsec3Rdata&) = default;
+};
+
+/// NSEC3 parameters advertised at the zone apex (RFC 5155 §4); validators use
+/// it to learn the salt/iteration knobs before hashing query names.
+struct Nsec3ParamRdata {
+  std::uint8_t hash_algorithm = 1;
+  std::uint8_t flags = 0;
+  std::uint16_t iterations = 0;
+  Bytes salt;
+
+  friend bool operator==(const Nsec3ParamRdata&, const Nsec3ParamRdata&) =
+      default;
+};
+
 /// EDNS0 OPT pseudo-record payload; we only model the DO bit and UDP size,
 /// which is what the byte accounting needs.
 struct OptRdata {
@@ -146,7 +173,8 @@ struct OptRdata {
 /// Closed sum of every supported RDATA.
 using Rdata = std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, PtrRdata,
                            MxRdata, SoaRdata, TxtRdata, DnskeyRdata, DsRdata,
-                           RrsigRdata, NsecRdata, OptRdata>;
+                           RrsigRdata, NsecRdata, Nsec3Rdata, Nsec3ParamRdata,
+                           OptRdata>;
 
 /// The RR type a given payload belongs with. DS-shaped payloads default to
 /// kDs; records module overrides to kDlv where needed.

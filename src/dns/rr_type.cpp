@@ -17,6 +17,8 @@ std::string rr_type_name(RRType type) {
     case RRType::kRrsig: return "RRSIG";
     case RRType::kNsec: return "NSEC";
     case RRType::kDnskey: return "DNSKEY";
+    case RRType::kNsec3: return "NSEC3";
+    case RRType::kNsec3Param: return "NSEC3PARAM";
     case RRType::kDlv: return "DLV";
   }
   return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));

@@ -22,6 +22,8 @@ enum class RRType : std::uint16_t {
   kRrsig = 46,
   kNsec = 47,
   kDnskey = 48,
+  kNsec3 = 50,
+  kNsec3Param = 51,
   kDlv = 32769,
 };
 

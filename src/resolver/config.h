@@ -136,6 +136,25 @@ struct ResolverConfig {
   /// degrading to insecure (§8.4's strict-policy column).
   bool dlv_must_be_secure = false;
 
+  // -- NSEC3 validation policy (RFC 5155 / RFC 9276, DESIGN.md §4h) ---------
+
+  /// RFC 9276 §3.2 iteration limit. NSEC3 proofs whose iteration count
+  /// exceeds the cap are not hashed at all: the zone is treated as insecure
+  /// (default, matching BIND/Unbound since 2021) or answered SERVFAIL when
+  /// `nsec3_strict` is set. 0 means no cap — the pre-RFC-9276 behavior the
+  /// exhaustion attack needs.
+  std::uint16_t nsec3_iteration_cap = 0;
+
+  /// Over-cap proofs fail hard (SERVFAIL) instead of downgrading the zone
+  /// to insecure.
+  bool nsec3_strict = false;
+
+  /// Modeled validator CPU cost per SHA-1 invocation while verifying NSEC3
+  /// proofs, charged to the virtual clock (so attacker-inflated iteration
+  /// counts surface as real latency and queue pressure downstream). The
+  /// default approximates one SHA-1 compression on commodity hardware.
+  std::uint64_t nsec3_hash_cost_ns = 1000;
+
   // -- Cache lifecycle (DESIGN.md §4f) --------------------------------------
 
   /// Approximate cache byte cap (BIND `max-cache-size` / the sum of

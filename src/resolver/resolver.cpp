@@ -496,10 +496,60 @@ void RecursiveResolver::cache_validated_nsecs(const GroupedSection& section,
   }
 }
 
+void RecursiveResolver::charge_nsec3_cost(std::uint64_t hash_ops) {
+  const std::uint64_t cost_us = hash_ops * config_.nsec3_hash_cost_ns / 1000;
+  if (cost_us > 0) network_->clock().advance_us(cost_us);
+  stats_.add("nsec3.hash_ops", hash_ops);
+  if (current_ != nullptr) current_->validation_cost_us += cost_us;
+}
+
+RecursiveResolver::Nsec3Policy RecursiveResolver::handle_nsec3_denial(
+    const GroupedSection& authority, const dns::Name& qname,
+    const dns::Name& zone_apex, const dns::RRset* keys) {
+  const dns::Nsec3Rdata* nsec3 = Validator::first_nsec3(authority);
+  if (nsec3 == nullptr) return Nsec3Policy::kNone;
+  nsec3_apexes_.get_or_insert(zone_apex) = true;
+  stats_.add("nsec3.denials");
+
+  // RFC 9276 §3: the iteration cap is enforced before any hashing, so an
+  // attacker-inflated count cannot bill the validator's CPU.
+  if (config_.nsec3_iteration_cap > 0 &&
+      nsec3->iterations > config_.nsec3_iteration_cap) {
+    stats_.add("nsec3.over_cap");
+    if (config_.nsec3_strict) {
+      stats_.add("nsec3.over_cap.servfail");
+      trace_event(obs::EventKind::kValidation, qname, dns::RRType::kNsec3,
+                  "nsec3-over-cap-servfail");
+      return Nsec3Policy::kRejected;
+    }
+    // Downgrade-to-insecure: accept the denial without verifying it, the
+    // post-2021 BIND/Unbound behavior.
+    stats_.add("nsec3.over_cap.insecure");
+    trace_event(obs::EventKind::kValidation, qname, dns::RRType::kNsec3,
+                "nsec3-over-cap-insecure");
+    return Nsec3Policy::kDowngraded;
+  }
+
+  if (keys == nullptr) {
+    // No validated keys for the zone: the denial cannot be proven, but the
+    // hashing bill was never run either. Treat like the plain-NSEC case of
+    // an unvalidated zone.
+    return Nsec3Policy::kDowngraded;
+  }
+  const Nsec3Check check =
+      validator_.check_nsec3_denial(authority, qname, zone_apex, *keys);
+  charge_nsec3_cost(check.hash_ops);
+  if (!check.proven) {
+    stats_.add("nsec3.unproven");
+    return Nsec3Policy::kRejected;
+  }
+  stats_.add("nsec3.proven");
+  return Nsec3Policy::kAccepted;
+}
+
 ValidationStatus RecursiveResolver::validate_response(const Fetched& fetched,
                                                       const dns::Name& qname,
                                                       int depth) {
-  (void)qname;
   if (fetched.from_cache) {
     return fetched.cached_validated ? ValidationStatus::kSecure
                                     : ValidationStatus::kInsecure;
@@ -516,7 +566,7 @@ ValidationStatus RecursiveResolver::validate_response(const Fetched& fetched,
     }
     cache_.mark_validated(rrset.name(), rrset.type());
   }
-  // Negative responses: verify the denial (SOA + NSEC) and feed the
+  // Negative responses: verify the denial (SOA + NSEC/NSEC3) and feed the
   // aggressive cache.
   if (fetched.kind == Fetched::Kind::kNxDomain ||
       fetched.kind == Fetched::Kind::kNoData) {
@@ -529,6 +579,18 @@ ValidationStatus RecursiveResolver::validate_response(const Fetched& fetched,
                                   zone_keys) != SigCheck::kValid) {
         return ValidationStatus::kBogus;
       }
+    }
+    // NSEC3 proofs carry their own signature checks plus the iterated-hash
+    // verification (and its modeled CPU bill) behind the RFC 9276 cap.
+    switch (handle_nsec3_denial(fetched.authority, qname, fetched.auth_zone,
+                                &zone_keys)) {
+      case Nsec3Policy::kRejected:
+        return ValidationStatus::kBogus;
+      case Nsec3Policy::kDowngraded:
+        return ValidationStatus::kInsecure;
+      case Nsec3Policy::kNone:
+      case Nsec3Policy::kAccepted:
+        break;
     }
     cache_validated_nsecs(fetched.authority, fetched.auth_zone, zone_keys);
   }
@@ -648,7 +710,7 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
     // before the exchange, so it precedes the registry's observation in
     // stream order) with the Case-1/Case-2 verdict the registry assigns.
     if (tracer_ != nullptr) {
-      const char* cause = "cold-miss";
+      std::string cause = "cold-miss";
       if (const std::uint64_t* deadline =
               dlv_denial_deadline_.find(candidate)) {
         // The resolver held a denial proof for this exact name before: if
@@ -661,6 +723,12 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
         // cached spans simply do not cover this name.
         cause = "nsec-gap";
       }
+      // NSEC3 registries get their own cause vocabulary (cold-miss-nsec3,
+      // ...) so the ledger's per-cause totals separate hashed denial from
+      // plain NSEC while the Case-2 sum stays identical. The very first
+      // query against a registry predates the discovery of its denial
+      // flavor and stays untagged by construction.
+      if (nsec3_apexes_.find(apex) != nullptr) cause += "-nsec3";
       trace_event(obs::EventKind::kLeakCause, candidate, dns::RRType::kDlv,
                   cause, registry->endpoint_id());
     }
@@ -715,7 +783,23 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
       return outcome;
     }
 
-    // "No such name" (or NODATA): cache the denial, then keep stripping.
+    // "No such name" (or NODATA): verify the denial proof, cache it, then
+    // keep stripping. NSEC3 denial is the attack hot path — the proof check
+    // hashes the candidate's ancestor chain at the zone's iteration count
+    // and charges that CPU to the virtual clock, unless the RFC 9276 cap
+    // already disposed of the proof without hashing.
+    switch (handle_nsec3_denial(authority, candidate, apex, dlv_keys)) {
+      case Nsec3Policy::kRejected:
+        if (config_.nsec3_strict) {
+          result.dlv.nsec3_rejected = true;
+          return outcome;  // fail closed: no deeper candidates either
+        }
+        continue;  // unproven denial: do not cache, keep stripping
+      case Nsec3Policy::kNone:
+      case Nsec3Policy::kAccepted:
+      case Nsec3Policy::kDowngraded:
+        break;
+    }
     const std::uint32_t denial_ttl = soa_negative_ttl(authority);
     cache_.store_negative(candidate, dns::RRType::kDlv, denial_ttl,
                           response->header.rcode == dns::RCode::kNxDomain);
@@ -881,6 +965,12 @@ ResolveResult RecursiveResolver::resolve(const Query& query) {
           } else if (via_dlv == ValidationStatus::kBogus) {
             leg_status = ValidationStatus::kBogus;
           }
+        } else if (result.dlv.nsec3_rejected) {
+          // RFC 9276 strict mode: an over-cap (or unprovable) NSEC3 denial
+          // is not trusted, and with strict policy the resolution fails
+          // closed instead of degrading to insecure.
+          leg_status = ValidationStatus::kBogus;
+          stats_.add("nsec3.strict_servfail");
         } else if (result.dlv.timed_out && config_.dlv_must_be_secure) {
           // `dnssec-must-be-secure` semantics: an unreachable registry is
           // not proof of absence, so the resolution fails closed instead of
@@ -954,7 +1044,9 @@ ResolveResult RecursiveResolver::resolve(const Query& query) {
     std::vector<dns::ResourceRecord> plain;
     for (const dns::ResourceRecord& record : result.response.answers) {
       if (record.type != dns::RRType::kRrsig &&
-          record.type != dns::RRType::kNsec) {
+          record.type != dns::RRType::kNsec &&
+          record.type != dns::RRType::kNsec3 &&
+          record.type != dns::RRType::kNsec3Param) {
         plain.push_back(record);
       }
     }

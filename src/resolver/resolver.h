@@ -83,6 +83,10 @@ struct ResolveResult {
   /// frontend records it so coalesced waiters can join their lineage onto
   /// the shared span.
   std::uint64_t trace_span_id = 0;
+  /// Modeled validator CPU charged to the virtual clock by this resolution
+  /// (today: NSEC3 iterated hashing). The serve frontend bills it against
+  /// the initiating client's CPU budget.
+  std::uint64_t validation_cost_us = 0;
 
   /// Everything the DLV look-aside path did for this resolution, grouped so
   /// callers read one sub-object instead of seven loose fields.
@@ -94,6 +98,9 @@ struct ResolveResult {
     bool suppressed_by_signal = false;    // TXT / Z-bit remedy save
     bool timed_out = false;  // registry unreachable / retries exhausted
     bool secured = false;    // answer validated through the DLV chain
+    /// RFC 9276 strict mode rejected an over-cap NSEC3 denial; the
+    /// resolution fails closed (SERVFAIL) instead of degrading.
+    bool nsec3_rejected = false;
   };
   Dlv dlv;
 };
@@ -247,6 +254,26 @@ class RecursiveResolver : public sim::Endpoint {
   void cache_validated_nsecs(const GroupedSection& section,
                              const dns::Name& zone, const dns::RRset& keys);
 
+  /// Outcome of handle_nsec3_denial for the caller's control flow.
+  enum class Nsec3Policy {
+    kNone,        // no NSEC3 records present; nothing done
+    kAccepted,    // proof verified (cost charged)
+    kDowngraded,  // over-cap: denial accepted unverified, zone is insecure
+    kRejected,    // strict over-cap or unproven denial: do not trust it
+  };
+
+  /// NSEC3 leg of denial processing: applies the RFC 9276 iteration cap
+  /// *before* hashing, verifies the proof via the validator otherwise, and
+  /// charges the modeled hash CPU to the virtual clock.
+  Nsec3Policy handle_nsec3_denial(const GroupedSection& authority,
+                                  const dns::Name& qname,
+                                  const dns::Name& zone_apex,
+                                  const dns::RRset* keys);
+
+  /// Advances the virtual clock by the modeled CPU bill for `hash_ops` SHA-1
+  /// invocations and accounts it on the in-flight result.
+  void charge_nsec3_cost(std::uint64_t hash_ops);
+
   /// §6.2.1 TXT remedy: returns the signal for `domain`
   /// (true=deposit exists, false=none, nullopt=no TXT record configured).
   std::optional<bool> fetch_txt_signal(const dns::Name& domain, int depth);
@@ -276,6 +303,11 @@ class RecursiveResolver : public sim::Endpoint {
   // time this discriminates ttl-expiry (deadline passed) from eviction
   // (deadline still in the future but the proof is gone).
   dns::NameHashMap<std::uint64_t> dlv_denial_deadline_;
+  // Zone apexes observed serving NSEC3 denial (set on the first NSEC3 proof
+  // seen from each). Leak-cause events for later queries against these
+  // zones carry an "-nsec3" suffix so the ledger's per-cause accounting
+  // distinguishes NSEC from NSEC3 registries.
+  dns::NameHashMap<bool> nsec3_apexes_;
   // Lame/dead-server holddown: endpoint id -> virtual time the entry lapses.
   std::unordered_map<std::string, std::uint64_t> dead_until_us_;
 };

@@ -1,7 +1,10 @@
 #include "resolver/validator.h"
 
+#include <stdexcept>
+
 #include "crypto/dnssec_algo.h"
 #include "zone/keys.h"
+#include "zone/nsec3.h"
 
 namespace lookaside::resolver {
 
@@ -118,6 +121,110 @@ const dns::RRset* find_rrset(const GroupedSection& section,
     if (rrset.name() == name && rrset.type() == type) return &rrset;
   }
   return nullptr;
+}
+
+const dns::Nsec3Rdata* Validator::first_nsec3(const GroupedSection& authority) {
+  for (const dns::RRset& rrset : authority.rrsets) {
+    if (rrset.type() != dns::RRType::kNsec3 || rrset.empty()) continue;
+    if (const auto* rdata =
+            std::get_if<dns::Nsec3Rdata>(&rrset.records().front().rdata)) {
+      return rdata;
+    }
+  }
+  return nullptr;
+}
+
+Nsec3Check Validator::check_nsec3_denial(const GroupedSection& authority,
+                                         const dns::Name& qname,
+                                         const dns::Name& zone_apex,
+                                         const dns::RRset& dnskeys) {
+  Nsec3Check out;
+  const dns::Nsec3Rdata* params = first_nsec3(authority);
+  if (params == nullptr) return out;
+  out.iterations = params->iterations;
+
+  // One hashed span per presented NSEC3 record: [owner_hash, next_hashed).
+  struct Span {
+    crypto::Bytes owner_hash;
+    const dns::Nsec3Rdata* rdata = nullptr;
+  };
+  std::vector<Span> spans;
+  for (const dns::RRset& rrset : authority.rrsets) {
+    if (rrset.type() != dns::RRType::kNsec3) continue;
+    if (verify_rrset(rrset, authority.rrsigs, dnskeys) != SigCheck::kValid) {
+      return out;
+    }
+    if (rrset.name().label_count() == 0) return out;
+    crypto::Bytes owner_hash;
+    try {
+      owner_hash = zone::base32hex_decode(rrset.name().label(0));
+    } catch (const std::invalid_argument&) {
+      return out;
+    }
+    for (const dns::ResourceRecord& record : rrset.records()) {
+      const auto* rdata = std::get_if<dns::Nsec3Rdata>(&record.rdata);
+      if (rdata == nullptr || rdata->iterations != params->iterations ||
+          rdata->salt != params->salt) {
+        return out;  // mixed parameters: reject the whole proof
+      }
+      spans.push_back(Span{owner_hash, rdata});
+    }
+  }
+  if (spans.empty()) return out;
+
+  const auto matches = [&spans](const crypto::Bytes& digest) {
+    for (const Span& span : spans) {
+      if (span.owner_hash == digest) return true;
+    }
+    return false;
+  };
+  const auto covered = [&spans](const crypto::Bytes& digest) {
+    for (const Span& span : spans) {
+      const crypto::Bytes& lo = span.owner_hash;
+      const crypto::Bytes& hi = span.rdata->next_hashed;
+      if (lo < hi) {
+        if (lo < digest && digest < hi) return true;
+      } else {
+        // Wraparound span (last NSEC3 points back to the first).
+        if (digest > lo || digest < hi) return true;
+      }
+    }
+    return false;
+  };
+  const auto hash_name = [&](const dns::Name& name) {
+    out.hash_ops += zone::nsec3_hash_ops(params->iterations);
+    return zone::nsec3_hash(name, params->salt, params->iterations);
+  };
+
+  // RFC 5155 §8.4 closest-encloser discovery: hash qname, then each ancestor
+  // up to the apex, until a matching NSEC3 is found. Every probe is a full
+  // iterated hash — this loop is where the attacker's CPU bill lands.
+  if (!qname.is_subdomain_of(zone_apex)) return out;
+  const crypto::Bytes qname_hash = hash_name(qname);
+  if (matches(qname_hash)) {
+    out.proven = true;  // NODATA: qname exists, proof is the matching NSEC3
+    return out;
+  }
+  dns::Name closest = qname;
+  crypto::Bytes next_closer_hash = qname_hash;
+  bool found_closest = false;
+  while (closest.label_count() > zone_apex.label_count()) {
+    const dns::Name parent = closest.parent();
+    const crypto::Bytes parent_hash = hash_name(parent);
+    if (matches(parent_hash)) {
+      found_closest = true;
+      break;
+    }
+    closest = parent;
+    next_closer_hash = parent_hash;
+  }
+  if (!found_closest) return out;
+  if (!covered(next_closer_hash)) return out;
+  const dns::Name closest_encloser = closest.parent();
+  const crypto::Bytes wildcard_hash =
+      hash_name(closest_encloser.with_prefix_label("*"));
+  out.proven = covered(wildcard_hash) || matches(wildcard_hash);
+  return out;
 }
 
 }  // namespace lookaside::resolver

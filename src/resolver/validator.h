@@ -28,6 +28,17 @@ enum class SigCheck {
   kUnsupported,   // unknown algorithm
 };
 
+struct GroupedSection;
+
+/// Outcome of checking an NSEC3 denial proof (RFC 5155 §8). `hash_ops` is
+/// the number of SHA-1 invocations the check spent — the attacker-controlled
+/// CPU bill the resolver charges to the virtual clock.
+struct Nsec3Check {
+  bool proven = false;
+  std::uint16_t iterations = 0;
+  std::uint64_t hash_ops = 0;
+};
+
 /// Stateless checks plus a parsed-key cache.
 class Validator {
  public:
@@ -53,6 +64,21 @@ class Validator {
   /// malformed key material.
   [[nodiscard]] const crypto::RsaPublicKey* parse_key(
       const dns::DnskeyRdata& key);
+
+  /// First NSEC3 RDATA in `authority`, or nullptr — the cheap peek RFC 9276
+  /// needs to apply its iteration cap *before* any hashing happens.
+  [[nodiscard]] static const dns::Nsec3Rdata* first_nsec3(
+      const GroupedSection& authority);
+
+  /// Verifies an NSEC3 denial for `qname` (RFC 5155 §8.4-§8.7): signature
+  /// checks over every NSEC3 RRset, closest-encloser discovery by hashing
+  /// qname's ancestor chain, a covering span for the next-closer name and
+  /// for the wildcard at the closest encloser. NODATA proofs (matching
+  /// NSEC3 at qname) are accepted directly.
+  [[nodiscard]] Nsec3Check check_nsec3_denial(const GroupedSection& authority,
+                                              const dns::Name& qname,
+                                              const dns::Name& zone_apex,
+                                              const dns::RRset& dnskeys);
 
  private:
   const sim::SimClock* clock_;

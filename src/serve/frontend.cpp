@@ -24,7 +24,9 @@ void strip_for_plain_stub(dns::Message& response) {
   response.header.ad = false;
   std::erase_if(response.answers, [](const dns::ResourceRecord& record) {
     return record.type == dns::RRType::kRrsig ||
-           record.type == dns::RRType::kNsec;
+           record.type == dns::RRType::kNsec ||
+           record.type == dns::RRType::kNsec3 ||
+           record.type == dns::RRType::kNsec3Param;
   });
 }
 
@@ -80,6 +82,49 @@ Served FrontendServer::make_formerr(const WireQuery& query) {
   if (metrics_ != nullptr) metrics_->add("serve_formerr");
   account(query.client).formerr += 1;
   return served;
+}
+
+Served FrontendServer::make_shed(const WireQuery& query,
+                                 const dns::Message& message, Served served) {
+  served.completion_us = query.time_us;  // shed immediately, no upstream work
+  dns::Message response = dns::Message::make_response(message);
+  response.header.rcode = dns::RCode::kServFail;
+  response.edns = message.edns;
+  response.dnssec_ok = message.dnssec_ok;
+  served.rcode = dns::RCode::kServFail;
+  served.response_wire = dns::encode_message(response);
+  served.response_bytes = served.response_wire.size();
+  stats_.add("serve.bytes.response", served.response_bytes);
+  return served;
+}
+
+bool FrontendServer::cpu_admit(std::uint32_t client, std::uint64_t now_us) {
+  if (options_.cpu_budget_us_per_s == 0) return true;
+  if (cpu_buckets_.size() <= client) cpu_buckets_.resize(client + 1);
+  CpuBucket& bucket = cpu_buckets_[client];
+  if (!bucket.initialized) {
+    bucket.initialized = true;
+    bucket.tokens_us = static_cast<std::int64_t>(options_.cpu_burst_us);
+    bucket.last_refill_us = now_us;
+  } else if (now_us > bucket.last_refill_us) {
+    // Integer refill keeps the bucket a pure function of the schedule.
+    const std::uint64_t earned = (now_us - bucket.last_refill_us) *
+                                 options_.cpu_budget_us_per_s / 1'000'000ULL;
+    bucket.tokens_us =
+        std::min(static_cast<std::int64_t>(options_.cpu_burst_us),
+                 bucket.tokens_us + static_cast<std::int64_t>(earned));
+    bucket.last_refill_us = now_us;
+  }
+  return bucket.tokens_us > 0;
+}
+
+void FrontendServer::cpu_charge(std::uint32_t client, std::uint64_t cost_us) {
+  account(client).cpu_spent_us += cost_us;
+  if (options_.cpu_budget_us_per_s == 0) return;
+  if (cpu_buckets_.size() <= client) cpu_buckets_.resize(client + 1);
+  // Post-paid debt: the full bill lands even when it overdraws, so a
+  // sustained expensive stream stays shed until the refill repays it.
+  cpu_buckets_[client].tokens_us -= static_cast<std::int64_t>(cost_us);
 }
 
 void FrontendServer::finish(Served& served, const dns::Message& request,
@@ -147,20 +192,21 @@ Served FrontendServer::serve_decoded(const WireQuery& query,
     // Admission control: shed with SERVFAIL immediately and charge the
     // client that pushed the frontend over its quota.
     served.overload_drop = true;
-    served.completion_us = query.time_us;
     stats_.add("serve.overload.drops");
     if (metrics_ != nullptr) metrics_->add("serve_overload_drops");
     account(query.client).overload_drops += 1;
+    return make_shed(query, message, served);
+  }
 
-    dns::Message response = dns::Message::make_response(message);
-    response.header.rcode = dns::RCode::kServFail;
-    response.edns = message.edns;
-    response.dnssec_ok = message.dnssec_ok;
-    served.rcode = dns::RCode::kServFail;
-    served.response_wire = dns::encode_message(response);
-    served.response_bytes = served.response_wire.size();
-    stats_.add("serve.bytes.response", served.response_bytes);
-    return served;
+  if (!cpu_admit(query.client, query.time_us)) {
+    // CPU-budget admission: this client has burned through its validation
+    // budget (NSEC3 iteration flood); shed before any upstream work so the
+    // attacker can no longer rent the resolver's hash loop.
+    served.cpu_drop = true;
+    stats_.add("serve.cpu.drops");
+    if (metrics_ != nullptr) metrics_->add("serve_cpu_drops");
+    account(query.client).cpu_drops += 1;
+    return make_shed(query, message, served);
   }
 
   // Cache-facing resolution is always the full DNSSEC-aware one (DO set,
@@ -190,6 +236,7 @@ Served FrontendServer::serve_decoded(const WireQuery& query,
   }
   ClientAccount& acct = account(query.client);
   acct.case2_leaks += leaked;
+  cpu_charge(query.client, result.validation_cost_us);
 
   finish(served, message, result);
   inflight_.emplace(key, InFlight{served.completion_us, 1, result});
@@ -259,6 +306,7 @@ Served FrontendServer::submit(const WireQuery& query) {
   done.bytes = served.response_bytes;
   done.latency_us = served.latency_us();
   done.detail = served.overload_drop ? "overload"
+                : served.cpu_drop    ? "cpu-overload"
                 : served.formerr     ? "formerr"
                 : served.coalesced   ? "coalesced"
                 : served.from_cache  ? "cache"

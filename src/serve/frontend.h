@@ -57,6 +57,17 @@ struct FrontendOptions {
   /// Outstanding client queries (initiators + coalesced waiters) admitted
   /// at once; the next arrival beyond this is shed with SERVFAIL.
   std::size_t max_pending = 128;
+
+  /// Per-client validator-CPU budget: a token bucket refilled at this many
+  /// µs of modeled validation CPU per second of virtual time. A client
+  /// whose bucket is empty at arrival is shed with SERVFAIL before any
+  /// upstream work — the graceful-degradation defense against
+  /// proof-of-nonexistence CPU exhaustion (NSEC3 iteration floods). 0
+  /// disables the budget.
+  std::uint64_t cpu_budget_us_per_s = 0;
+
+  /// Bucket capacity (burst allowance) for the CPU budget.
+  std::uint64_t cpu_burst_us = 50'000;
 };
 
 /// One wire-format query arriving from a stub client at a virtual instant.
@@ -79,7 +90,8 @@ struct Served {
   dns::RCode rcode = dns::RCode::kNoError;
   bool coalesced = false;      // joined an in-flight resolution
   bool from_cache = false;     // initiator answered from the resolver cache
-  bool overload_drop = false;  // shed by admission control
+  bool overload_drop = false;  // shed by admission control (queue depth)
+  bool cpu_drop = false;       // shed by the per-client CPU budget
   bool formerr = false;        // undecodable or question-less wire
   std::uint64_t case2_leaks = 0;  // Case-2 DLV queries this query caused
   std::size_t response_bytes = 0;
@@ -96,9 +108,11 @@ struct ClientAccount {
   std::uint64_t answered = 0;
   std::uint64_t coalesce_hits = 0;
   std::uint64_t overload_drops = 0;
+  std::uint64_t cpu_drops = 0;        // shed by the CPU budget
   std::uint64_t formerr = 0;
   std::uint64_t case2_leaks = 0;  // leaks attributed to this client
   std::uint64_t latency_sum_us = 0;
+  std::uint64_t cpu_spent_us = 0;     // validation CPU billed to this client
 };
 
 /// The serving frontend. Also a sim::Endpoint ("frontend") so a single
@@ -141,8 +155,9 @@ class FrontendServer : public sim::Endpoint {
   std::vector<Served> run(std::vector<WireQuery> arrivals);
 
   /// Counters: "serve.queries", "serve.answered", "serve.coalesce.hits",
-  /// "serve.coalesce.misses", "serve.overload.drops", "serve.formerr",
-  /// "serve.bytes.query", "serve.bytes.response", "serve.case2.leaks".
+  /// "serve.coalesce.misses", "serve.overload.drops", "serve.cpu.drops",
+  /// "serve.formerr", "serve.bytes.query", "serve.bytes.response",
+  /// "serve.case2.leaks".
   [[nodiscard]] const metrics::CounterSet& stats() const { return stats_; }
 
   [[nodiscard]] const std::vector<ClientAccount>& clients() const {
@@ -184,6 +199,14 @@ class FrontendServer : public sim::Endpoint {
 
   Served serve_decoded(const WireQuery& query, const dns::Message& message);
   Served make_formerr(const WireQuery& query);
+  /// SERVFAIL shed shared by the queue-depth and CPU-budget admission paths.
+  Served make_shed(const WireQuery& query, const dns::Message& message,
+                   Served served);
+  /// Refills `client`'s CPU bucket up to `now_us` and reports whether it
+  /// still has tokens (always true when the budget is disabled).
+  bool cpu_admit(std::uint32_t client, std::uint64_t now_us);
+  /// Bills `cost_us` of validation CPU against `client`'s bucket.
+  void cpu_charge(std::uint32_t client, std::uint64_t cost_us);
   void finish(Served& served, const dns::Message& request,
               const resolver::ResolveResult& result);
   ClientAccount& account(std::uint32_t client);
@@ -195,7 +218,18 @@ class FrontendServer : public sim::Endpoint {
   const dlv::DlvRegistry* registry_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  /// Token bucket for one client's validation-CPU budget. Charges are
+  /// post-paid and may drive the balance negative (debt): the client is
+  /// then shed until the refill repays it, so one expensive proof denies
+  /// the *next* queries, never retroactively the one that incurred it.
+  struct CpuBucket {
+    std::int64_t tokens_us = 0;
+    std::uint64_t last_refill_us = 0;
+    bool initialized = false;
+  };
+
   std::unordered_map<Key, InFlight, KeyHash> inflight_;
+  std::vector<CpuBucket> cpu_buckets_;
   std::size_t depth_ = 0;      // outstanding client queries across entries
   std::size_t max_depth_ = 0;
   metrics::CounterSet stats_;

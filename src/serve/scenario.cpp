@@ -31,6 +31,7 @@ ServeScenario::ServeScenario(ScenarioOptions options)
   world_options.universe.size = options_.universe_size;
   world_options.universe.seed = options_.seed;
   world_options.seed = crypto::derive_seed(options_.seed, 0x0F0F);
+  world_options.dlv = options_.dlv;
   // Deposits beyond the sampled head never get queried; capping the scan
   // keeps small scenario builds fast without changing any observable.
   world_options.deposit_scan_limit = options_.universe_size;
@@ -97,23 +98,31 @@ ScenarioSummary ServeScenario::run() {
   summary.coalesce_hits = frontend_->stats().value("serve.coalesce.hits");
   summary.coalesce_misses = frontend_->stats().value("serve.coalesce.misses");
   summary.overload_drops = frontend_->stats().value("serve.overload.drops");
+  summary.cpu_drops = frontend_->stats().value("serve.cpu.drops");
   summary.max_queue_depth = frontend_->max_queue_depth();
 
+  // Shed queries (SERVFAIL at arrival, zero latency) are excluded from the
+  // latency sample — they would otherwise make an overloaded run look fast.
+  const std::uint32_t attack_start = mix.first_attacker();
   std::vector<std::uint64_t> latencies;
+  std::vector<std::uint64_t> benign_latencies;
   latencies.reserve(served.size());
   std::uint64_t first_arrival = 0;
   std::uint64_t last_completion = 0;
   for (const Served& one : served) {
-    if (one.overload_drop || one.formerr) continue;
+    if (one.overload_drop || one.cpu_drop || one.formerr) continue;
     latencies.push_back(one.latency_us());
+    if (one.client < attack_start) benign_latencies.push_back(one.latency_us());
     if (first_arrival == 0 || one.arrival_us < first_arrival) {
       first_arrival = one.arrival_us;
     }
     last_completion = std::max(last_completion, one.completion_us);
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(benign_latencies.begin(), benign_latencies.end());
   summary.p50_ms = quantile_ms(latencies, 0.50);
   summary.p99_ms = quantile_ms(latencies, 0.99);
+  summary.benign_p99_ms = quantile_ms(benign_latencies, 0.99);
   const std::uint64_t makespan_us = last_completion - first_arrival;
   summary.qps = makespan_us == 0
                     ? 0.0
@@ -122,9 +131,11 @@ ScenarioSummary ServeScenario::run() {
 
   summary.case2_per_client.assign(options_.mix.clients, 0);
   const std::vector<ClientAccount>& accounts = frontend_->clients();
-  for (std::size_t i = 0;
-       i < accounts.size() && i < summary.case2_per_client.size(); ++i) {
-    summary.case2_per_client[i] = accounts[i].case2_leaks;
+  for (std::size_t i = 0; i < accounts.size(); ++i) {
+    if (i < summary.case2_per_client.size()) {
+      summary.case2_per_client[i] = accounts[i].case2_leaks;
+    }
+    summary.validation_cpu_us += accounts[i].cpu_spent_us;
   }
   fill_registry_side(summary);
   return summary;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/leakage.h"
+#include "dlv/registry.h"
 #include "resolver/config.h"
 #include "serve/frontend.h"
 #include "workload/client_mix.h"
@@ -37,6 +38,9 @@ struct ScenarioOptions {
   std::uint64_t seed = 7;
   workload::ClientMixOptions mix;
   FrontendOptions frontend;
+  /// DLV registry options (NSEC3 mode, salt, iteration count) passed
+  /// through to the UniverseWorld's registry.
+  dlv::DlvRegistry::Options dlv;
   resolver::ResolverConfig resolver_config =
       resolver::ResolverConfig::bind_yum();
   obs::Tracer* tracer = nullptr;            // nullable
@@ -49,10 +53,13 @@ struct ScenarioSummary {
   std::uint64_t coalesce_hits = 0;
   std::uint64_t coalesce_misses = 0;
   std::uint64_t overload_drops = 0;
+  std::uint64_t cpu_drops = 0;          // shed by the per-client CPU budget
   std::uint64_t max_queue_depth = 0;
+  std::uint64_t validation_cpu_us = 0;  // modeled validator CPU billed
   double qps = 0.0;      // served / virtual makespan
   double p50_ms = 0.0;   // client-observed virtual latency
   double p99_ms = 0.0;
+  double benign_p99_ms = 0.0;  // p99 over non-attacker clients' answers
   std::uint64_t case2_total = 0;            // registry-side Case-2 queries
   std::uint64_t distinct_leaked = 0;
   std::set<std::string> leaked_domains;     // identity check vs reference

@@ -46,7 +46,28 @@ void ZoneAuthority::append_nxdomain_sections(dns::Message& response,
   const zone::Zone& z = zone_data();
   append_rrset(response.authorities, z.soa_rrset(), want_dnssec);
   if (want_dnssec && signed_zone_) {
-    zone::NsecProof proof = signed_zone_->nxdomain_proof(qname);
+    if (signed_zone_->nsec3_enabled()) {
+      for (zone::NsecProof& proof : signed_zone_->nsec3_nxdomain_proof(qname)) {
+        response.authorities.push_back(std::move(proof.nsec));
+        response.authorities.push_back(std::move(proof.rrsig));
+      }
+    } else {
+      zone::NsecProof proof = signed_zone_->nxdomain_proof(qname);
+      response.authorities.push_back(std::move(proof.nsec));
+      response.authorities.push_back(std::move(proof.rrsig));
+    }
+  }
+}
+
+void ZoneAuthority::append_nodata_proof(dns::Message& response,
+                                        const dns::Name& qname) {
+  if (signed_zone_->nsec3_enabled()) {
+    for (zone::NsecProof& proof : signed_zone_->nsec3_nodata_proof(qname)) {
+      response.authorities.push_back(std::move(proof.nsec));
+      response.authorities.push_back(std::move(proof.rrsig));
+    }
+  } else {
+    zone::NsecProof proof = signed_zone_->nodata_proof(qname);
     response.authorities.push_back(std::move(proof.nsec));
     response.authorities.push_back(std::move(proof.rrsig));
   }
@@ -100,9 +121,7 @@ dns::Message ZoneAuthority::handle_query(const dns::Message& query) {
         } else {
           // Signed parent, unsigned delegation: prove DS absence (this is
           // what makes the child "insecure" rather than "bogus").
-          zone::NsecProof proof = signed_zone_->nodata_proof(result.cut);
-          response.authorities.push_back(std::move(proof.nsec));
-          response.authorities.push_back(std::move(proof.rrsig));
+          append_nodata_proof(response, result.cut);
         }
       }
       append_glue(response, *result.rrset, want_dnssec);
@@ -112,9 +131,7 @@ dns::Message ZoneAuthority::handle_query(const dns::Message& query) {
     case zone::LookupKind::kNoData: {
       append_rrset(response.authorities, z.soa_rrset(), want_dnssec);
       if (want_dnssec && signed_zone_) {
-        zone::NsecProof proof = signed_zone_->nodata_proof(question.name);
-        response.authorities.push_back(std::move(proof.nsec));
-        response.authorities.push_back(std::move(proof.rrsig));
+        append_nodata_proof(response, question.name);
       }
       trace_outcome(tracer_, id_, question, "nodata", response.header.rcode);
       break;

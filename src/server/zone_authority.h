@@ -56,6 +56,9 @@ class ZoneAuthority : public sim::Endpoint {
                     const dns::RRset& rrset, bool want_dnssec);
   void append_nxdomain_sections(dns::Message& response,
                                 const dns::Name& qname, bool want_dnssec);
+  /// NSEC or NSEC3 proof (per zone signing mode) that `qname` exists but the
+  /// queried type (or DS at a cut) does not. Requires signed_zone_.
+  void append_nodata_proof(dns::Message& response, const dns::Name& qname);
   void append_glue(dns::Message& response, const dns::RRset& ns_set,
                    bool want_dnssec);
 

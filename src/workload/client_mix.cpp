@@ -22,6 +22,13 @@ std::uint64_t zipf_rank(crypto::SplitMix64& rng, std::uint64_t support) {
 
 }  // namespace
 
+std::uint32_t ClientMix::first_attacker() const {
+  const auto attackers = static_cast<std::uint32_t>(
+      static_cast<double>(options_.clients) *
+      std::clamp(options_.attack_fraction, 0.0, 1.0));
+  return options_.clients - attackers;
+}
+
 std::vector<ClientQuery> ClientMix::generate(const Universe& universe) const {
   const std::uint64_t support =
       std::min<std::uint64_t>(std::max<std::uint64_t>(options_.zipf_support, 1),
@@ -30,8 +37,10 @@ std::vector<ClientQuery> ClientMix::generate(const Universe& universe) const {
   schedule.reserve(static_cast<std::size_t>(options_.clients) *
                    options_.queries_per_client * 2);
 
+  const std::uint32_t attack_start = first_attacker();
   for (std::uint32_t client = 0; client < options_.clients; ++client) {
     crypto::SplitMix64 rng(crypto::derive_seed(options_.seed, client));
+    const bool attacker = client >= attack_start;
     std::uint64_t now_us = 0;
     std::uint32_t seq = 0;
     for (std::uint32_t i = 0; i < options_.queries_per_client; ++i) {
@@ -39,7 +48,12 @@ std::vector<ClientQuery> ClientMix::generate(const Universe& universe) const {
       // schedule (and hence every downstream artifact) platform-sensitive.
       now_us += 1 + rng.next_below(2 * std::max<std::uint64_t>(
                                            options_.mean_gap_us, 1));
-      const dns::Name name = universe.domain_at(zipf_rank(rng, support));
+      // Attackers cache-bust: a uniform draw over the whole universe almost
+      // never repeats, so every query forces a fresh denial validation.
+      const std::uint64_t rank = attacker
+                                     ? 1 + rng.next_below(universe.size())
+                                     : zipf_rank(rng, support);
+      const dns::Name name = universe.domain_at(rank);
       schedule.push_back({now_us, client, seq++, name, dns::RRType::kA});
       if (rng.next_double() < options_.aaaa_probability) {
         // The AAAA rides 1us behind its A, like a dual-stack stub's pair.

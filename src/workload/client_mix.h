@@ -47,6 +47,15 @@ struct ClientMixOptions {
   /// Probability a visit also asks AAAA for the same name (paper Table 4's
   /// per-type mix, reduced to the serve-relevant part).
   double aaaa_probability = 0.25;
+
+  /// Fraction of clients (the highest-numbered ids) running the
+  /// proof-of-nonexistence CPU-exhaustion attack: instead of the shared
+  /// Zipf head they draw uniform ranks over the whole universe, so nearly
+  /// every query is a cold cache miss whose DLV denial bills the validator
+  /// a full iterated NSEC3 hash chain. The names exist in the universe —
+  /// the attack rides the ordinary insecure-answer DLV path, not NXDOMAIN.
+  /// 0 disables the attack.
+  double attack_fraction = 0.0;
 };
 
 /// Deterministic multi-client schedule generator.
@@ -55,6 +64,11 @@ class ClientMix {
   explicit ClientMix(ClientMixOptions options) : options_(options) {}
 
   [[nodiscard]] const ClientMixOptions& options() const { return options_; }
+
+  /// First client id that is an attacker under attack_fraction; equals
+  /// `clients` when the attack is disabled. Clients below this id are the
+  /// benign population whose latency the defenses must protect.
+  [[nodiscard]] std::uint32_t first_attacker() const;
 
   /// Builds the merged, arrival-ordered schedule over `universe` names.
   /// Ties on time break by (client, seq), so the order is total and

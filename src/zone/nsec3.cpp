@@ -1,0 +1,85 @@
+#include "zone/nsec3.h"
+
+#include <stdexcept>
+
+#include "crypto/sha1.h"
+
+namespace lookaside::zone {
+
+namespace {
+
+constexpr char kBase32HexAlphabet[] = "0123456789abcdefghijklmnopqrstuv";
+
+[[nodiscard]] int base32hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'v') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'V') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+crypto::Bytes nsec3_hash(const dns::Name& name, const crypto::Bytes& salt,
+                         std::uint16_t iterations) {
+  // Name::to_wire() is already canonical: labels are lowercased on parse.
+  crypto::Sha1 first;
+  first.update(name.to_wire());
+  first.update(salt);
+  crypto::Bytes digest = first.finish();
+  for (std::uint16_t k = 0; k < iterations; ++k) {
+    crypto::Sha1 round;
+    round.update(digest);
+    round.update(salt);
+    digest = round.finish();
+  }
+  return digest;
+}
+
+std::string base32hex_encode(const crypto::Bytes& data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (std::uint8_t byte : data) {
+    buffer = (buffer << 8) | byte;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kBase32HexAlphabet[(buffer >> bits) & 0x1F]);
+    }
+  }
+  if (bits > 0) {
+    out.push_back(kBase32HexAlphabet[(buffer << (5 - bits)) & 0x1F]);
+  }
+  return out;
+}
+
+crypto::Bytes base32hex_decode(std::string_view text) {
+  crypto::Bytes out;
+  out.reserve(text.size() * 5 / 8);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    const int value = base32hex_value(c);
+    if (value < 0) throw std::invalid_argument("bad base32hex character");
+    buffer = (buffer << 5) | static_cast<std::uint32_t>(value);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xFF));
+    }
+  }
+  // Trailing bits must be padding zeros of an exact byte boundary encoding.
+  if (bits >= 5 || (buffer & ((1U << bits) - 1)) != 0) {
+    throw std::invalid_argument("base32hex input not byte-aligned");
+  }
+  return out;
+}
+
+dns::Name nsec3_owner(const dns::Name& name, const dns::Name& apex,
+                      const crypto::Bytes& salt, std::uint16_t iterations) {
+  return apex.with_prefix_label(
+      base32hex_encode(nsec3_hash(name, salt, iterations)));
+}
+
+}  // namespace lookaside::zone

@@ -81,4 +81,101 @@ NsecProof SignedZone::nodata_proof(const dns::Name& qname) {
   return NsecProof{std::move(nsec), std::move(rrsig)};
 }
 
+void SignedZone::enable_nsec3(Nsec3Params params) {
+  nsec3_params_ = std::move(params);
+  nsec3_enabled_ = true;
+  nsec3_dirty_ = true;
+  if (zone_.find(zone_.apex(), dns::RRType::kNsec3Param) == nullptr) {
+    dns::Nsec3ParamRdata param;
+    param.iterations = nsec3_params_.iterations;
+    param.salt = nsec3_params_.salt;
+    zone_.add(dns::ResourceRecord::make(zone_.apex(), zone_.negative_ttl(),
+                                        dns::Rdata{param}));
+  }
+  signature_cache_.clear();
+}
+
+void SignedZone::rebuild_nsec3_chain() {
+  nsec3_chain_.clear();
+  for (const dns::Name& owner : zone_.owner_names()) {
+    crypto::Bytes digest =
+        nsec3_hash(owner, nsec3_params_.salt, nsec3_params_.iterations);
+    dns::Name hashed_owner =
+        zone_.apex().with_prefix_label(base32hex_encode(digest));
+    nsec3_chain_.insert_or_assign(
+        std::move(digest), Nsec3Entry{owner, std::move(hashed_owner)});
+  }
+  nsec3_dirty_ = false;
+}
+
+SignedZone::Nsec3Chain::const_iterator SignedZone::nsec3_cover(
+    const crypto::Bytes& digest) const {
+  // Greatest chain hash <= digest; hashes below the first entry are covered
+  // by the last-to-first wraparound span (RFC 5155 §3.1.7 last NSEC3).
+  auto it = nsec3_chain_.upper_bound(digest);
+  if (it == nsec3_chain_.begin()) return std::prev(nsec3_chain_.end());
+  return std::prev(it);
+}
+
+NsecProof SignedZone::make_nsec3_proof(Nsec3Chain::const_iterator it) {
+  auto next = std::next(it);
+  if (next == nsec3_chain_.end()) next = nsec3_chain_.begin();
+
+  dns::Nsec3Rdata nsec3;
+  nsec3.iterations = nsec3_params_.iterations;
+  nsec3.salt = nsec3_params_.salt;
+  nsec3.next_hashed = next->first;
+  nsec3.types = zone_.types_at(it->second.original);
+  nsec3.types.push_back(dns::RRType::kRrsig);
+
+  dns::ResourceRecord record = dns::ResourceRecord::make(
+      it->second.hashed_owner, zone_.negative_ttl(), dns::Rdata{nsec3});
+  dns::RRset nsec3_set(it->second.hashed_owner, dns::RRType::kNsec3);
+  nsec3_set.add(record);
+  dns::ResourceRecord rrsig = rrsig_for(nsec3_set);
+  return NsecProof{std::move(record), std::move(rrsig)};
+}
+
+std::vector<NsecProof> SignedZone::nsec3_nxdomain_proof(
+    const dns::Name& qname) {
+  if (nsec3_dirty_) rebuild_nsec3_chain();
+
+  // Closest encloser: longest existing ancestor (the apex at worst).
+  dns::Name closest = qname;
+  while (closest.label_count() > zone_.apex().label_count() &&
+         !zone_.has_name(closest)) {
+    closest = closest.parent();
+  }
+  dns::Name next_closer = qname;
+  while (next_closer.label_count() > closest.label_count() + 1) {
+    next_closer = next_closer.parent();
+  }
+
+  const auto& params = nsec3_params_;
+  std::vector<NsecProof> proofs;
+  std::vector<Nsec3Chain::const_iterator> picks;
+  picks.push_back(
+      nsec3_cover(nsec3_hash(closest, params.salt, params.iterations)));
+  picks.push_back(
+      nsec3_cover(nsec3_hash(next_closer, params.salt, params.iterations)));
+  picks.push_back(nsec3_cover(nsec3_hash(closest.with_prefix_label("*"),
+                                         params.salt, params.iterations)));
+  for (auto it : picks) {
+    bool seen = false;
+    for (const NsecProof& p : proofs) {
+      if (p.nsec.name == it->second.hashed_owner) { seen = true; break; }
+    }
+    if (!seen) proofs.push_back(make_nsec3_proof(it));
+  }
+  return proofs;
+}
+
+std::vector<NsecProof> SignedZone::nsec3_nodata_proof(const dns::Name& qname) {
+  if (nsec3_dirty_) rebuild_nsec3_chain();
+  std::vector<NsecProof> proofs;
+  proofs.push_back(make_nsec3_proof(nsec3_cover(
+      nsec3_hash(qname, nsec3_params_.salt, nsec3_params_.iterations))));
+  return proofs;
+}
+
 }  // namespace lookaside::zone

@@ -10,16 +10,25 @@
 
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "zone/keys.h"
+#include "zone/nsec3.h"
 #include "zone/zone.h"
 
 namespace lookaside::zone {
 
-/// A denial proof: the NSEC record plus its RRSIG.
+/// A denial proof: the NSEC (or NSEC3) record plus its RRSIG.
 struct NsecProof {
   dns::ResourceRecord nsec;
   dns::ResourceRecord rrsig;
+};
+
+/// NSEC3 chain parameters (RFC 5155 §4). `iterations` is the CPU knob:
+/// validators hash every denied qname iterations+1 times.
+struct Nsec3Params {
+  std::uint16_t iterations = 0;
+  crypto::Bytes salt;
 };
 
 /// Wraps a Zone with signing state.
@@ -56,13 +65,38 @@ class SignedZone {
   /// whose type bitmap omits the type).
   [[nodiscard]] NsecProof nodata_proof(const dns::Name& qname);
 
+  /// Switches the zone to NSEC3 hashed denial: adds an NSEC3PARAM record at
+  /// the apex and marks the hashed chain for (lazy) construction. Denial
+  /// queries are then answered by nsec3_*_proof instead of the NSEC pair.
+  void enable_nsec3(Nsec3Params params);
+  [[nodiscard]] bool nsec3_enabled() const { return nsec3_enabled_; }
+  [[nodiscard]] const Nsec3Params& nsec3_params() const {
+    return nsec3_params_;
+  }
+
+  /// RFC 5155 §7.2.2 NXDOMAIN proof: matching NSEC3 for the closest
+  /// encloser, covering NSEC3 for the next-closer name, covering NSEC3 for
+  /// the wildcard at the closest encloser (deduplicated when ranges
+  /// coincide).
+  [[nodiscard]] std::vector<NsecProof> nsec3_nxdomain_proof(
+      const dns::Name& qname);
+
+  /// RFC 5155 §7.2.3/§7.2.4 NODATA proof: matching NSEC3 at `qname`.
+  [[nodiscard]] std::vector<NsecProof> nsec3_nodata_proof(
+      const dns::Name& qname);
+
   /// Failure injection: when set, emitted signatures are flipped in one byte
   /// so validators see bogus data (paper §2.2 "bogus" status).
   void set_corrupt_signatures(bool corrupt) { corrupt_ = corrupt; }
   [[nodiscard]] bool corrupt_signatures() const { return corrupt_; }
 
-  /// Drops the signature cache (after zone mutation).
-  void invalidate_signature_cache() { signature_cache_.clear(); }
+  /// Drops the signature cache (after zone mutation); the NSEC3 chain is
+  /// also marked dirty so the next denial proof rebuilds it, keeping
+  /// per-deposit cost O(1) instead of a rebuild per mutation.
+  void invalidate_signature_cache() {
+    signature_cache_.clear();
+    nsec3_dirty_ = true;
+  }
 
   /// Cache statistics: number of distinct RRsets signed so far.
   [[nodiscard]] std::size_t signatures_computed() const {
@@ -70,13 +104,31 @@ class SignedZone {
   }
 
  private:
+  /// One link of the hashed chain: the original owner it denies around.
+  struct Nsec3Entry {
+    dns::Name original;
+    dns::Name hashed_owner;
+  };
+  // Keyed by raw digest: lexicographic Bytes order == numeric hash order.
+  using Nsec3Chain = std::map<crypto::Bytes, Nsec3Entry>;
+
   [[nodiscard]] dns::ResourceRecord make_nsec(const dns::Name& owner);
+  void rebuild_nsec3_chain();
+  /// Proof for the chain entry at `it` (matching or covering `digest`).
+  [[nodiscard]] NsecProof make_nsec3_proof(Nsec3Chain::const_iterator it);
+  /// Chain entry whose span matches or covers `digest` (with wraparound).
+  [[nodiscard]] Nsec3Chain::const_iterator nsec3_cover(
+      const crypto::Bytes& digest) const;
 
   Zone zone_;
   ZoneKeys keys_;
   Policy policy_;
   dns::RRset dnskeys_;
   bool corrupt_ = false;
+  bool nsec3_enabled_ = false;
+  bool nsec3_dirty_ = false;
+  Nsec3Params nsec3_params_;
+  Nsec3Chain nsec3_chain_;
   // Cache key: (owner text, type). Signatures of corrupted zones are not
   // cached so toggling corruption mid-test behaves.
   std::map<std::pair<std::string, dns::RRType>, dns::Bytes> signature_cache_;

@@ -51,23 +51,50 @@ TEST(ParseU64FlagDeathTest, RejectsMalformedValues) {
 
 TEST(ArgParserNumeric, ParsesAndFallsBack) {
   const char* argv[] = {"bench", "--rounds=7", "--jobs=1"};
-  ArgParser args(3, const_cast<char**>(argv));
+  ArgParser args(3, const_cast<char**>(argv), {"rounds"});
   EXPECT_EQ(args.numeric("rounds", 4), 7u);
   EXPECT_EQ(args.numeric("caps", 9), 9u);  // absent flag -> fallback
 }
 
 TEST(ArgParserNumericDeathTest, MalformedValueAborts) {
   const char* argv[] = {"bench", "--rounds=many", "--jobs=1"};
-  ArgParser args(3, const_cast<char**>(argv));
+  ArgParser args(3, const_cast<char**>(argv), {"rounds"});
   EXPECT_EXIT((void)args.numeric("rounds", 4), ::testing::ExitedWithCode(2),
               "--rounds expects");
 }
 
 TEST(ArgParserNumericDeathTest, EmptyValueAborts) {
   const char* argv[] = {"bench", "--rounds=", "--jobs=1"};
-  ArgParser args(3, const_cast<char**>(argv));
+  ArgParser args(3, const_cast<char**>(argv), {"rounds"});
   EXPECT_EXIT((void)args.numeric("rounds", 4), ::testing::ExitedWithCode(2),
               "--rounds expects");
+}
+
+TEST(ArgParserUnknownFlagDeathTest, UnknownFlagAbortsAtConstruction) {
+  // Regression: `--smke` / `--iteraitons` used to be silently ignored and
+  // the bench ran with its defaults, producing a plausible-looking but
+  // wrong JSON. Unknown flags must abort before any work happens.
+  const char* argv[] = {"bench", "--smke"};
+  EXPECT_EXIT(ArgParser(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "unknown flag '--smke'");
+}
+
+TEST(ArgParserUnknownFlagDeathTest, UndeclaredExtraAborts) {
+  // "rounds" belongs to bench_cache_churn; a driver that did not declare
+  // it must reject it even though some other driver accepts it.
+  const char* argv[] = {"bench", "--rounds=7"};
+  EXPECT_EXIT(ArgParser(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "unknown flag '--rounds'");
+}
+
+TEST(ArgParserUnknownFlag, BuiltinsExtrasAndJobsValueAreAccepted) {
+  // `--jobs 4` is the one two-token builtin: the bare value token after it
+  // must not be mistaken for a positional/unknown argument.
+  const char* argv[] = {"bench", "--smoke", "--jobs",
+                        "4",     "--top=8", "--out=/dev/null"};
+  ArgParser args(6, const_cast<char**>(argv), {"top"});
+  EXPECT_TRUE(args.smoke());
+  EXPECT_EQ(args.numeric("top", 1), 8u);
 }
 
 TEST(ParseObsArgsDeathTest, MalformedRingBufferAborts) {
