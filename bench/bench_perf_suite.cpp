@@ -9,8 +9,15 @@
 //   - resolutions/sec for a fixed grid of independent experiments, run
 //     once at --jobs 1 and once at --jobs N, with the speedup ratio
 //
-// and writes them as BENCH_perf.json (schema "lookaside.bench_perf.v1",
+// and writes them as BENCH_perf.json (schema "lookaside.bench_perf.v2",
 // documented in EXPERIMENTS.md) so CI can diff runs across commits.
+//
+// Parallel speedup is only meaningful when the host actually has cores to
+// scale onto: on a single-hardware-thread runner the "parallel" leg is a
+// context-switching re-measurement of the serial one, so the JSON records
+// hardware_concurrency up front, emits "speedup": null with
+// "parallelism_authoritative": false, and the CI gate skips the speedup
+// band entirely (FlatJson ignores null values).
 //
 // Flags: --jobs N (worker threads for the parallel leg; default hardware
 // concurrency), --out=PATH (default BENCH_perf.json), --quick (smaller
@@ -107,8 +114,15 @@ int main(int argc, char** argv) {
   const bool quick = args.quick();
   const std::string out_path = args.out("BENCH_perf.json");
   const unsigned jobs = args.jobs();
+  const unsigned cores = std::thread::hardware_concurrency();
+  // One hardware thread cannot demonstrate parallel scaling; everything
+  // downstream (table, JSON, CI gate) treats the speedup as unmeasured.
+  const bool parallelism_authoritative = cores > 1;
 
   bench::banner("Performance suite: hot-path latencies and sweep throughput");
+  std::cout << "Host: " << cores << " hardware thread(s); parallel speedup "
+            << (parallelism_authoritative ? "is authoritative here.\n"
+                                          : "is NOT authoritative here.\n");
 
   // --- dns::Name parse + memoized hash ----------------------------------
   const std::size_t corpus_size = quick ? 2'000 : 20'000;
@@ -212,15 +226,20 @@ int main(int argc, char** argv) {
   table.row()
       .cell("resolutions/sec (" + std::to_string(jobs) + " jobs)")
       .cell(fixed(parallel.rate, 0));
-  table.row().cell("speedup").cell(fixed(speedup, 2) + "x");
+  table.row()
+      .cell("hardware threads")
+      .cell(std::to_string(cores));
+  table.row()
+      .cell("speedup")
+      .cell(parallelism_authoritative ? fixed(speedup, 2) + "x"
+                                      : "n/a (1 core)");
   table.print(std::cout);
 
   const std::string json =
       std::string("{\n") +
-      "  \"schema\": \"lookaside.bench_perf.v1\",\n" +
+      "  \"schema\": \"lookaside.bench_perf.v2\",\n" +
+      "  \"hardware_concurrency\": " + std::to_string(cores) + ",\n" +
       "  \"jobs\": " + std::to_string(jobs) + ",\n" +
-      "  \"hardware_concurrency\": " +
-      std::to_string(std::thread::hardware_concurrency()) + ",\n" +
       "  \"single_thread\": {\"resolutions\": " +
       std::to_string(single.resolutions) + ", \"seconds\": " +
       fixed(single.seconds, 4) + ", \"resolutions_per_sec\": " +
@@ -229,7 +248,10 @@ int main(int argc, char** argv) {
       ", \"resolutions\": " + std::to_string(parallel.resolutions) +
       ", \"seconds\": " + fixed(parallel.seconds, 4) +
       ", \"resolutions_per_sec\": " + fixed(parallel.rate, 1) +
-      ", \"speedup\": " + fixed(speedup, 2) + "},\n" +
+      ", \"speedup\": " +
+      (parallelism_authoritative ? fixed(speedup, 2) : "null") +
+      ", \"parallelism_authoritative\": " +
+      (parallelism_authoritative ? "true" : "false") + "},\n" +
       "  \"cache\": {\"probe_hit_ns\": " + fixed(probe_hit_ns, 2) +
       ", \"probe_negative_nsec_ns\": " + fixed(probe_nsec_ns, 2) + "},\n" +
       "  \"name\": {\"parse_ns\": " + fixed(parse_ns, 2) +

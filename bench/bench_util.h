@@ -427,6 +427,13 @@ class ShardObs {
     return tracer_.has_sinks() ? &tracer_ : nullptr;
   }
 
+  /// This shard's private registry when the session exports metrics, else
+  /// nullptr. Hand it to components that emit series directly (e.g. the
+  /// serving frontend's shard-labeled counters); merge_into() folds it in.
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return metrics_sink_ == nullptr ? nullptr : &registry_;
+  }
+
   /// This shard's ledger / timeline, for per-cell acceptance checks before
   /// the merge. Null unless the session enabled the corresponding feature.
   [[nodiscard]] obs::LeakLedger* ledger() { return ledger_.get(); }

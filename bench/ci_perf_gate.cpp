@@ -26,7 +26,18 @@
 // Per-path overrides: trailing `path=TOL` args (relative band in either
 // direction), `path=exact`, or `path=skip`.
 //
-// Usage: ci_perf_gate <baseline.json> <fresh.json> [path=rule...]
+// Options (parsed before overrides — they also contain '='):
+//   --trajectory=PATH     append one JSONL record per compared metric
+//                         (baseline value, fresh value, rule, verdict, and
+//                         the commit sha when GITHUB_SHA is set) so CI can
+//                         accumulate a perf trajectory across commits and
+//                         upload it as an artifact.
+//   --suggest-baseline    on failure, print every metric whose value moved
+//                         (the diff a regenerated baseline would commit)
+//                         plus the exact cp command — so an intentional
+//                         perf change is a copy-paste away from green.
+//
+// Usage: ci_perf_gate <baseline.json> <fresh.json> [options] [path=rule...]
 // Exit: 0 pass, 1 regression or missing metric, 2 usage/parse error.
 #include <cctype>
 #include <cmath>
@@ -182,7 +193,8 @@ Rule schema_rule(const std::string& schema, const std::string& path) {
     if (name == "seconds" || ends_with(name, "_ns")) {
       return {Direction::kLowerBetter, 1.50};
     }
-    // jobs, hardware_concurrency, resolutions, speedup: shape/noise fields.
+    // jobs, hardware_concurrency, resolutions, speedup (null on 1-core
+    // hosts), parallelism_authoritative: shape/noise fields.
     return {Direction::kSkip, 0.0};
   }
   if (schema.rfind("lookaside.bench_serve", 0) == 0) {
@@ -209,16 +221,31 @@ Rule schema_rule(const std::string& schema, const std::string& path) {
   return {Direction::kExact, 0.0};
 }
 
+const char* direction_name(Direction direction) {
+  switch (direction) {
+    case Direction::kHigherBetter: return "higher_better";
+    case Direction::kLowerBetter: return "lower_better";
+    case Direction::kBand: return "band";
+    case Direction::kExact: return "exact";
+    case Direction::kSkip: return "skip";
+  }
+  return "exact";
+}
+
+/// One compared metric, for the trajectory file and --suggest-baseline.
+struct GateResult {
+  std::string path;
+  double base = 0.0;
+  double fresh = 0.0;
+  bool missing = false;  // present in baseline, absent from fresh
+  Rule rule;
+  bool ok = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::cerr << "usage: ci_perf_gate <baseline.json> <fresh.json> "
-                 "[path=TOL|exact|skip ...]\n";
-    return 2;
-  }
-
-  const auto read_flat = [](const char* path, FlatJson& out) {
+  const auto read_flat = [](const std::string& path, FlatJson& out) {
     std::ifstream file(path);
     if (!file) {
       std::cerr << "error: cannot open " << path << "\n";
@@ -233,13 +260,38 @@ int main(int argc, char** argv) {
     return true;
   };
 
-  FlatJson baseline;
-  FlatJson fresh;
-  if (!read_flat(argv[1], baseline) || !read_flat(argv[2], fresh)) return 2;
-
+  // Options start with "--" and may appear before or after the two
+  // positional file paths; they may contain '=' themselves, so they must
+  // never fall through to the path=RULE override parser.
+  std::string trajectory_path;
+  bool suggest_baseline = false;
   std::map<std::string, Rule> overrides;
-  for (int i = 3; i < argc; ++i) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg.rfind("--trajectory=", 0) == 0) {
+      trajectory_path = arg.substr(13);
+      if (trajectory_path.empty()) {
+        std::cerr << "error: --trajectory= expects a path\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--suggest-baseline") {
+      suggest_baseline = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown option '" << arg
+                << "'; accepted: --trajectory=PATH --suggest-baseline\n";
+      return 2;
+    }
+    // The first two bare arguments are the baseline and fresh files; the
+    // rest are path=RULE overrides.
+    if (positional.size() < 2) {
+      positional.push_back(arg);
+      continue;
+    }
     const auto eq = arg.rfind('=');
     if (eq == std::string::npos || eq == 0) {
       std::cerr << "error: override '" << arg << "' is not path=RULE\n";
@@ -264,6 +316,21 @@ int main(int argc, char** argv) {
     overrides[arg.substr(0, eq)] = rule;
   }
 
+  if (positional.size() < 2) {
+    std::cerr << "usage: ci_perf_gate [--trajectory=PATH] "
+                 "[--suggest-baseline] <baseline.json> <fresh.json> "
+                 "[path=TOL|exact|skip ...]\n";
+    return 2;
+  }
+  const std::string baseline_path = positional[0];
+  const std::string fresh_path = positional[1];
+
+  FlatJson baseline;
+  FlatJson fresh;
+  if (!read_flat(baseline_path, baseline) || !read_flat(fresh_path, fresh)) {
+    return 2;
+  }
+
   const std::string schema = baseline.strings.count("schema") != 0
                                  ? baseline.strings.at("schema")
                                  : "";
@@ -275,6 +342,7 @@ int main(int argc, char** argv) {
 
   std::size_t compared = 0;
   std::size_t failed = 0;
+  std::vector<GateResult> results;
   for (const auto& [path, base] : baseline.numbers) {
     Rule rule = schema_rule(schema, path);
     if (const auto it = overrides.find(path); it != overrides.end()) {
@@ -286,6 +354,7 @@ int main(int argc, char** argv) {
     if (fresh_it == fresh.numbers.end()) {
       std::cout << "[gate] FAIL " << path << ": present in baseline, missing "
                 << "from fresh output\n";
+      results.push_back({path, base, 0.0, /*missing=*/true, rule, false});
       ++failed;
       continue;
     }
@@ -318,11 +387,58 @@ int main(int argc, char** argv) {
       std::cout << "\n";
       ++failed;
     }
+    results.push_back({path, base, now, /*missing=*/false, rule, ok});
   }
 
-  std::cout << "[gate] " << compared << " metrics compared against " << argv[1]
+  std::cout << "[gate] " << compared << " metrics compared against " << baseline_path
             << ", " << failed << " regressed\n";
+
+  if (!trajectory_path.empty()) {
+    // Append-only JSONL so successive CI runs accumulate one trajectory
+    // file per pipeline; the sha ties each record to its commit.
+    std::ofstream trajectory(trajectory_path, std::ios::app);
+    const char* sha_env = std::getenv("GITHUB_SHA");
+    const std::string sha = sha_env == nullptr ? "" : sha_env;
+    for (const GateResult& result : results) {
+      trajectory << "{\"baseline\": \"" << baseline_path << "\", \"schema\": \""
+                 << schema << "\"";
+      if (!sha.empty()) trajectory << ", \"sha\": \"" << sha << "\"";
+      trajectory << ", \"path\": \"" << result.path << "\", \"base\": "
+                 << result.base << ", \"fresh\": ";
+      if (result.missing) {
+        trajectory << "null";
+      } else {
+        trajectory << result.fresh;
+      }
+      trajectory << ", \"rule\": \"" << direction_name(result.rule.direction)
+                 << "\", \"tolerance\": " << result.rule.tolerance
+                 << ", \"ok\": " << (result.ok ? "true" : "false") << "}\n";
+    }
+    std::cout << "[gate] trajectory: appended " << results.size()
+              << " records to " << trajectory_path
+              << (trajectory.good() ? "" : " (WRITE FAILED)") << "\n";
+  }
+
   if (failed != 0) {
+    if (suggest_baseline) {
+      // The diff a regenerated baseline would commit: every metric whose
+      // value moved, not only the ones outside tolerance — retuning one
+      // knob usually shifts neighbors inside their bands too, and those
+      // shifts land in the new baseline alongside the failing ones.
+      std::cout << "[gate] suggested baseline changes (" << baseline_path << "):\n";
+      for (const GateResult& result : results) {
+        if (result.missing) {
+          std::cout << "[gate]   " << result.path << ": " << result.base
+                    << " -> (missing; field removed?)\n";
+        } else if (result.fresh != result.base) {
+          std::cout << "[gate]   " << result.path << ": " << result.base
+                    << " -> " << result.fresh
+                    << (result.ok ? "" : "   [REGRESSED]") << "\n";
+        }
+      }
+      std::cout << "[gate] if intentional: cp " << fresh_path << " " << baseline_path
+                << " and commit it with the code\n";
+    }
     std::cout << "[gate] FAILED: perf/leak trajectory regressed — if the "
                  "change is intentional, regenerate the baseline JSON and "
                  "commit it with the code\n";

@@ -4,6 +4,7 @@
 
 #include "dns/rdata.h"
 #include "obs/tracer.h"
+#include "resolver/shared_store.h"
 
 namespace lookaside::resolver {
 
@@ -257,6 +258,13 @@ void ResolverCache::store_nsec(const dns::Name& zone_apex,
   entry.expires_us = ttl_to_deadline(now(), nsec_record.ttl);
   entry.cost = static_cast<std::uint32_t>(nsec_cost(nsec_record.name, entry));
   charge(entry.cost);
+  if (shared_ != nullptr) {
+    // Write-through: sibling shards can then suppress the same denial
+    // without their own registry round trip (and its Case-2 leak).
+    shared_->store_nsec(zone_apex, nsec_record.name,
+                        {entry.next, entry.types, entry.expires_us,
+                         shard_id_});
+  }
   NsecEntry& slot = nsec_by_zone_.get_or_insert(zone_apex)
                         .chain[nsec_record.name];
   if (slot.cost != 0) release(slot.cost);  // overwrite of an existing owner
@@ -267,10 +275,11 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
                                        const dns::Name& qname,
                                        dns::RRType qtype,
                                        std::uint64_t* expires_us) {
-  NsecZone* zone = nsec_by_zone_.find(zone_apex);
-  if (zone == nullptr) return NsecCoverage::kNoProof;
-  NsecChain& chain = zone->chain;
   if (!qname.is_subdomain_of(zone_apex)) return NsecCoverage::kNoProof;
+  NsecZone* zone = nsec_by_zone_.find(zone_apex);
+  if (zone == nullptr) return shared_nsec_check(zone_apex, qname, qtype,
+                                                expires_us);
+  NsecChain& chain = zone->chain;
 
   // Greatest owner <= qname. Expired entries met on the walk are reclaimed
   // and skipped: a stale closer entry must not shadow a live covering proof
@@ -280,7 +289,7 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
   for (;;) {
     if (it == chain.begin()) {
       if (chain.empty()) nsec_by_zone_.erase(zone_apex);
-      return NsecCoverage::kNoProof;
+      return shared_nsec_check(zone_apex, qname, qtype, expires_us);
     }
     --it;
     if (it->second.expires_us > now()) break;
@@ -299,6 +308,8 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
       counters_.add("cache.nsec_hit");
       return NsecCoverage::kTypeAbsent;
     }
+    // The private exact entry says the type exists; a sibling's fresher
+    // proof cannot contradict a validated span, so don't consult the store.
     return NsecCoverage::kNoProof;
   }
 
@@ -311,10 +322,27 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
     counters_.add("cache.nsec_hit");
     return NsecCoverage::kNameCovered;
   }
-  return NsecCoverage::kNoProof;
+  return shared_nsec_check(zone_apex, qname, qtype, expires_us);
+}
+
+NsecCoverage ResolverCache::shared_nsec_check(const dns::Name& zone_apex,
+                                              const dns::Name& qname,
+                                              dns::RRType qtype,
+                                              std::uint64_t* expires_us) {
+  if (shared_ == nullptr) return NsecCoverage::kNoProof;
+  const NsecCoverage coverage =
+      shared_->check_nsec(zone_apex, qname, qtype, now(), shard_id_,
+                          expires_us);
+  if (coverage != NsecCoverage::kNoProof) {
+    counters_.add("cache.nsec_shared_hit");
+  }
+  return coverage;
 }
 
 std::size_t ResolverCache::nsec_count(const dns::Name& zone_apex) const {
+  // With a shared store attached the shared chain is the union across all
+  // shards (private stores write through), so it is the authoritative count.
+  if (shared_ != nullptr) return shared_->nsec_count(zone_apex);
   const NsecZone* zone = nsec_by_zone_.find(zone_apex);
   return zone == nullptr ? 0 : zone->chain.size();
 }
@@ -326,6 +354,9 @@ void ResolverCache::store_zone_cut(const dns::Name& apex, std::uint32_t ttl) {
   if (record.expires_us == 0) charge(zone_cut_cost(apex));
   record.expires_us = ttl_to_deadline(now(), ttl);
   record.referenced = false;
+  if (shared_ != nullptr) {
+    shared_->store_zone_cut(apex, record.expires_us, shard_id_);
+  }
 }
 
 dns::Name ResolverCache::deepest_known_cut(const dns::Name& qname) {
@@ -338,6 +369,13 @@ dns::Name ResolverCache::deepest_known_cut(const dns::Name& qname) {
       }
       release(zone_cut_cost(candidate));
       zone_cuts_.erase(candidate);
+    }
+    // A sibling's published cut is as good as our own: iteration can start
+    // at the deepest cut *any* shard has proven.
+    if (shared_ != nullptr &&
+        shared_->has_zone_cut(candidate, now(), shard_id_)) {
+      counters_.add("cache.zone_cut_shared_hit");
+      return candidate;
     }
     if (candidate.is_root()) return candidate;
     candidate = candidate.parent();

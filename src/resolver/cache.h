@@ -34,6 +34,8 @@ class Tracer;
 
 namespace lookaside::resolver {
 
+class SharedProofStore;
+
 /// Negative-cache lookup outcome.
 enum class NegativeEntry {
   kNone,      // nothing cached
@@ -129,7 +131,11 @@ class ResolverCache {
                                         dns::RRType qtype,
                                         std::uint64_t* expires_us = nullptr);
 
-  /// Number of live NSEC entries cached for `zone_apex`.
+  /// Number of NSEC entries known for `zone_apex`. With a shared proof
+  /// store attached this is the *shared* chain size — the union across all
+  /// shards (private entries are written through, so they are a subset) —
+  /// which keeps leak-cause attribution ("nsec-gap" vs "cold-miss")
+  /// invariant across shard counts.
   [[nodiscard]] std::size_t nsec_count(const dns::Name& zone_apex) const;
 
   // -- Zone-cut cache ---------------------------------------------------------
@@ -139,6 +145,22 @@ class ResolverCache {
 
   /// Deepest unexpired known cut enclosing `qname`; root when none.
   [[nodiscard]] dns::Name deepest_known_cut(const dns::Name& qname);
+
+  // -- Shared proof store (multi-shard serving, DESIGN.md §4i) ----------------
+
+  /// Attaches a striped shared NSEC/zone-cut store (nullable to detach).
+  /// Afterwards this cache consults the store whenever its private NSEC
+  /// chain or zone-cut table misses ("cache.nsec_shared_hit" /
+  /// "cache.zone_cut_shared_hit"), and writes every validated NSEC span and
+  /// zone cut through so sibling shards can suppress the same upstream
+  /// queries. `shard_id` labels published entries for the cross-shard
+  /// suppressed-leak accounting.
+  void attach_shared(SharedProofStore* store, std::uint32_t shard_id = 0) {
+    shared_ = store;
+    shard_id_ = shard_id;
+  }
+  [[nodiscard]] SharedProofStore* shared_store() const { return shared_; }
+  [[nodiscard]] std::uint32_t shard_id() const { return shard_id_; }
 
   // -- Lifecycle (accounting / sweep / eviction) ------------------------------
 
@@ -264,6 +286,13 @@ class ResolverCache {
   void charge(std::size_t cost);
   void release(std::size_t cost);
 
+  /// L2 NSEC consult when the private chain has no proof: asks the shared
+  /// store (when attached) and counts "cache.nsec_shared_hit".
+  [[nodiscard]] NsecCoverage shared_nsec_check(const dns::Name& zone_apex,
+                                               const dns::Name& qname,
+                                               dns::RRType qtype,
+                                               std::uint64_t* expires_us);
+
   // -- Sweep / eviction internals --------------------------------------------
 
   /// Sweeps up to `budget` slots of `section` for expired entries;
@@ -278,6 +307,8 @@ class ResolverCache {
 
   const sim::SimClock* clock_;
   obs::Tracer* tracer_ = nullptr;
+  SharedProofStore* shared_ = nullptr;  // nullable; not owned
+  std::uint32_t shard_id_ = 0;
   metrics::CounterSet counters_;
   CacheLimits limits_;
   std::uint64_t bytes_ = 0;

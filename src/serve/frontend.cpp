@@ -18,6 +18,13 @@ std::uint64_t case2_count(const dlv::DlvRegistry* registry) {
   return registry->total_queries() - registry->queries_with_record();
 }
 
+/// Appends {shard=<label>} to a metric's labels when the frontend carries a
+/// shard label; leaves single-resolver series untouched otherwise.
+obs::Labels with_shard(const std::string& shard, obs::Labels labels = {}) {
+  if (!shard.empty()) labels.emplace_back("shard", shard);
+  return labels;
+}
+
 /// Plain-stub view (DO=0): no DNSSEC records, never an AD claim. Mirrors
 /// the resolver's own stub-facing strip so both paths agree byte-for-byte.
 void strip_for_plain_stub(dns::Message& response) {
@@ -45,7 +52,7 @@ ClientAccount& FrontendServer::account(std::uint32_t client) {
 void FrontendServer::note_depth() {
   max_depth_ = std::max(max_depth_, depth_);
   if (metrics_ != nullptr) {
-    metrics_->observe("serve_queue_depth", {},
+    metrics_->observe("serve_queue_depth", with_shard(shard_label_),
                       static_cast<double>(depth_));
   }
 }
@@ -79,7 +86,9 @@ Served FrontendServer::make_formerr(const WireQuery& query) {
 
   stats_.add("serve.formerr");
   stats_.add("serve.bytes.response", served.response_bytes);
-  if (metrics_ != nullptr) metrics_->add("serve_formerr");
+  if (metrics_ != nullptr) {
+    metrics_->add("serve_formerr", with_shard(shard_label_));
+  }
   account(query.client).formerr += 1;
   return served;
 }
@@ -181,7 +190,8 @@ Served FrontendServer::serve_decoded(const WireQuery& query,
     }
     stats_.add("serve.coalesce.hits");
     if (metrics_ != nullptr) {
-      metrics_->add("serve_coalesce", {{"result", "hit"}});
+      metrics_->add("serve_coalesce",
+                    with_shard(shard_label_, {{"result", "hit"}}));
     }
     account(query.client).coalesce_hits += 1;
     finish(served, message, entry.result);
@@ -193,7 +203,9 @@ Served FrontendServer::serve_decoded(const WireQuery& query,
     // client that pushed the frontend over its quota.
     served.overload_drop = true;
     stats_.add("serve.overload.drops");
-    if (metrics_ != nullptr) metrics_->add("serve_overload_drops");
+    if (metrics_ != nullptr) {
+      metrics_->add("serve_overload_drops", with_shard(shard_label_));
+    }
     account(query.client).overload_drops += 1;
     return make_shed(query, message, served);
   }
@@ -204,7 +216,9 @@ Served FrontendServer::serve_decoded(const WireQuery& query,
     // attacker can no longer rent the resolver's hash loop.
     served.cpu_drop = true;
     stats_.add("serve.cpu.drops");
-    if (metrics_ != nullptr) metrics_->add("serve_cpu_drops");
+    if (metrics_ != nullptr) {
+      metrics_->add("serve_cpu_drops", with_shard(shard_label_));
+    }
     account(query.client).cpu_drops += 1;
     return make_shed(query, message, served);
   }
@@ -227,12 +241,16 @@ Served FrontendServer::serve_decoded(const WireQuery& query,
   stats_.add("serve.coalesce.misses");
   stats_.add("serve.case2.leaks", leaked);
   if (metrics_ != nullptr) {
-    metrics_->add("serve_coalesce", {{"result", "miss"}});
-    if (leaked > 0) metrics_->add("serve_case2_leaks", {}, leaked);
+    metrics_->add("serve_coalesce",
+                  with_shard(shard_label_, {{"result", "miss"}}));
+    if (leaked > 0) {
+      metrics_->add("serve_case2_leaks", with_shard(shard_label_), leaked);
+    }
     // High-water footprint of the shared resolver cache every client
     // behind this frontend populates; under a configured cap this is the
     // number the eviction clock holds down.
-    metrics_->set_gauge("resolver_cache_bytes", {}, resolver_->cache().bytes());
+    metrics_->set_gauge("resolver_cache_bytes", with_shard(shard_label_),
+                        resolver_->cache().bytes());
   }
   ClientAccount& acct = account(query.client);
   acct.case2_leaks += leaked;

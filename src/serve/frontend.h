@@ -133,6 +133,12 @@ class FrontendServer : public sim::Endpoint {
   /// (the queue-depth gauge). Nullable.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Tags every emitted metric with {shard=<label>} when non-empty, so a
+  /// sharded run's merged registry keeps per-shard serving series apart
+  /// (serve_coalesce{result=hit,shard=2}, ...). Empty (the default)
+  /// preserves the single-resolver series names byte for byte.
+  void set_shard_label(std::string label) { shard_label_ = std::move(label); }
+
   /// Attaches a structured tracer (nullable). The frontend then opens one
   /// span per client query (client_query .. client_response), pushes the
   /// trace context (query_id, client) so every downstream resolver / cache
@@ -215,6 +221,7 @@ class FrontendServer : public sim::Endpoint {
   sim::Network* network_;
   resolver::RecursiveResolver* resolver_;
   FrontendOptions options_;
+  std::string shard_label_;
   const dlv::DlvRegistry* registry_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

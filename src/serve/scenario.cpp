@@ -5,65 +5,19 @@
 
 #include "crypto/rng.h"
 #include "obs/tracer.h"
+#include "resolver/shared_store.h"
 
 namespace lookaside::serve {
 
-namespace {
-
-/// Deterministic quantile over virtual latencies (nearest-rank on the
-/// sorted sample; integer inputs, so no float-order sensitivity).
-double quantile_ms(std::vector<std::uint64_t> sorted, double q) {
+double quantile_ms(const std::vector<std::uint64_t>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const auto index = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1));
   return static_cast<double>(sorted[index]) / 1000.0;
 }
 
-std::uint64_t case2_count(const dlv::DlvRegistry& registry) {
-  return registry.total_queries() - registry.queries_with_record();
-}
-
-}  // namespace
-
-ServeScenario::ServeScenario(ScenarioOptions options)
-    : options_(std::move(options)), network_(clock_) {
-  workload::WorldOptions world_options;
-  world_options.universe.size = options_.universe_size;
-  world_options.universe.seed = options_.seed;
-  world_options.seed = crypto::derive_seed(options_.seed, 0x0F0F);
-  world_options.dlv = options_.dlv;
-  // Deposits beyond the sampled head never get queried; capping the scan
-  // keeps small scenario builds fast without changing any observable.
-  world_options.deposit_scan_limit = options_.universe_size;
-
-  world_ = std::make_unique<workload::UniverseWorld>(world_options);
-  world_->registry().attach_clock(clock_);
-  world_->registry().set_store_observations(false);
-  analyzer_ = std::make_unique<core::LeakageAnalyzer>(world_->registry());
-
-  resolver_ = std::make_unique<resolver::RecursiveResolver>(
-      network_, world_->directory(), options_.resolver_config);
-  resolver_->set_root_trust_anchor(world_->root_trust_anchor());
-  resolver_->set_dlv_trust_anchor(world_->registry().trust_anchor());
-
-  frontend_ = std::make_unique<FrontendServer>(network_, *resolver_,
-                                               options_.frontend);
-  frontend_->set_registry(&world_->registry());
-  frontend_->set_metrics(options_.metrics);
-
-  if (options_.tracer != nullptr) {
-    options_.tracer->attach_clock(clock_);
-    options_.tracer->attach_network(network_);
-    world_->set_tracer(options_.tracer);
-    resolver_->set_tracer(options_.tracer);
-    frontend_->set_tracer(options_.tracer);
-  }
-}
-
-ServeScenario::~ServeScenario() = default;
-
-std::vector<WireQuery> ServeScenario::encode_schedule(
-    const std::vector<workload::ClientQuery>& schedule) const {
+std::vector<WireQuery> encode_schedule(
+    const std::vector<workload::ClientQuery>& schedule) {
   std::vector<WireQuery> wire;
   wire.reserve(schedule.size());
   for (const workload::ClientQuery& query : schedule) {
@@ -78,32 +32,81 @@ std::vector<WireQuery> ServeScenario::encode_schedule(
   return wire;
 }
 
-void ServeScenario::fill_registry_side(ScenarioSummary& summary) const {
-  const core::LeakageReport& report = analyzer_->report();
-  summary.case2_total = report.case2_queries;
-  summary.distinct_leaked = report.distinct_leaked_domains;
-  summary.leaked_domains = analyzer_->leaked_domains();
+// -- ServeStack ---------------------------------------------------------------
+
+ServeStack::ServeStack(const ScenarioOptions& options, obs::Tracer* tracer,
+                       obs::MetricsRegistry* metrics,
+                       resolver::SharedProofStore* shared_store,
+                       std::uint32_t shard_id, const std::string& shard_label)
+    : network(clock) {
+  workload::WorldOptions world_options;
+  world_options.universe.size = options.universe_size;
+  world_options.universe.seed = options.seed;
+  world_options.seed = crypto::derive_seed(options.seed, 0x0F0F);
+  world_options.dlv = options.dlv;
+  // Deposits beyond the sampled head never get queried; capping the scan
+  // keeps small scenario builds fast without changing any observable.
+  world_options.deposit_scan_limit = options.universe_size;
+
+  world = std::make_unique<workload::UniverseWorld>(world_options);
+  world->registry().attach_clock(clock);
+  world->registry().set_store_observations(false);
+  analyzer = std::make_unique<core::LeakageAnalyzer>(world->registry());
+
+  resolver = std::make_unique<resolver::RecursiveResolver>(
+      network, world->directory(), options.resolver_config);
+  resolver->set_root_trust_anchor(world->root_trust_anchor());
+  resolver->set_dlv_trust_anchor(world->registry().trust_anchor());
+  if (shared_store != nullptr) {
+    resolver->cache().attach_shared(shared_store, shard_id);
+  }
+
+  frontend = std::make_unique<FrontendServer>(network, *resolver,
+                                              options.frontend);
+  frontend->set_registry(&world->registry());
+  frontend->set_metrics(metrics);
+  frontend->set_shard_label(shard_label);
+
+  if (tracer != nullptr) {
+    tracer->attach_clock(clock);
+    tracer->attach_network(network);
+    world->set_tracer(tracer);
+    resolver->set_tracer(tracer);
+    frontend->set_tracer(tracer);
+  }
 }
 
-ScenarioSummary ServeScenario::run() {
-  if (used_) throw std::logic_error("ServeScenario is single-shot");
-  used_ = true;
+ServeStack::~ServeStack() = default;
 
-  const workload::ClientMix mix(options_.mix);
-  const std::vector<Served> served =
-      frontend_->run(encode_schedule(mix.generate(world_->universe())));
+std::uint64_t ServeStack::case2() const {
+  return world->registry().total_queries() -
+         world->registry().queries_with_record();
+}
 
+void ServeStack::fill_registry_side(ScenarioSummary& summary) const {
+  const core::LeakageReport& report = analyzer->report();
+  summary.case2_total = report.case2_queries;
+  summary.distinct_leaked = report.distinct_leaked_domains;
+  summary.leaked_domains = analyzer->leaked_domains();
+}
+
+// -- Summaries ----------------------------------------------------------------
+
+ScenarioSummary summarize_served(const std::vector<Served>& served,
+                                 const FrontendServer& frontend,
+                                 std::uint32_t clients,
+                                 std::uint32_t attack_start,
+                                 std::vector<std::uint64_t>* latencies_out,
+                                 std::uint64_t* first_arrival_out,
+                                 std::uint64_t* last_completion_out) {
   ScenarioSummary summary;
   summary.served = served.size();
-  summary.coalesce_hits = frontend_->stats().value("serve.coalesce.hits");
-  summary.coalesce_misses = frontend_->stats().value("serve.coalesce.misses");
-  summary.overload_drops = frontend_->stats().value("serve.overload.drops");
-  summary.cpu_drops = frontend_->stats().value("serve.cpu.drops");
-  summary.max_queue_depth = frontend_->max_queue_depth();
+  summary.coalesce_hits = frontend.stats().value("serve.coalesce.hits");
+  summary.coalesce_misses = frontend.stats().value("serve.coalesce.misses");
+  summary.overload_drops = frontend.stats().value("serve.overload.drops");
+  summary.cpu_drops = frontend.stats().value("serve.cpu.drops");
+  summary.max_queue_depth = frontend.max_queue_depth();
 
-  // Shed queries (SERVFAIL at arrival, zero latency) are excluded from the
-  // latency sample — they would otherwise make an overloaded run look fast.
-  const std::uint32_t attack_start = mix.first_attacker();
   std::vector<std::uint64_t> latencies;
   std::vector<std::uint64_t> benign_latencies;
   latencies.reserve(served.size());
@@ -129,15 +132,40 @@ ScenarioSummary ServeScenario::run() {
                     : static_cast<double>(summary.served) /
                           (static_cast<double>(makespan_us) / 1e6);
 
-  summary.case2_per_client.assign(options_.mix.clients, 0);
-  const std::vector<ClientAccount>& accounts = frontend_->clients();
+  summary.case2_per_client.assign(clients, 0);
+  const std::vector<ClientAccount>& accounts = frontend.clients();
   for (std::size_t i = 0; i < accounts.size(); ++i) {
     if (i < summary.case2_per_client.size()) {
       summary.case2_per_client[i] = accounts[i].case2_leaks;
     }
     summary.validation_cpu_us += accounts[i].cpu_spent_us;
   }
-  fill_registry_side(summary);
+  if (latencies_out != nullptr) *latencies_out = std::move(latencies);
+  if (first_arrival_out != nullptr) *first_arrival_out = first_arrival;
+  if (last_completion_out != nullptr) *last_completion_out = last_completion;
+  return summary;
+}
+
+// -- ServeScenario ------------------------------------------------------------
+
+ServeScenario::ServeScenario(ScenarioOptions options)
+    : options_(std::move(options)),
+      stack_(options_, options_.tracer, options_.metrics,
+             /*shared_store=*/nullptr, /*shard_id=*/0, /*shard_label=*/{}) {}
+
+ServeScenario::~ServeScenario() = default;
+
+ScenarioSummary ServeScenario::run() {
+  if (used_) throw std::logic_error("ServeScenario is single-shot");
+  used_ = true;
+
+  const workload::ClientMix mix(options_.mix);
+  const std::vector<Served> served =
+      stack_.frontend->run(encode_schedule(mix.generate(stack_.world->universe())));
+
+  ScenarioSummary summary = summarize_served(
+      served, *stack_.frontend, options_.mix.clients, mix.first_attacker());
+  stack_.fill_registry_side(summary);
   return summary;
 }
 
@@ -147,7 +175,7 @@ ScenarioSummary ServeScenario::run_sequential_reference() {
 
   const workload::ClientMix mix(options_.mix);
   const std::vector<workload::ClientQuery> schedule =
-      mix.generate(world_->universe());
+      mix.generate(stack_.world->universe());
 
   ScenarioSummary summary;
   summary.served = schedule.size();
@@ -157,17 +185,16 @@ ScenarioSummary ServeScenario::run_sequential_reference() {
   latencies.reserve(schedule.size());
   std::uint64_t last_completion = 0;
   for (const workload::ClientQuery& query : schedule) {
-    const std::uint64_t before = case2_count(world_->registry());
-    const std::uint64_t start_us = clock_.now_us();
+    const std::uint64_t before = stack_.case2();
+    const std::uint64_t start_us = stack_.clock.now_us();
     const resolver::ResolveResult result =
-        resolver_->resolve({query.name, query.type});
+        stack_.resolver->resolve({query.name, query.type});
     (void)result;
-    const std::uint64_t cost_us = clock_.now_us() - start_us;
+    const std::uint64_t cost_us = stack_.clock.now_us() - start_us;
     latencies.push_back(cost_us);
     last_completion = std::max(last_completion, query.time_us + cost_us);
     if (query.client < summary.case2_per_client.size()) {
-      summary.case2_per_client[query.client] +=
-          case2_count(world_->registry()) - before;
+      summary.case2_per_client[query.client] += stack_.case2() - before;
     }
   }
   std::sort(latencies.begin(), latencies.end());
@@ -181,7 +208,7 @@ ScenarioSummary ServeScenario::run_sequential_reference() {
                     ? 0.0
                     : static_cast<double>(summary.served) /
                           (static_cast<double>(makespan_us) / 1e6);
-  fill_registry_side(summary);
+  stack_.fill_registry_side(summary);
   return summary;
 }
 

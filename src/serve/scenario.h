@@ -10,6 +10,10 @@
 // in the sequential world, and neither path reaches the DLV registry — so
 // the Case-2 totals and the leaked-domain sets of the two runs must be
 // identical. bench_serve_throughput exits nonzero when they are not.
+//
+// The stack itself (ServeStack) is a standalone building block so the
+// sharded runner (serve/sharded.h) can own N of them — one per resolver
+// shard — without duplicating the wiring.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,9 @@
 namespace lookaside::obs {
 class Tracer;
 class MetricsRegistry;
+}
+namespace lookaside::resolver {
+class SharedProofStore;
 }
 
 namespace lookaside::serve {
@@ -73,6 +80,61 @@ struct ScenarioSummary {
   }
 };
 
+/// Deterministic quantile over sorted virtual latencies (nearest-rank;
+/// integer inputs, so no float-order sensitivity). Exposed so the sharded
+/// runner computes merged percentiles with the same estimator.
+[[nodiscard]] double quantile_ms(const std::vector<std::uint64_t>& sorted,
+                                 double q);
+
+/// Encodes an arrival schedule to wire queries with the deterministic
+/// per-query id contract ((client << 10) ^ seq ^ 0x5117).
+[[nodiscard]] std::vector<WireQuery> encode_schedule(
+    const std::vector<workload::ClientQuery>& schedule);
+
+/// One full serving stack: private clock, network, world, analyzer,
+/// resolver and frontend. ServeScenario owns exactly one; the sharded
+/// runner owns one per shard (shared-nothing except the optional
+/// SharedProofStore attached to the resolver cache).
+struct ServeStack {
+  /// `shard_id`/`shard_label` feed the shared store's sibling accounting
+  /// and the frontend's per-shard metric labels; `shared_store` (nullable)
+  /// attaches the cross-shard proof store to this stack's resolver cache.
+  ServeStack(const ScenarioOptions& options, obs::Tracer* tracer,
+             obs::MetricsRegistry* metrics,
+             resolver::SharedProofStore* shared_store,
+             std::uint32_t shard_id, const std::string& shard_label);
+  ~ServeStack();
+
+  ServeStack(const ServeStack&) = delete;
+  ServeStack& operator=(const ServeStack&) = delete;
+
+  /// Registry-side Case-2 count so far (total minus deposited).
+  [[nodiscard]] std::uint64_t case2() const;
+  /// Copies the registry-side leak fields into `summary`.
+  void fill_registry_side(ScenarioSummary& summary) const;
+
+  sim::SimClock clock;
+  sim::Network network;
+  std::unique_ptr<workload::UniverseWorld> world;
+  std::unique_ptr<core::LeakageAnalyzer> analyzer;
+  std::unique_ptr<resolver::RecursiveResolver> resolver;
+  std::unique_ptr<FrontendServer> frontend;
+};
+
+/// Builds the frontend-side summary fields from one run's Served records.
+/// Shed queries (SERVFAIL at arrival, zero latency) are excluded from the
+/// latency sample — they would otherwise make an overloaded run look fast.
+/// When non-null, `latencies_out` receives the sorted answered-query
+/// latencies and `first_arrival_out`/`last_completion_out` the run's span
+/// endpoints, so the sharded runner can merge percentiles and makespans
+/// canonically. Registry-side fields are NOT filled here.
+[[nodiscard]] ScenarioSummary summarize_served(
+    const std::vector<Served>& served, const FrontendServer& frontend,
+    std::uint32_t clients, std::uint32_t attack_start,
+    std::vector<std::uint64_t>* latencies_out = nullptr,
+    std::uint64_t* first_arrival_out = nullptr,
+    std::uint64_t* last_completion_out = nullptr);
+
 /// Owns one full serving stack for one run (single-shot: build, run, read).
 class ServeScenario {
  public:
@@ -88,22 +150,13 @@ class ServeScenario {
   /// ServeScenario from the same options to compare against run().
   [[nodiscard]] ScenarioSummary run_sequential_reference();
 
-  [[nodiscard]] FrontendServer& frontend() { return *frontend_; }
-  [[nodiscard]] workload::UniverseWorld& world() { return *world_; }
-  [[nodiscard]] sim::Network& network() { return network_; }
+  [[nodiscard]] FrontendServer& frontend() { return *stack_.frontend; }
+  [[nodiscard]] workload::UniverseWorld& world() { return *stack_.world; }
+  [[nodiscard]] sim::Network& network() { return stack_.network; }
 
  private:
-  [[nodiscard]] std::vector<WireQuery> encode_schedule(
-      const std::vector<workload::ClientQuery>& schedule) const;
-  void fill_registry_side(ScenarioSummary& summary) const;
-
   ScenarioOptions options_;
-  sim::SimClock clock_;
-  sim::Network network_;
-  std::unique_ptr<workload::UniverseWorld> world_;
-  std::unique_ptr<core::LeakageAnalyzer> analyzer_;
-  std::unique_ptr<resolver::RecursiveResolver> resolver_;
-  std::unique_ptr<FrontendServer> frontend_;
+  ServeStack stack_;
   bool used_ = false;
 };
 
