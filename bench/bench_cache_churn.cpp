@@ -39,6 +39,7 @@ namespace {
 
 struct CellResult {
   std::uint64_t cap_bytes = 0;  // 0 = unbounded
+  bool synthesis = false;       // RFC 8198 + verdict-cache leg (§4j)
   std::uint64_t case2_queries = 0;
   std::uint64_t distinct_leaked = 0;
   std::uint64_t dlv_queries = 0;
@@ -48,12 +49,15 @@ struct CellResult {
   std::uint64_t evicted_nsec = 0;
   std::uint64_t expired_swept = 0;
   std::uint64_t nsec_entries = 0;
+  std::uint64_t synthesized = 0;      // denials answered from synthesis
+  std::uint64_t negative_elided = 0;  // exact negatives skipped (covered)
+  std::uint64_t rsa_skipped = 0;      // verdict-cache RSA verifies saved
   double virtual_seconds = 0;
 };
 
-CellResult run_cell(std::uint64_t cap_bytes, std::uint64_t top_n,
-                    std::uint64_t rounds, std::uint64_t universe,
-                    lookaside::obs::Tracer* tracer) {
+CellResult run_cell(std::uint64_t cap_bytes, bool synthesis,
+                    std::uint64_t top_n, std::uint64_t rounds,
+                    std::uint64_t universe, lookaside::obs::Tracer* tracer) {
   using namespace lookaside;
 
   core::UniverseExperiment::Options options;
@@ -61,6 +65,11 @@ CellResult run_cell(std::uint64_t cap_bytes, std::uint64_t top_n,
   options.resolver_config = resolver::ResolverConfig::bind_yum();
   options.resolver_config.max_cache_bytes = cap_bytes;
   options.resolver_config.ns_fetch_probability = 0.0;
+  if (synthesis) {
+    options.resolver_config.aggressive_synthesis = true;
+    options.resolver_config.verdict_cache_entries =
+        resolver::ResolverConfig::kDefaultVerdictCacheEntries;
+  }
   options.tracer = tracer;
   core::UniverseExperiment experiment(options);
 
@@ -83,6 +92,7 @@ CellResult run_cell(std::uint64_t cap_bytes, std::uint64_t top_n,
   const resolver::ResolverCache& cache = experiment.resolver().cache();
   CellResult cell;
   cell.cap_bytes = cap_bytes;
+  cell.synthesis = synthesis;
   cell.case2_queries = report.case2_queries;
   cell.distinct_leaked = report.distinct_leaked_domains;
   cell.dlv_queries = report.dlv_queries;
@@ -93,6 +103,14 @@ CellResult run_cell(std::uint64_t cap_bytes, std::uint64_t top_n,
   cell.expired_swept = cache.counters().value("cache.expired_swept");
   cell.nsec_entries =
       cache.nsec_count(options.resolver_config.dlv_domain);
+  cell.synthesized =
+      experiment.resolver().stats().value("dlv.suppressed.synthesized") +
+      experiment.resolver().stats().value("cache.synth_answer");
+  cell.negative_elided =
+      experiment.resolver().stats().value("cache.negative_elided");
+  cell.rsa_skipped =
+      experiment.resolver().validator().counters().value(
+          "verdict.rsa_skipped");
   cell.virtual_seconds = experiment.clock().now_seconds();
   return cell;
 }
@@ -141,26 +159,33 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::uint64_t>{0, 48 * 1024, 16 * 1024, 6 * 1024}
             : std::vector<std::uint64_t>{0, 256 * 1024, 64 * 1024, 16 * 1024};
 
-  metrics::Table table({"Cache cap", "DLV queries", "Case-2 queries",
-                        "Distinct leaked", "Evicted", "Evicted NSEC",
-                        "Swept", "Peak bytes", "End bytes"});
-  metrics::CsvWriter csv({"cap_bytes", "dlv_queries", "case2_queries",
-                          "distinct_leaked", "evicted", "evicted_nsec",
-                          "expired_swept", "cache_peak_bytes", "cache_bytes",
-                          "nsec_entries"});
+  metrics::Table table({"Synthesis", "Cache cap", "DLV queries",
+                        "Case-2 queries", "Distinct leaked", "Evicted",
+                        "Evicted NSEC", "Swept", "Synthesized",
+                        "RSA skipped", "End bytes"});
+  metrics::CsvWriter csv({"synthesis", "cap_bytes", "dlv_queries",
+                          "case2_queries", "distinct_leaked", "evicted",
+                          "evicted_nsec", "expired_swept", "cache_peak_bytes",
+                          "cache_bytes", "nsec_entries", "synthesized",
+                          "negative_elided", "rsa_skipped"});
 
+  // Two legs over the same cap sweep: the paper-era configuration (leg 0,
+  // byte-identical to the v2 study) and the §4j production configuration
+  // with RFC 8198 synthesis + the verdict cache on (leg 1). Cells are
+  // leg-major, caps descending within each leg.
   struct GridCell {
     CellResult result;
     std::unique_ptr<bench::ShardObs> obs;
   };
   const unsigned jobs = args.jobs();
   std::vector<GridCell> grid =
-      engine::run_sharded(caps.size(), jobs, [&](std::size_t index) {
+      engine::run_sharded(caps.size() * 2, jobs, [&](std::size_t index) {
         GridCell cell;
         cell.obs = std::make_unique<bench::ShardObs>(obs_session,
                                                      /*primary=*/index == 0);
-        cell.result = run_cell(caps[index], top_n, rounds, universe,
-                               cell.obs->tracer());
+        cell.result = run_cell(caps[index % caps.size()],
+                               /*synthesis=*/index >= caps.size(), top_n,
+                               rounds, universe, cell.obs->tracer());
         return cell;
       });
 
@@ -210,6 +235,7 @@ int main(int argc, char** argv) {
 
     grid[index].obs->merge_into(obs_session);
     table.row()
+        .cell(cell.synthesis ? "on" : "off")
         .cell(cap_label(cell.cap_bytes))
         .cell(cell.dlv_queries)
         .cell(cell.case2_queries)
@@ -217,9 +243,11 @@ int main(int argc, char** argv) {
         .cell(cell.evicted)
         .cell(cell.evicted_nsec)
         .cell(cell.expired_swept)
-        .cell(cell.cache_peak_bytes)
+        .cell(cell.synthesized)
+        .cell(cell.rsa_skipped)
         .cell(cell.cache_bytes);
-    csv.add_row({std::to_string(cell.cap_bytes),
+    csv.add_row({cell.synthesis ? "1" : "0",
+                 std::to_string(cell.cap_bytes),
                  std::to_string(cell.dlv_queries),
                  std::to_string(cell.case2_queries),
                  std::to_string(cell.distinct_leaked),
@@ -228,9 +256,14 @@ int main(int argc, char** argv) {
                  std::to_string(cell.expired_swept),
                  std::to_string(cell.cache_peak_bytes),
                  std::to_string(cell.cache_bytes),
-                 std::to_string(cell.nsec_entries)});
+                 std::to_string(cell.nsec_entries),
+                 std::to_string(cell.synthesized),
+                 std::to_string(cell.negative_elided),
+                 std::to_string(cell.rsa_skipped)});
     if (!cells_json.empty()) cells_json += ",";
-    cells_json += "{\"cap_bytes\":" + std::to_string(cell.cap_bytes) +
+    cells_json += std::string("{\"synthesis\":") +
+                  (cell.synthesis ? "true" : "false") +
+                  ",\"cap_bytes\":" + std::to_string(cell.cap_bytes) +
                   ",\"dlv_queries\":" + std::to_string(cell.dlv_queries) +
                   ",\"case2_queries\":" + std::to_string(cell.case2_queries) +
                   ",\"distinct_leaked\":" + std::to_string(cell.distinct_leaked) +
@@ -241,11 +274,16 @@ int main(int argc, char** argv) {
                   std::to_string(cell.cache_peak_bytes) +
                   ",\"cache_bytes\":" + std::to_string(cell.cache_bytes) +
                   ",\"nsec_entries\":" + std::to_string(cell.nsec_entries) +
+                  ",\"synthesized\":" + std::to_string(cell.synthesized) +
+                  ",\"negative_elided\":" +
+                  std::to_string(cell.negative_elided) +
+                  ",\"rsa_skipped\":" + std::to_string(cell.rsa_skipped) +
                   ",\"ledger_case2\":" + std::to_string(ledger_case2) +
                   ",\"causes\":" + causes_json +
                   ",\"virtual_seconds\":" +
                   metrics::Table::fixed(cell.virtual_seconds, 3) + "}";
-    std::cout << "  [done] cap=" << cap_label(cell.cap_bytes)
+    std::cout << "  [done] synthesis=" << (cell.synthesis ? "on" : "off")
+              << " cap=" << cap_label(cell.cap_bytes)
               << " case2=" << cell.case2_queries
               << " evicted=" << cell.evicted << "\n";
     std::cout.flush();
@@ -258,35 +296,71 @@ int main(int argc, char** argv) {
   csv.write(std::cout);
 
   // -- Contract checks -------------------------------------------------------
-  // Grid order is descending capacity (unbounded first), so Case-2 leakage
-  // must be non-decreasing along it: evicting more proofs can only send
-  // more queries to the registry, never fewer.
-  const CellResult& unbounded = grid.front().result;
-  if (unbounded.evicted != 0) {
-    fail("unbounded cell evicted " + std::to_string(unbounded.evicted) +
-         " entries; cap 0 must never evict");
+  // Within each leg the grid is descending capacity (unbounded first), so
+  // Case-2 leakage must be non-decreasing along it: evicting more proofs
+  // can only send more queries to the registry, never fewer.
+  const std::size_t leg_size = caps.size();
+  for (std::size_t leg = 0; leg < 2; ++leg) {
+    const char* leg_name = leg == 0 ? "off" : "on";
+    const CellResult& unbounded = grid[leg * leg_size].result;
+    if (unbounded.evicted != 0) {
+      fail(std::string("synthesis=") + leg_name + " unbounded cell evicted " +
+           std::to_string(unbounded.evicted) +
+           " entries; cap 0 must never evict");
+    }
+    for (std::size_t index = 1; index < leg_size; ++index) {
+      const CellResult& wider = grid[leg * leg_size + index - 1].result;
+      const CellResult& tighter = grid[leg * leg_size + index].result;
+      if (tighter.case2_queries < wider.case2_queries) {
+        fail(std::string("synthesis=") + leg_name +
+             " leakage not monotone: cap " + cap_label(tighter.cap_bytes) +
+             " leaked " + std::to_string(tighter.case2_queries) +
+             " Case-2 queries < " + std::to_string(wider.case2_queries) +
+             " at cap " + cap_label(wider.cap_bytes));
+      }
+      if (tighter.cap_bytes > 0 && tighter.cache_bytes > tighter.cap_bytes) {
+        fail(std::string("synthesis=") + leg_name + " cap " +
+             cap_label(tighter.cap_bytes) + " ended the run at " +
+             std::to_string(tighter.cache_bytes) + " bytes, over its cap");
+      }
+      if (tighter.cap_bytes > 0 && tighter.evicted == 0) {
+        fail(std::string("synthesis=") + leg_name + " cap " +
+             cap_label(tighter.cap_bytes) +
+             " never evicted; the rung is not exerting pressure");
+      }
+    }
   }
-  for (std::size_t index = 1; index < grid.size(); ++index) {
-    const CellResult& wider = grid[index - 1].result;
-    const CellResult& tighter = grid[index].result;
-    if (tighter.case2_queries < wider.case2_queries) {
-      fail("leakage not monotone: cap " + cap_label(tighter.cap_bytes) +
-           " leaked " + std::to_string(tighter.case2_queries) +
-           " Case-2 queries < " + std::to_string(wider.case2_queries) +
-           " at cap " + cap_label(wider.cap_bytes));
+  // Cross-leg (§4j acceptance): synthesis must bend the capped curve down —
+  // never above the paper-era leg at any cap, strictly below at two or
+  // more rungs — and the repeat-heavy workload must actually exercise the
+  // verdict cache.
+  std::size_t strict_wins = 0;
+  for (std::size_t index = 0; index < leg_size; ++index) {
+    const CellResult& off = grid[index].result;
+    const CellResult& on = grid[leg_size + index].result;
+    if (on.case2_queries > off.case2_queries) {
+      fail("synthesis leaked MORE at cap " + cap_label(off.cap_bytes) + ": " +
+           std::to_string(on.case2_queries) + " > " +
+           std::to_string(off.case2_queries));
     }
-    if (tighter.cap_bytes > 0 && tighter.cache_bytes > tighter.cap_bytes) {
-      fail("cap " + cap_label(tighter.cap_bytes) + " ended the run at " +
-           std::to_string(tighter.cache_bytes) + " bytes, over its cap");
+    if (on.case2_queries < off.case2_queries) ++strict_wins;
+    if (on.rsa_skipped == 0) {
+      fail("synthesis leg at cap " + cap_label(off.cap_bytes) +
+           " never hit the verdict cache on a repeat-heavy workload");
     }
-    if (tighter.cap_bytes > 0 && tighter.evicted == 0) {
-      fail("cap " + cap_label(tighter.cap_bytes) +
-           " never evicted; the rung is not exerting pressure");
+    if (off.rsa_skipped != 0 || off.synthesized != 0 ||
+        off.negative_elided != 0) {
+      fail("paper-era leg at cap " + cap_label(off.cap_bytes) +
+           " shows §4j activity; the off leg must be byte-identical to v2");
     }
+  }
+  if (strict_wins < 2) {
+    fail("synthesis won strictly at only " + std::to_string(strict_wins) +
+         " caps; the curve must bend down at >= 2 rungs");
   }
 
   std::ofstream out(out_path);
-  out << "{\"schema\":\"bench_cache_churn/v2\",\"workload\":{\"top_n\":"
+  out << "{\"schema\":\"bench_cache_churn/v3\",\"workload\":{\"top_n\":"
       << top_n << ",\"rounds\":" << rounds << ",\"universe\":" << universe
       << ",\"inter_round_gap_s\":2100,\"smoke\":" << (smoke ? "true" : "false")
       << "},\"checks_ok\":" << (ok ? "true" : "false") << ",\"cells\":["

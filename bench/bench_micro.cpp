@@ -155,12 +155,42 @@ void BM_CacheProbe_NegativeNsecCover(benchmark::State& state) {
   }
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.nsec_check(apex, probes[i],
-                                              dns::RRType::kDlv));
+    benchmark::DoNotOptimize(cache.find_denial(apex, probes[i],
+                                               dns::RRType::kDlv,
+                                               resolver::DenialSources::kSpans));
     i = (i + 1) % probes.size();
   }
 }
 BENCHMARK(BM_CacheProbe_NegativeNsecCover)->Arg(100)->Arg(10000);
+
+void BM_CacheProbe_SpanIndexSynth(benchmark::State& state) {
+  // The unified DenialProofSource probe with every source enabled: one
+  // negative-table miss, one span-index binary search, one (empty) NSEC3
+  // evidence probe. This is the per-query cost fetch_from_cache pays when
+  // aggressive_synthesis is on.
+  sim::SimClock clock;
+  resolver::ResolverCache cache(clock);
+  const dns::Name apex = dns::Name::parse("dlv.isc.org");
+  std::vector<dns::Name> probes;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    dns::NsecRdata nsec;
+    nsec.next = dns::Name::parse("d" + std::to_string(i) + "b.com.dlv.isc.org");
+    nsec.types = {dns::RRType::kDlv};
+    cache.store_nsec(apex, dns::ResourceRecord::make(
+                               dns::Name::parse("d" + std::to_string(i) +
+                                                "a.com.dlv.isc.org"),
+                               3600, nsec));
+    probes.push_back(
+        dns::Name::parse("d" + std::to_string(i) + "ax.com.dlv.isc.org"));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find_denial(apex, probes[i],
+                                               dns::RRType::kDlv));
+    i = (i + 1) % probes.size();
+  }
+}
+BENCHMARK(BM_CacheProbe_SpanIndexSynth)->Arg(100)->Arg(10000);
 
 void BM_CacheNsecCheck(benchmark::State& state) {
   sim::SimClock clock;
@@ -178,8 +208,8 @@ void BM_CacheNsecCheck(benchmark::State& state) {
   }
   const dns::Name probe = dns::Name::parse("d500x.com.dlv.isc.org");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        cache.nsec_check(apex, probe, dns::RRType::kDlv));
+    benchmark::DoNotOptimize(cache.find_denial(
+        apex, probe, dns::RRType::kDlv, resolver::DenialSources::kSpans));
   }
 }
 BENCHMARK(BM_CacheNsecCheck)->Arg(100)->Arg(10000);

@@ -198,8 +198,10 @@ int main(int argc, char** argv) {
   checksum = 0;
   for (std::size_t round = 0; round < nsec_rounds; ++round) {
     for (const dns::Name& name : covered) {
-      checksum += cache.nsec_check(zone, name, dns::RRType::kA) ==
-                  resolver::NsecCoverage::kNameCovered;
+      checksum += cache
+                      .find_denial(zone, name, dns::RRType::kA,
+                                   resolver::DenialSources::kSpans)
+                      .coverage == resolver::DenialKind::kNxDomain;
     }
   }
   const double probe_nsec_ns = seconds_since(start) * 1e9 /

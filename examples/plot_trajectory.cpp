@@ -1,0 +1,247 @@
+// plot_trajectory: renders the perf trajectory JSONL kept by ci_perf_gate.
+//
+// Usage:
+//   plot_trajectory <trajectory.jsonl>           # one summary row per metric
+//   plot_trajectory <trajectory.jsonl> <path>    # run-by-run view of metrics
+//                                                # whose path contains <path>
+//
+// Produce a trajectory by passing --trajectory=PATH to ci_perf_gate; each
+// gate run appends one record per compared metric, so over successive
+// commits the file accumulates a per-metric time series:
+//   {"baseline": "...", "schema": "...", "sha": "...", "path": "cache.probe_hit_ns",
+//    "base": 25.87, "fresh": 26.36, "rule": "lower_better",
+//    "tolerance": 1.5, "ok": true}
+//
+// The summary view prints, per metric, how many runs recorded it, the
+// pinned baseline value, the latest measurement, the observed range, and a
+// sparkline of the run-by-run values so a slow drift is visible even when
+// every individual run stayed inside tolerance. The detail view lists every
+// run for the selected metrics with its sha and pass/fail verdict.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/table.h"
+
+namespace {
+
+struct TrajectoryRecord {
+  std::string baseline;
+  std::string schema;
+  std::string sha;
+  std::string path;
+  std::string rule;
+  double base = 0.0;
+  double fresh = 0.0;
+  bool missing = false;  // "fresh": null — metric absent from the fresh run
+  double tolerance = 0.0;
+  bool ok = false;
+};
+
+/// Extracts `"key": "value"` from a flat single-line JSON object. The
+/// trajectory writer emits one flat object per line with a fixed key set,
+/// so positional scanning is enough — no nesting, no escapes in practice.
+bool find_string(const std::string& line, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const auto start = at + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool find_number(const std::string& line, const std::string& key, double* out,
+                 bool* is_null = nullptr) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const auto start = at + needle.size();
+  if (line.compare(start, 4, "null") == 0) {
+    if (is_null != nullptr) *is_null = true;
+    *out = 0.0;
+    return true;
+  }
+  if (is_null != nullptr) *is_null = false;
+  try {
+    *out = std::stod(line.substr(start));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool parse_record(const std::string& line, TrajectoryRecord* out) {
+  if (!find_string(line, "path", &out->path)) return false;
+  if (!find_number(line, "base", &out->base)) return false;
+  if (!find_number(line, "fresh", &out->fresh, &out->missing)) return false;
+  find_string(line, "baseline", &out->baseline);
+  find_string(line, "schema", &out->schema);
+  find_string(line, "sha", &out->sha);
+  find_string(line, "rule", &out->rule);
+  find_number(line, "tolerance", &out->tolerance);
+  const auto ok_at = line.find("\"ok\": ");
+  out->ok = ok_at != std::string::npos &&
+            line.compare(ok_at + 6, 4, "true") == 0;
+  return true;
+}
+
+/// Seven-level unicode sparkline of the run-by-run fresh values, scaled to
+/// the metric's own observed range (a flat series renders as all-middle).
+std::string sparkline(const std::vector<TrajectoryRecord>& runs) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇"};
+  double lo = 0.0;
+  double hi = 0.0;
+  bool seeded = false;
+  for (const TrajectoryRecord& r : runs) {
+    if (r.missing) continue;
+    if (!seeded || r.fresh < lo) lo = seeded ? std::min(lo, r.fresh) : r.fresh;
+    if (!seeded || r.fresh > hi) hi = seeded ? std::max(hi, r.fresh) : r.fresh;
+    seeded = true;
+  }
+  std::string out;
+  for (const TrajectoryRecord& r : runs) {
+    if (r.missing) {
+      out += "·";
+      continue;
+    }
+    const double span = hi - lo;
+    const double frac = span <= 0.0 ? 0.5 : (r.fresh - lo) / span;
+    const int level =
+        std::min(6, std::max(0, static_cast<int>(std::lround(frac * 6.0))));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+std::string short_sha(const std::string& sha) {
+  return sha.size() > 8 ? sha.substr(0, 8) : sha;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using lookaside::metrics::Table;
+
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: plot_trajectory <trajectory.jsonl> [path-filter]\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string filter = argc == 3 ? argv[2] : "";
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "plot_trajectory: cannot open " << path << "\n";
+    return 1;
+  }
+
+  // Records append in gate-invocation order, so per (baseline, metric) key
+  // the file order IS the run order; a std::map keys the series while each
+  // vector preserves that order.
+  std::map<std::pair<std::string, std::string>, std::vector<TrajectoryRecord>>
+      series;
+  std::size_t lines = 0;
+  std::size_t malformed = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    TrajectoryRecord record;
+    if (!parse_record(line, &record)) {
+      ++malformed;
+      continue;
+    }
+    series[{record.baseline, record.path}].push_back(std::move(record));
+  }
+  if (series.empty()) {
+    std::cerr << "plot_trajectory: no trajectory records in " << path << "\n";
+    return 1;
+  }
+
+  std::cout << path << ": " << lines << " records, " << series.size()
+            << " metric series";
+  if (malformed > 0) std::cout << ", " << malformed << " malformed skipped";
+  std::cout << "\n\n";
+
+  if (filter.empty()) {
+    // Summary: one row per metric across all runs.
+    std::string last_baseline;
+    Table table({"metric", "runs", "base", "latest", "min", "max", "rule",
+                 "fail", "trend"});
+    for (const auto& [key, runs] : series) {
+      if (key.first != last_baseline) {
+        last_baseline = key.first;
+        std::cout << "baseline " << last_baseline << " ("
+                  << runs.front().schema << ")\n";
+      }
+      double lo = 0.0;
+      double hi = 0.0;
+      bool seeded = false;
+      std::uint64_t failures = 0;
+      for (const TrajectoryRecord& r : runs) {
+        if (!r.ok) ++failures;
+        if (r.missing) continue;
+        lo = seeded ? std::min(lo, r.fresh) : r.fresh;
+        hi = seeded ? std::max(hi, r.fresh) : r.fresh;
+        seeded = true;
+      }
+      const TrajectoryRecord& last = runs.back();
+      table.row()
+          .cell(key.second)
+          .cell(static_cast<std::uint64_t>(runs.size()))
+          .cell(last.base, 3)
+          .cell(last.missing ? std::string("-") : Table::fixed(last.fresh, 3))
+          .cell(seeded ? Table::fixed(lo, 3) : std::string("-"))
+          .cell(seeded ? Table::fixed(hi, 3) : std::string("-"))
+          .cell(last.rule)
+          .cell(failures)
+          .cell(sparkline(runs));
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  // Detail: every run of every metric whose path contains the filter.
+  bool matched = false;
+  for (const auto& [key, runs] : series) {
+    if (key.second.find(filter) == std::string::npos) continue;
+    matched = true;
+    std::cout << key.second << "  (" << key.first << ", "
+              << runs.front().schema << ")\n";
+    Table table({"run", "sha", "base", "fresh", "delta%", "rule", "tol", "ok"});
+    std::uint64_t run_index = 0;
+    for (const TrajectoryRecord& r : runs) {
+      Table& row = table.row().cell(++run_index).cell(
+          r.sha.empty() ? std::string("-") : short_sha(r.sha));
+      row.cell(r.base, 3);
+      if (r.missing) {
+        row.cell(std::string("-")).cell(std::string("-"));
+      } else {
+        row.cell(r.fresh, 3);
+        if (r.base != 0.0) {
+          row.percent_cell((r.fresh - r.base) / r.base);
+        } else {
+          row.cell(std::string("-"));
+        }
+      }
+      row.cell(r.rule)
+          .cell(r.tolerance, 2)
+          .cell(std::string(r.ok ? "yes" : "NO"));
+    }
+    table.print(std::cout);
+    std::cout << "trend: " << sparkline(runs) << "\n\n";
+  }
+  if (!matched) {
+    std::cerr << "plot_trajectory: no metric path contains '" << filter
+              << "'\n";
+    return 1;
+  }
+  return 0;
+}

@@ -81,6 +81,12 @@ resolver::ResolverConfig Environment::production_config() const {
     config.max_cache_bytes = resolver::ResolverConfig::kUnboundDefaultCacheBytes;
   }
   // BIND's paper-era max-cache-size default is unlimited: leave 0.
+  // Modern resolvers ship RFC 8198 aggressive use of DNSSEC-validated
+  // caches and memoized validation state on by default (DESIGN.md §4j);
+  // the paper-era default_config() keeps both off.
+  config.aggressive_synthesis = true;
+  config.verdict_cache_entries =
+      resolver::ResolverConfig::kDefaultVerdictCacheEntries;
   return config;
 }
 

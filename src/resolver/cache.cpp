@@ -5,6 +5,7 @@
 #include "dns/rdata.h"
 #include "obs/tracer.h"
 #include "resolver/shared_store.h"
+#include "zone/nsec3.h"
 
 namespace lookaside::resolver {
 
@@ -163,9 +164,9 @@ void ResolverCache::store_negative(const dns::Name& name, dns::RRType type,
   }
 }
 
-NegativeEntry ResolverCache::find_negative(const dns::Name& name,
-                                           dns::RRType type,
-                                           std::uint64_t* expires_us) {
+NegativeEntry ResolverCache::negative_lookup(const dns::Name& name,
+                                             dns::RRType type,
+                                             std::uint64_t* expires_us) {
   auto* slots = negative_.find(name);
   if (slots == nullptr) return NegativeEntry::kNone;
   // One pass answers both questions and purges expired slots in place
@@ -265,22 +266,100 @@ void ResolverCache::store_nsec(const dns::Name& zone_apex,
                         {entry.next, entry.types, entry.expires_us,
                          shard_id_});
   }
-  NsecEntry& slot = nsec_by_zone_.get_or_insert(zone_apex)
-                        .chain[nsec_record.name];
-  if (slot.cost != 0) release(slot.cost);  // overwrite of an existing owner
+  NsecZone& zone = nsec_by_zone_.get_or_insert(zone_apex);
+  NsecEntry& slot = zone.chain[nsec_record.name];
+  if (slot.cost != 0) {
+    release(slot.cost);  // overwrite of an existing owner: no new node
+  } else {
+    ++zone.generation;  // structural insert invalidates the span index
+  }
   slot = std::move(entry);
 }
 
-NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
-                                       const dns::Name& qname,
-                                       dns::RRType qtype,
-                                       std::uint64_t* expires_us) {
-  if (!qname.is_subdomain_of(zone_apex)) return NsecCoverage::kNoProof;
-  NsecZone* zone = nsec_by_zone_.find(zone_apex);
-  if (zone == nullptr) return shared_nsec_check(zone_apex, qname, qtype,
-                                                expires_us);
-  NsecChain& chain = zone->chain;
+void ResolverCache::rebuild_span_index(NsecZone& zone) {
+  zone.index.clear();
+  zone.index.reserve(zone.chain.size());
+  // std::map iterates in canonical order, so the array is born sorted;
+  // map nodes are pointer-stable, so the pointers outlive rehash-free use.
+  for (auto& node : zone.chain) zone.index.push_back(&node);
+  zone.index_generation = zone.generation;
+}
 
+NsecCoverage ResolverCache::classify_nsec_entry(const dns::Name& zone_apex,
+                                                const dns::Name& owner,
+                                                NsecEntry& entry,
+                                                const dns::Name& qname,
+                                                dns::RRType qtype,
+                                                std::uint64_t* expires_us,
+                                                bool* stop_shared) {
+  if (owner == qname) {
+    // RFC 6840 §4.4: an ancestor-delegation NSEC (NS set, SOA clear) lives
+    // on the parent side of a zone cut and proves nothing about the child
+    // zone's data except DS absence. Denying any other type from it would
+    // synthesize NODATA for names the child zone actually serves.
+    const bool delegation =
+        std::find(entry.types.begin(), entry.types.end(), dns::RRType::kNs) !=
+            entry.types.end() &&
+        std::find(entry.types.begin(), entry.types.end(), dns::RRType::kSoa) ==
+            entry.types.end();
+    if (delegation && qtype != dns::RRType::kDs) {
+      return NsecCoverage::kNoProof;
+    }
+    // The mirror image (RFC 4035 §2.3): DS lives only on the parent side
+    // of a cut, so a child-side NSEC (SOA set) proves nothing about DS —
+    // its bitmap legitimately omits DS even for a secure delegation.
+    if (qtype == dns::RRType::kDs && !delegation) {
+      return NsecCoverage::kNoProof;
+    }
+    // Exact NSEC: name exists; the bitmap decides the type.
+    if (std::find(entry.types.begin(), entry.types.end(), qtype) ==
+        entry.types.end()) {
+      entry.referenced = true;
+      entry.chances = limits_.nsec_extra_chances;
+      if (expires_us != nullptr) *expires_us = entry.expires_us;
+      counters_.add("cache.nsec_hit");
+      return NsecCoverage::kTypeAbsent;
+    }
+    // The private exact entry says the type exists; a sibling's fresher
+    // proof cannot contradict a validated span, so don't consult the store.
+    *stop_shared = true;
+    return NsecCoverage::kNoProof;
+  }
+
+  // Covering NSEC: owner < qname < next proves nonexistence. The chain's
+  // last record wraps: next == apex means "everything after owner".
+  const bool wraps = entry.next == zone_apex;
+  if (wraps || qname.canonical_compare(entry.next) < 0) {
+    // RFC 6840 §4.4 again: names below a delegation-owner NSEC are occluded
+    // — the span (net. -> org.) proves nothing about anything *inside* the
+    // net. zone, only that no further names exist in the parent between the
+    // two delegations. Without this, a cap-evicted zone cut makes
+    // deepest_known_cut fall back to the parent and its delegation spans
+    // wrongly NXDOMAIN every child-zone query.
+    if (qname.is_subdomain_of(owner) && owner != qname) {
+      const bool delegation =
+          std::find(entry.types.begin(), entry.types.end(),
+                    dns::RRType::kNs) != entry.types.end() &&
+          std::find(entry.types.begin(), entry.types.end(),
+                    dns::RRType::kSoa) == entry.types.end();
+      if (delegation) return NsecCoverage::kNoProof;
+    }
+    entry.referenced = true;
+    entry.chances = limits_.nsec_extra_chances;
+    if (expires_us != nullptr) *expires_us = entry.expires_us;
+    counters_.add("cache.nsec_hit");
+    return NsecCoverage::kNameCovered;
+  }
+  return NsecCoverage::kNoProof;
+}
+
+NsecCoverage ResolverCache::nsec_chain_walk(const dns::Name& zone_apex,
+                                            NsecZone& zone,
+                                            const dns::Name& qname,
+                                            dns::RRType qtype,
+                                            std::uint64_t* expires_us,
+                                            bool* from_shared) {
+  NsecChain& chain = zone.chain;
   // Greatest owner <= qname. Expired entries met on the walk are reclaimed
   // and skipped: a stale closer entry must not shadow a live covering proof
   // further left in the chain, so keep stepping to the next predecessor
@@ -289,40 +368,81 @@ NsecCoverage ResolverCache::nsec_check(const dns::Name& zone_apex,
   for (;;) {
     if (it == chain.begin()) {
       if (chain.empty()) nsec_by_zone_.erase(zone_apex);
-      return shared_nsec_check(zone_apex, qname, qtype, expires_us);
+      const NsecCoverage shared =
+          shared_nsec_check(zone_apex, qname, qtype, expires_us);
+      if (shared != NsecCoverage::kNoProof && from_shared != nullptr) {
+        *from_shared = true;
+      }
+      return shared;
     }
     --it;
     if (it->second.expires_us > now()) break;
     release(it->second.cost);
     it = chain.erase(it);
+    ++zone.generation;
   }
-  const dns::Name& owner = it->first;
-  NsecEntry& entry = it->second;
+  bool stop_shared = false;
+  const NsecCoverage local = classify_nsec_entry(
+      zone_apex, it->first, it->second, qname, qtype, expires_us,
+      &stop_shared);
+  if (local != NsecCoverage::kNoProof || stop_shared) return local;
+  const NsecCoverage shared =
+      shared_nsec_check(zone_apex, qname, qtype, expires_us);
+  if (shared != NsecCoverage::kNoProof && from_shared != nullptr) {
+    *from_shared = true;
+  }
+  return shared;
+}
 
-  if (owner == qname) {
-    // Exact NSEC: name exists; the bitmap decides the type.
-    if (std::find(entry.types.begin(), entry.types.end(), qtype) ==
-        entry.types.end()) {
-      entry.referenced = true;
-      if (expires_us != nullptr) *expires_us = entry.expires_us;
-      counters_.add("cache.nsec_hit");
-      return NsecCoverage::kTypeAbsent;
+NsecCoverage ResolverCache::nsec_lookup(const dns::Name& zone_apex,
+                                        const dns::Name& qname,
+                                        dns::RRType qtype,
+                                        std::uint64_t* expires_us,
+                                        bool* from_shared) {
+  if (!qname.is_subdomain_of(zone_apex)) return NsecCoverage::kNoProof;
+  NsecZone* zone = nsec_by_zone_.find(zone_apex);
+  if (zone == nullptr) {
+    const NsecCoverage shared =
+        shared_nsec_check(zone_apex, qname, qtype, expires_us);
+    if (shared != NsecCoverage::kNoProof && from_shared != nullptr) {
+      *from_shared = true;
     }
-    // The private exact entry says the type exists; a sibling's fresher
-    // proof cannot contradict a validated span, so don't consult the store.
-    return NsecCoverage::kNoProof;
+    return shared;
   }
-
-  // Covering NSEC: owner < qname < next proves nonexistence. The chain's
-  // last record wraps: next == apex means "everything after owner".
-  const bool wraps = entry.next == zone_apex;
-  if (wraps || qname.canonical_compare(entry.next) < 0) {
-    entry.referenced = true;
-    if (expires_us != nullptr) *expires_us = entry.expires_us;
-    counters_.add("cache.nsec_hit");
-    return NsecCoverage::kNameCovered;
+  // Fast path: binary-search the span index for the greatest owner <=
+  // qname. A live candidate answers in one probe; an expired candidate
+  // falls back to the reclaiming map walk (which bumps the generation and
+  // so invalidates the index).
+  if (zone->index_generation != zone->generation) rebuild_span_index(*zone);
+  const auto it = std::upper_bound(
+      zone->index.begin(), zone->index.end(), qname,
+      [](const dns::Name& q, const NsecChain::value_type* node) {
+        return q.canonical_compare(node->first) < 0;
+      });
+  if (it == zone->index.begin()) {
+    const NsecCoverage shared =
+        shared_nsec_check(zone_apex, qname, qtype, expires_us);
+    if (shared != NsecCoverage::kNoProof && from_shared != nullptr) {
+      *from_shared = true;
+    }
+    return shared;
   }
-  return shared_nsec_check(zone_apex, qname, qtype, expires_us);
+  NsecChain::value_type* node = *(it - 1);
+  if (node->second.expires_us <= now()) {
+    return nsec_chain_walk(zone_apex, *zone, qname, qtype, expires_us,
+                           from_shared);
+  }
+  bool stop_shared = false;
+  const NsecCoverage local = classify_nsec_entry(
+      zone_apex, node->first, node->second, qname, qtype, expires_us,
+      &stop_shared);
+  if (local != NsecCoverage::kNoProof || stop_shared) return local;
+  const NsecCoverage shared =
+      shared_nsec_check(zone_apex, qname, qtype, expires_us);
+  if (shared != NsecCoverage::kNoProof && from_shared != nullptr) {
+    *from_shared = true;
+  }
+  return shared;
 }
 
 NsecCoverage ResolverCache::shared_nsec_check(const dns::Name& zone_apex,
@@ -337,6 +457,129 @@ NsecCoverage ResolverCache::shared_nsec_check(const dns::Name& zone_apex,
     counters_.add("cache.nsec_shared_hit");
   }
   return coverage;
+}
+
+// -- NSEC3 closest-encloser evidence + unified denial lookup (§4j) -----------
+
+void ResolverCache::store_nsec3_evidence(const dns::Name& zone_apex,
+                                         const Nsec3Evidence& evidence) {
+  Nsec3ZoneEvidence& zone = nsec3_evidence_.get_or_insert(zone_apex);
+  if (zone.salt != evidence.salt || zone.iterations != evidence.iterations) {
+    // Parameter rollover: hashes under the old salt/iterations are garbage.
+    zone.salt = evidence.salt;
+    zone.iterations = evidence.iterations;
+    zone.enclosers.clear();
+    zone.spans.clear();
+  }
+  std::uint64_t& encloser_expiry = zone.enclosers[evidence.closest_encloser];
+  encloser_expiry = std::max(encloser_expiry, evidence.expires_us);
+  for (const auto& [lo, hi] : evidence.spans) {
+    const auto it = std::lower_bound(
+        zone.spans.begin(), zone.spans.end(), lo,
+        [](const Nsec3ZoneEvidence::HashedSpan& span,
+           const crypto::Bytes& key) { return span.lo < key; });
+    if (it != zone.spans.end() && it->lo == lo) {
+      it->hi = hi;
+      it->expires_us = std::max(it->expires_us, evidence.expires_us);
+      continue;
+    }
+    if (zone.spans.size() >= kMaxNsec3SpansPerZone) continue;  // bounded
+    zone.spans.insert(it, {lo, hi, evidence.expires_us});
+  }
+  counters_.add("cache.nsec3_evidence_store");
+}
+
+std::size_t ResolverCache::nsec3_evidence_spans(
+    const dns::Name& zone_apex) const {
+  const Nsec3ZoneEvidence* zone = nsec3_evidence_.find(zone_apex);
+  return zone == nullptr ? 0 : zone->spans.size();
+}
+
+ProofResult ResolverCache::nsec3_synth_lookup(const dns::Name& zone_apex,
+                                              const dns::Name& qname) {
+  ProofResult out;
+  Nsec3ZoneEvidence* zone = nsec3_evidence_.find(zone_apex);
+  if (zone == nullptr) return out;
+  if (!qname.is_subdomain_of(zone_apex) || qname.label_count() == 0) {
+    return out;
+  }
+  // Hash-match gate: only probe when some proper ancestor of qname is a
+  // proven closest encloser (whose wildcard is also proven absent). Then a
+  // single iterated hash of the next-closer name decides — covered by a
+  // validated span means the name provably does not exist (RFC 8198 over
+  // RFC 5155 §8.4), not covered means the evidence is silent.
+  const std::uint64_t now_us = now();
+  dns::Name next_closer = qname;
+  const Nsec3ZoneEvidence::HashedSpan* witness = nullptr;
+  bool gated = false;
+  while (next_closer.label_count() > zone_apex.label_count()) {
+    const dns::Name ancestor = next_closer.parent();
+    const auto it = zone->enclosers.find(ancestor);
+    if (it != zone->enclosers.end() && it->second > now_us) {
+      gated = true;
+      break;
+    }
+    next_closer = ancestor;
+  }
+  if (!gated) return out;
+  const crypto::Bytes digest =
+      zone::nsec3_hash(next_closer, zone->salt, zone->iterations);
+  out.hash_ops = zone::nsec3_hash_ops(zone->iterations);
+  for (const Nsec3ZoneEvidence::HashedSpan& span : zone->spans) {
+    if (span.expires_us <= now_us) continue;
+    const bool wraps = span.hi <= span.lo;
+    const bool inside = wraps ? (digest > span.lo || digest < span.hi)
+                              : (span.lo < digest && digest < span.hi);
+    if (inside) {
+      witness = &span;
+      break;
+    }
+  }
+  if (witness == nullptr) return out;  // hash missed every validated span
+  out.coverage = DenialKind::kNxDomain;
+  out.origin = ProofOrigin::kSynthesized;
+  out.expires_us = witness->expires_us;
+  counters_.add("cache.synth_nsec3_hit");
+  return out;
+}
+
+ProofResult ResolverCache::find_denial(const dns::Name& zone_apex,
+                                       const dns::Name& qname,
+                                       dns::RRType qtype, unsigned sources) {
+  ProofResult out;
+  if ((sources & DenialSources::kNegative) != 0) {
+    std::uint64_t expires = 0;
+    const NegativeEntry negative = negative_lookup(qname, qtype, &expires);
+    if (negative != NegativeEntry::kNone) {
+      out.coverage = negative == NegativeEntry::kNxDomain
+                         ? DenialKind::kNxDomain
+                         : DenialKind::kNoData;
+      out.origin = ProofOrigin::kLocal;
+      out.expires_us = expires;
+      return out;
+    }
+  }
+  if ((sources & DenialSources::kSpans) != 0) {
+    std::uint64_t expires = 0;
+    bool from_shared = false;
+    const NsecCoverage coverage =
+        nsec_lookup(zone_apex, qname, qtype, &expires, &from_shared);
+    if (coverage != NsecCoverage::kNoProof) {
+      out.coverage = coverage == NsecCoverage::kNameCovered
+                         ? DenialKind::kNxDomain
+                         : DenialKind::kNoData;
+      // A span hit with no exact entry *is* RFC 8198 synthesis; the shared
+      // origin additionally tells attribution that a sibling proved it.
+      out.origin =
+          from_shared ? ProofOrigin::kShared : ProofOrigin::kSynthesized;
+      out.expires_us = expires;
+      return out;
+    }
+  }
+  if ((sources & DenialSources::kNsec3) != 0) {
+    return nsec3_synth_lookup(zone_apex, qname);
+  }
+  return out;
 }
 
 std::size_t ResolverCache::nsec_count(const dns::Name& zone_apex) const {
@@ -457,6 +700,7 @@ std::size_t ResolverCache::sweep_section(Section section, std::size_t budget) {
             release(it->second.cost);
             ++reclaimed;
             it = zone.chain.erase(it);
+            ++zone.generation;
           } else {
             ++it;
           }
@@ -586,11 +830,17 @@ bool ResolverCache::evict_step(Section section, std::size_t budget) {
           if (it->second.referenced) {
             it->second.referenced = false;
             ++it;
+          } else if (it->second.chances > 0) {
+            // Load-bearing span under the RFC 8198 profile: burn one of its
+            // earned chances instead of evicting (see CacheLimits).
+            --it->second.chances;
+            ++it;
           } else {
             release(it->second.cost);
             evicted = 1;
             trace_eviction(kNsec, it->first);
             it = zone.chain.erase(it);
+            ++zone.generation;
           }
         }
         zone.hand = it == zone.chain.end() ? dns::Name{} : it->first;
@@ -666,6 +916,7 @@ void ResolverCache::clear() {
   negative_.clear();
   servfail_.clear();
   nsec_by_zone_.clear();
+  nsec3_evidence_.clear();
   zone_cuts_.clear();
   bytes_ = 0;
   peak_bytes_ = 0;

@@ -22,10 +22,12 @@
 #include <utility>
 #include <vector>
 
+#include "crypto/bytes.h"
 #include "dns/name.h"
 #include "dns/name_map.h"
 #include "dns/record.h"
 #include "metrics/counters.h"
+#include "resolver/denial.h"
 #include "sim/clock.h"
 
 namespace lookaside::obs {
@@ -59,10 +61,17 @@ struct CacheLimits {
   /// 0 disables the background sweep (expired entries are then reclaimed
   /// only when probed or evicted).
   std::size_t sweep_step = 32;
+  /// Extra clock-eviction chances granted to an NSEC span each time it
+  /// proves a denial. 0 keeps the paper-era single second chance. The
+  /// RFC 8198 profile sets this > 0: once synthesis elides exact negative
+  /// entries, the spans become load-bearing answer material, and losing
+  /// one to mid-pressure eviction re-opens a whole range of Case-2 leaks
+  /// rather than a single name.
+  std::uint8_t nsec_extra_chances = 0;
 };
 
 /// All resolver-side caches, sharing one virtual clock.
-class ResolverCache {
+class ResolverCache : public DenialProofSource {
  public:
   explicit ResolverCache(const sim::SimClock& clock) : clock_(&clock) {}
 
@@ -99,12 +108,27 @@ class ResolverCache {
 
   void store_negative(const dns::Name& name, dns::RRType type,
                       std::uint32_t ttl, bool nxdomain);
-  /// On a hit, `*expires_us` (when non-null) receives the proof's
-  /// expiry deadline — the leak-cause attribution needs to know *until
-  /// when* the denial would have kept suppressing queries.
-  [[nodiscard]] NegativeEntry find_negative(const dns::Name& name,
-                                            dns::RRType type,
-                                            std::uint64_t* expires_us = nullptr);
+  /// Deprecated shim over find_denial(sources = kNegative); the unified
+  /// ProofResult carries the same expiry deadline, so leak-cause
+  /// attribution is preserved (see synthesis_test's equivalence test).
+  [[deprecated("use find_denial() (DESIGN.md §4j)")]] [[nodiscard]]
+  NegativeEntry find_negative(const dns::Name& name, dns::RRType type,
+                              std::uint64_t* expires_us = nullptr) {
+    return negative_lookup(name, type, expires_us);
+  }
+
+  // -- Unified denial lookup (DESIGN.md §4j) ---------------------------------
+
+  /// One entry point over all denial proofs: exact negatives, then the
+  /// private NSEC span index, then the shared store, then hash-gated NSEC3
+  /// synthesis — whichever classes `sources` enables. Counters:
+  /// "cache.negative_hit", "cache.nsec_hit", "cache.nsec_shared_hit",
+  /// "cache.synth_nsec3_hit".
+  [[nodiscard]] ProofResult find_denial(const dns::Name& zone_apex,
+                                        const dns::Name& qname,
+                                        dns::RRType qtype,
+                                        unsigned sources =
+                                            DenialSources::kAll) override;
 
   // -- SERVFAIL cache (RFC 2308 §7) ------------------------------------------
 
@@ -120,16 +144,44 @@ class ResolverCache {
   void store_nsec(const dns::Name& zone_apex,
                   const dns::ResourceRecord& nsec_record);
 
-  /// Checks whether cached NSEC records prove (qname, qtype) absent
-  /// within `zone_apex`. Expired entries encountered on the predecessor
-  /// walk are reclaimed and skipped — a stale closer entry must not shadow
-  /// a live covering proof.
-  /// On a covering hit, `*expires_us` (when non-null) receives the
-  /// covering NSEC entry's expiry deadline.
-  [[nodiscard]] NsecCoverage nsec_check(const dns::Name& zone_apex,
-                                        const dns::Name& qname,
-                                        dns::RRType qtype,
-                                        std::uint64_t* expires_us = nullptr);
+  /// Deprecated shim over find_denial(sources = kSpans): same predecessor
+  /// semantics (expired entries met on the walk are reclaimed and skipped),
+  /// same expiry out-param, translated back to the legacy enum.
+  [[deprecated("use find_denial() (DESIGN.md §4j)")]] [[nodiscard]]
+  NsecCoverage nsec_check(const dns::Name& zone_apex, const dns::Name& qname,
+                          dns::RRType qtype,
+                          std::uint64_t* expires_us = nullptr) {
+    return nsec_lookup(zone_apex, qname, qtype, expires_us, nullptr);
+  }
+
+  // -- NSEC3 closest-encloser evidence (RFC 8198 over RFC 5155) --------------
+
+  /// Verified material from one NSEC3 denial proof, fed back by the
+  /// resolver after validation so later queries can synthesize denials
+  /// without contacting authorities: the proven closest encloser (whose
+  /// wildcard was also proven absent), the zone's hash parameters, and the
+  /// validated hashed spans.
+  struct Nsec3Evidence {
+    crypto::Bytes salt;
+    std::uint16_t iterations = 0;
+    dns::Name closest_encloser;
+    /// Validated [owner_hash, next_hashed) spans (raw 20-byte digests).
+    std::vector<std::pair<crypto::Bytes, crypto::Bytes>> spans;
+    std::uint64_t expires_us = 0;
+  };
+
+  /// Records evidence for `zone_apex`. A salt/iteration change (parameter
+  /// rollover) drops all prior evidence for the zone; per-zone span count
+  /// is capped (kMaxNsec3SpansPerZone) so evidence stays bounded metadata
+  /// outside the byte-cap eviction loop.
+  void store_nsec3_evidence(const dns::Name& zone_apex,
+                            const Nsec3Evidence& evidence);
+
+  /// Cached-evidence introspection for tests/benches.
+  [[nodiscard]] std::size_t nsec3_evidence_spans(
+      const dns::Name& zone_apex) const;
+
+  static constexpr std::size_t kMaxNsec3SpansPerZone = 512;
 
   /// Number of NSEC entries known for `zone_apex`. With a shared proof
   /// store attached this is the *shared* chain size — the union across all
@@ -229,6 +281,7 @@ class ResolverCache {
     std::vector<dns::RRType> types;
     std::uint64_t expires_us = 0;
     bool referenced = false;
+    std::uint8_t chances = 0;  // refilled on hit from nsec_extra_chances
     std::uint32_t cost = 0;
   };
   struct ZoneCutRecord {
@@ -253,6 +306,28 @@ class ResolverCache {
   struct NsecZone {
     NsecChain chain;
     dns::Name hand;  // sweep/eviction resume position (root = begin)
+    // -- Span index (DESIGN.md §4j) --
+    // Lazily rebuilt sorted array of pointers into the chain's (pointer-
+    // stable) map nodes, so the predecessor query is one binary search over
+    // contiguous memory instead of a node-hopping tree descent — this is
+    // what closes the 301ns negative-probe vs 57ns positive-probe gap.
+    // `generation` is bumped on every structural chain mutation (insert or
+    // erase); a stale `index_generation` invalidates the index.
+    std::vector<NsecChain::value_type*> index;
+    std::uint64_t generation = 1;
+    std::uint64_t index_generation = 0;
+  };
+  struct Nsec3ZoneEvidence {
+    crypto::Bytes salt;
+    std::uint16_t iterations = 0;
+    /// Proven closest enclosers (wildcard absence included) -> expiry.
+    std::map<dns::Name, std::uint64_t, CanonicalLess> enclosers;
+    struct HashedSpan {
+      crypto::Bytes lo;  // owner hash
+      crypto::Bytes hi;  // next_hashed
+      std::uint64_t expires_us = 0;
+    };
+    std::vector<HashedSpan> spans;  // sorted by lo, deduped
   };
 
   /// The five stores, as clock-hand / sweep-rotation indices.
@@ -286,12 +361,53 @@ class ResolverCache {
   void charge(std::size_t cost);
   void release(std::size_t cost);
 
+  // -- Unified denial internals (DESIGN.md §4j) ------------------------------
+  // The non-deprecated bodies behind find_denial() and the legacy shims.
+
+  [[nodiscard]] NegativeEntry negative_lookup(const dns::Name& name,
+                                              dns::RRType type,
+                                              std::uint64_t* expires_us);
+  /// Span lookup: indexed predecessor probe with a fall-back to the
+  /// reclaiming map walk when the index candidate has expired. On a hit,
+  /// `*from_shared` (when non-null) reports whether the covering span came
+  /// from the shared store rather than the private chain.
+  [[nodiscard]] NsecCoverage nsec_lookup(const dns::Name& zone_apex,
+                                         const dns::Name& qname,
+                                         dns::RRType qtype,
+                                         std::uint64_t* expires_us,
+                                         bool* from_shared);
+  /// Erasing predecessor walk over the ordered chain (the pre-index slow
+  /// path); reclaims expired entries met on the walk.
+  [[nodiscard]] NsecCoverage nsec_chain_walk(const dns::Name& zone_apex,
+                                             NsecZone& zone,
+                                             const dns::Name& qname,
+                                             dns::RRType qtype,
+                                             std::uint64_t* expires_us,
+                                             bool* from_shared);
+  /// Classifies one live chain entry against (qname, qtype); returns
+  /// kNoProof when the entry does not decide the query. `*stop_shared` is
+  /// set when an exact entry says the type exists — a sibling's proof
+  /// cannot contradict a validated span, so the shared consult is skipped.
+  [[nodiscard]] NsecCoverage classify_nsec_entry(const dns::Name& zone_apex,
+                                                 const dns::Name& owner,
+                                                 NsecEntry& entry,
+                                                 const dns::Name& qname,
+                                                 dns::RRType qtype,
+                                                 std::uint64_t* expires_us,
+                                                 bool* stop_shared);
+  static void rebuild_span_index(NsecZone& zone);
   /// L2 NSEC consult when the private chain has no proof: asks the shared
   /// store (when attached) and counts "cache.nsec_shared_hit".
   [[nodiscard]] NsecCoverage shared_nsec_check(const dns::Name& zone_apex,
                                                const dns::Name& qname,
                                                dns::RRType qtype,
                                                std::uint64_t* expires_us);
+  /// Hash-gated NSEC3 synthesis (RFC 8198 over cached closest-encloser
+  /// evidence). Hashes at most one name (the next closer) and only when
+  /// qname sits under a proven encloser; hash_ops is reported even on a
+  /// miss — the probe burned the CPU either way.
+  [[nodiscard]] ProofResult nsec3_synth_lookup(const dns::Name& zone_apex,
+                                               const dns::Name& qname);
 
   // -- Sweep / eviction internals --------------------------------------------
 
@@ -317,6 +433,7 @@ class ResolverCache {
   dns::NameHashMap<TypeSlots<NegativeRecord>> negative_;
   dns::NameHashMap<TypeSlots<ServfailRecord>> servfail_;
   dns::NameHashMap<NsecZone> nsec_by_zone_;
+  dns::NameHashMap<Nsec3ZoneEvidence> nsec3_evidence_;
   dns::NameHashMap<ZoneCutRecord> zone_cuts_;
   // Sweep rotation state: which section the next sweep tick works on, plus
   // one resume cursor per section (slot indices into the hash tables).

@@ -172,6 +172,24 @@ struct ResolverConfig {
   /// background sweep; expired entries are then reclaimed only on probe.
   std::uint32_t cache_sweep_step = 32;
 
+  // -- RFC 8198 synthesis + vState verdict caching (DESIGN.md §4j) ----------
+
+  /// Full RFC 8198 aggressive use of validated denial proofs: synthesize
+  /// NXDOMAIN/NODATA from cached NSEC spans for *any* query (not just DLV
+  /// probes), synthesize NXDOMAIN from cached NSEC3 closest-encloser
+  /// evidence (hash-gated), and elide redundant exact negative entries for
+  /// DLV candidates already covered by a live span. Off is the paper-era
+  /// behavior (RFC 5074 §5 aggressive caching only); production turns it
+  /// on via Environment::production_config().
+  bool aggressive_synthesis = false;
+
+  /// Capacity of the validator's signature-verdict cache (the vState
+  /// idiom): repeat verifications of an identical (signed data, signature,
+  /// key) tuple skip RSA entirely. 0 disables it — the paper-era default;
+  /// production uses kDefaultVerdictCacheEntries.
+  std::size_t verdict_cache_entries = 0;
+  static constexpr std::size_t kDefaultVerdictCacheEntries = 1u << 16;
+
   // -- Effective behavior (what the knobs combine to) -----------------------
 
   /// Validation is attempted at all.

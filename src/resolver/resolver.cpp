@@ -51,8 +51,12 @@ RecursiveResolver::RecursiveResolver(sim::Network& network,
       config_(std::move(config)),
       cache_(network.clock()),
       validator_(network.clock()) {
-  cache_.set_limits(
-      CacheLimits{config_.max_cache_bytes, config_.cache_sweep_step});
+  CacheLimits limits{config_.max_cache_bytes, config_.cache_sweep_step};
+  // Under aggressive synthesis the spans answer (and elide) denials, so
+  // the replacement policy protects hot spans harder than one clock pass.
+  if (config_.aggressive_synthesis) limits.nsec_extra_chances = 2;
+  cache_.set_limits(limits);
+  validator_.set_verdict_cache_entries(config_.verdict_cache_entries);
 }
 
 void RecursiveResolver::trace_event(obs::EventKind kind,
@@ -150,20 +154,44 @@ std::optional<dns::Message> RecursiveResolver::exchange_zone(
 // Iterative fetching
 // ---------------------------------------------------------------------------
 
+RecursiveResolver::Fetched RecursiveResolver::fetched_denial(
+    const ProofResult& proof) {
+  Fetched out;
+  out.kind = proof.coverage == DenialKind::kNxDomain ? Fetched::Kind::kNxDomain
+                                                     : Fetched::Kind::kNoData;
+  out.from_cache = true;
+  // A denial synthesized from validated spans (RFC 8198) is itself
+  // validated material; an exact negative entry keeps its legacy
+  // unvalidated treatment.
+  out.cached_validated = proof.origin != ProofOrigin::kLocal;
+  return out;
+}
+
 RecursiveResolver::Fetched RecursiveResolver::fetch_from_cache(
     const dns::Name& qname, dns::RRType qtype) {
   Fetched out;
-  switch (cache_.find_negative(qname, qtype)) {
-    case NegativeEntry::kNxDomain:
-      out.kind = Fetched::Kind::kNxDomain;
-      out.from_cache = true;
-      return out;
-    case NegativeEntry::kNoData:
-      out.kind = Fetched::Kind::kNoData;
-      out.from_cache = true;
-      return out;
-    case NegativeEntry::kNone:
-      break;
+  if (config_.aggressive_synthesis) {
+    // RFC 8198 for every query class, not just DLV probes: any cached
+    // validated span (or NSEC3 evidence) covering qname answers without
+    // contacting authorities. The zone scope is the deepest known cut —
+    // except for DS, which only the parent side of the cut can deny
+    // (mirrors the routing_name logic in fetch()).
+    const dns::Name scope_name =
+        (qtype == dns::RRType::kDs && !qname.is_root()) ? qname.parent()
+                                                        : qname;
+    const ProofResult proof = cache_.find_denial(
+        cache_.deepest_known_cut(scope_name), qname, qtype, denial_sources());
+    if (proof.hash_ops > 0) charge_nsec3_cost(proof.hash_ops);
+    if (proof) {
+      if (proof.origin != ProofOrigin::kLocal) {
+        stats_.add("cache.synth_answer");
+      }
+      return fetched_denial(proof);
+    }
+  } else {
+    const ProofResult proof = cache_.find_denial(
+        qname, qname, qtype, DenialSources::kNegative);
+    if (proof) return fetched_denial(proof);
   }
   auto entry = cache_.find_entry(qname, qtype);
   if (!entry.has_value() && qtype != dns::RRType::kCname) {
@@ -544,6 +572,20 @@ RecursiveResolver::Nsec3Policy RecursiveResolver::handle_nsec3_denial(
     return Nsec3Policy::kRejected;
   }
   stats_.add("nsec3.proven");
+  if (config_.aggressive_synthesis && check.has_evidence) {
+    // Cache the proof's verified material (closest encloser + hashed
+    // spans) so later queries under the same encloser synthesize NXDOMAIN
+    // with a single hash instead of a registry round trip (DESIGN.md §4j).
+    ResolverCache::Nsec3Evidence evidence;
+    evidence.salt = check.salt;
+    evidence.iterations = check.iterations;
+    evidence.closest_encloser = check.closest_encloser;
+    evidence.spans = check.spans;
+    evidence.expires_us =
+        network_->clock().now_us() +
+        static_cast<std::uint64_t>(soa_negative_ttl(authority)) * 1'000'000ULL;
+    cache_.store_nsec3_evidence(zone_apex, evidence);
+  }
   return Nsec3Policy::kAccepted;
 }
 
@@ -682,25 +724,30 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
   }
 
   for (const auto& [candidate, candidate_domain] : candidates) {
-    std::uint64_t proof_expires_us = 0;
-    if (cache_.find_negative(candidate, dns::RRType::kDlv,
-                             &proof_expires_us) != NegativeEntry::kNone) {
+    // One unified lookup replaces the old find_negative + nsec_check pair;
+    // the origin keeps the legacy counter/trace vocabulary intact so leak
+    // ledgers stay comparable across PRs.
+    const ProofResult proof = cache_.find_denial(
+        apex, candidate, dns::RRType::kDlv, denial_sources());
+    if (proof.hash_ops > 0) charge_nsec3_cost(proof.hash_ops);
+    if (proof) {
       result.dlv.suppressed_by_nsec = true;
-      stats_.add("dlv.suppressed.negative");
-      dlv_denial_deadline_.get_or_insert(candidate) = proof_expires_us;
+      dlv_denial_deadline_.get_or_insert(candidate) = proof.expires_us;
+      const char* detail = "nsec";
+      if (proof.origin == ProofOrigin::kLocal) {
+        stats_.add("dlv.suppressed.negative");
+        detail = "negative-cache";
+      } else {
+        stats_.add("dlv.suppressed.nsec");
+        if (proof.hash_ops > 0) detail = "nsec3-synthesized";
+        if (config_.aggressive_synthesis) {
+          // Synthesis metric: denials answered without an exact cached
+          // entry (span- or evidence-derived) under the RFC 8198 profile.
+          stats_.add("dlv.suppressed.synthesized");
+        }
+      }
       trace_event(obs::EventKind::kNsecSuppression, candidate,
-                  dns::RRType::kDlv, "negative-cache",
-                  registry->endpoint_id());
-      continue;
-    }
-    if (config_.aggressive_negative_caching &&
-        cache_.nsec_check(apex, candidate, dns::RRType::kDlv,
-                          &proof_expires_us) != NsecCoverage::kNoProof) {
-      result.dlv.suppressed_by_nsec = true;
-      stats_.add("dlv.suppressed.nsec");
-      dlv_denial_deadline_.get_or_insert(candidate) = proof_expires_us;
-      trace_event(obs::EventKind::kNsecSuppression, candidate,
-                  dns::RRType::kDlv, "nsec", registry->endpoint_id());
+                  dns::RRType::kDlv, detail, registry->endpoint_id());
       continue;
     }
 
@@ -801,13 +848,42 @@ RecursiveResolver::DlvOutcome RecursiveResolver::dlv_lookup_at(
         break;
     }
     const std::uint32_t denial_ttl = soa_negative_ttl(authority);
-    cache_.store_negative(candidate, dns::RRType::kDlv, denial_ttl,
-                          response->header.rcode == dns::RCode::kNxDomain);
-    dlv_denial_deadline_.get_or_insert(candidate) =
-        network_->clock().now_us() +
-        static_cast<std::uint64_t>(denial_ttl) * 1'000'000ULL;
-    if (dlv_keys != nullptr) {
-      cache_validated_nsecs(authority, apex, *dlv_keys);
+    const bool nxdomain_denial =
+        response->header.rcode == dns::RCode::kNxDomain;
+    if (!config_.aggressive_synthesis) {
+      // Paper-era order: exact negative entry first, then validated spans.
+      cache_.store_negative(candidate, dns::RRType::kDlv, denial_ttl,
+                            nxdomain_denial);
+      dlv_denial_deadline_.get_or_insert(candidate) =
+          network_->clock().now_us() +
+          static_cast<std::uint64_t>(denial_ttl) * 1'000'000ULL;
+      if (dlv_keys != nullptr) {
+        cache_validated_nsecs(authority, apex, *dlv_keys);
+      }
+    } else {
+      // RFC 8198 profile: cache the validated spans first, then skip the
+      // redundant exact negative entry when a live span (or NSEC3
+      // evidence, cached by handle_nsec3_denial above) already covers the
+      // candidate — the span both answers and suppresses, so the exact
+      // entry would only add eviction pressure. This is what bends the
+      // cap-sweep Case-2 curve down under tight caps.
+      if (dlv_keys != nullptr) {
+        cache_validated_nsecs(authority, apex, *dlv_keys);
+      }
+      const ProofResult covered = cache_.find_denial(
+          apex, candidate, dns::RRType::kDlv,
+          DenialSources::kSpans | DenialSources::kNsec3);
+      if (covered.hash_ops > 0) charge_nsec3_cost(covered.hash_ops);
+      if (covered) {
+        stats_.add("cache.negative_elided");
+        dlv_denial_deadline_.get_or_insert(candidate) = covered.expires_us;
+      } else {
+        cache_.store_negative(candidate, dns::RRType::kDlv, denial_ttl,
+                              nxdomain_denial);
+        dlv_denial_deadline_.get_or_insert(candidate) =
+            network_->clock().now_us() +
+            static_cast<std::uint64_t>(denial_ttl) * 1'000'000ULL;
+      }
     }
   }
   return outcome;

@@ -134,14 +134,9 @@ class RecursiveResolver : public sim::Endpoint {
     dlv_anchors_[apex] = anchor;
   }
 
-  /// Resolves `query` on behalf of a stub (resolve API v2).
+  /// Resolves `query` on behalf of a stub (resolve API v2, the only
+  /// resolve API since PR 9 removed the positional shim).
   [[nodiscard]] ResolveResult resolve(const Query& query);
-
-  /// Deprecated positional overload kept as a thin shim over the v2 API.
-  [[deprecated("use resolve(const Query&)")]] [[nodiscard]] ResolveResult
-  resolve(const dns::Name& qname, dns::RRType qtype) {
-    return resolve(Query{qname, qtype, QueryOptions{}});
-  }
 
   // -- sim::Endpoint ---------------------------------------------------------
 
@@ -151,7 +146,17 @@ class RecursiveResolver : public sim::Endpoint {
   // -- Introspection -----------------------------------------------------------
 
   [[nodiscard]] ResolverCache& cache() { return cache_; }
+  [[nodiscard]] Validator& validator() { return validator_; }
   [[nodiscard]] const ResolverConfig& config() const { return config_; }
+
+  /// Attaches a SharedProofStore (nullable) to every subsystem that can
+  /// publish to it: the cache (NSEC spans, zone cuts) and the validator
+  /// (signature verdicts). Sibling shards then synthesize denials and skip
+  /// RSA from each other's work (DESIGN.md §4i/§4j).
+  void attach_shared(SharedProofStore* store, std::uint32_t shard_id = 0) {
+    cache_.attach_shared(store, shard_id);
+    validator_.attach_shared(store, shard_id);
+  }
   [[nodiscard]] metrics::CounterSet& stats() { return stats_; }
   /// Result of the most recent resolve() (valid until the next one).
   [[nodiscard]] const ResolveResult& last_result() const { return last_result_; }
@@ -182,6 +187,8 @@ class RecursiveResolver : public sim::Endpoint {
 
   Fetched fetch(const dns::Name& qname, dns::RRType qtype, int depth);
   Fetched fetch_from_cache(const dns::Name& qname, dns::RRType qtype);
+  /// Translates a unified denial proof into a cache-sourced Fetched.
+  [[nodiscard]] static Fetched fetched_denial(const ProofResult& proof);
 
   // -- Retry / failover (robustness layer) -----------------------------------
 
@@ -273,6 +280,17 @@ class RecursiveResolver : public sim::Endpoint {
   /// Advances the virtual clock by the modeled CPU bill for `hash_ops` SHA-1
   /// invocations and accounts it on the in-flight result.
   void charge_nsec3_cost(std::uint64_t hash_ops);
+
+  /// Denial-proof classes the configuration lets lookups consult: exact
+  /// negatives always; NSEC spans under aggressive_negative_caching
+  /// (RFC 5074 §5); NSEC3 evidence synthesis under aggressive_synthesis
+  /// (RFC 8198).
+  [[nodiscard]] unsigned denial_sources() const {
+    unsigned sources = DenialSources::kNegative;
+    if (config_.aggressive_negative_caching) sources |= DenialSources::kSpans;
+    if (config_.aggressive_synthesis) sources |= DenialSources::kNsec3;
+    return sources;
+  }
 
   /// §6.2.1 TXT remedy: returns the signal for `domain`
   /// (true=deposit exists, false=none, nullopt=no TXT record configured).

@@ -30,7 +30,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "dns/name.h"
@@ -70,6 +72,9 @@ class SharedProofStore {
     std::uint64_t cut_stores = 0;
     std::uint64_t cut_hits = 0;
     std::uint64_t cut_sibling_hits = 0;
+    std::uint64_t verdict_stores = 0;
+    std::uint64_t verdict_hits = 0;
+    std::uint64_t verdict_sibling_hits = 0;
   };
 
   explicit SharedProofStore(Options options = {});
@@ -110,6 +115,24 @@ class SharedProofStore {
   [[nodiscard]] bool has_zone_cut(const dns::Name& apex, std::uint64_t now_us,
                                   std::uint32_t probing_shard);
 
+  // -- Validation verdicts (vState sharing, DESIGN.md §4j) -------------------
+
+  /// Publishes one signature-verification verdict under its 64-bit content
+  /// key (signed data ⊕ signature ⊕ key material — see
+  /// Validator::verdict_key), valid until `expires_us` (the RRSIG
+  /// expiration). Striped by the key's low bits.
+  void store_verdict(std::uint64_t key, bool valid, std::uint64_t expires_us,
+                     std::uint32_t shard);
+
+  /// Published verdict for `key` if live at `now_us`; `*cross_shard`
+  /// reports whether a *different* shard published it.
+  [[nodiscard]] std::optional<bool> check_verdict(
+      std::uint64_t key, std::uint64_t now_us, std::uint32_t probing_shard,
+      bool* cross_shard = nullptr);
+
+  /// Published verdict count (live and expired).
+  [[nodiscard]] std::size_t verdict_count() const;
+
   // -- Maintenance -----------------------------------------------------------
 
   /// Reclaims every entry expired at `now_us` (exclusive locks, stripe by
@@ -138,10 +161,16 @@ class SharedProofStore {
   };
   /// One lock stripe. NSEC chains keyed by zone apex live whole in the
   /// apex's stripe; cuts keyed by the cut name live in the name's stripe.
+  struct VerdictEntry {
+    bool valid = false;
+    std::uint64_t expires_us = 0;
+    std::uint32_t shard = 0;
+  };
   struct Stripe {
     mutable std::shared_mutex mutex;
     std::map<dns::Name, NsecChain, CanonicalLess> nsec;
     std::map<dns::Name, CutEntry, CanonicalLess> cuts;
+    std::unordered_map<std::uint64_t, VerdictEntry> verdicts;
   };
 
   [[nodiscard]] Stripe& stripe_for(const dns::Name& name) {
@@ -149,6 +178,9 @@ class SharedProofStore {
   }
   [[nodiscard]] const Stripe& stripe_for(const dns::Name& name) const {
     return *stripes_[name.hash() & stripe_mask_];
+  }
+  [[nodiscard]] Stripe& stripe_for_key(std::uint64_t key) {
+    return *stripes_[key & stripe_mask_];
   }
 
   // Stripes are boxed: shared_mutex is immovable and the vector is sized
@@ -161,6 +193,9 @@ class SharedProofStore {
   std::atomic<std::uint64_t> cut_stores_{0};
   std::atomic<std::uint64_t> cut_hits_{0};
   std::atomic<std::uint64_t> cut_sibling_hits_{0};
+  std::atomic<std::uint64_t> verdict_stores_{0};
+  std::atomic<std::uint64_t> verdict_hits_{0};
+  std::atomic<std::uint64_t> verdict_sibling_hits_{0};
 };
 
 }  // namespace lookaside::resolver

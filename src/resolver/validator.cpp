@@ -3,10 +3,76 @@
 #include <stdexcept>
 
 #include "crypto/dnssec_algo.h"
+#include "resolver/shared_store.h"
 #include "zone/keys.h"
 #include "zone/nsec3.h"
 
 namespace lookaside::resolver {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, const std::uint8_t* data,
+                    std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t Validator::verdict_key(const dns::Bytes& signed_data,
+                                     const crypto::Bytes& signature,
+                                     const dns::DnskeyRdata& key) {
+  std::uint64_t hash = fnv1a(kFnvOffset, signed_data.data(),
+                             signed_data.size());
+  hash = fnv1a(hash, signature.data(), signature.size());
+  hash = fnv1a(hash, key.public_key.data(), key.public_key.size());
+  const std::uint16_t tag = key.key_tag();
+  const std::uint8_t tag_bytes[2] = {static_cast<std::uint8_t>(tag >> 8),
+                                     static_cast<std::uint8_t>(tag & 0xFF)};
+  return fnv1a(hash, tag_bytes, 2);
+}
+
+std::optional<bool> Validator::verdict_probe(std::uint64_t key,
+                                             std::uint64_t now_us) {
+  const auto it = verdicts_.find(key);
+  if (it != verdicts_.end()) {
+    if (it->second.expires_us > now_us) {
+      counters_.add("verdict.rsa_skipped");
+      return it->second.valid;
+    }
+    verdicts_.erase(it);
+  }
+  if (shared_ != nullptr) {
+    if (const auto shared =
+            shared_->check_verdict(key, now_us, shard_id_)) {
+      counters_.add("verdict.rsa_skipped");
+      counters_.add("verdict.shared_hit");
+      return shared;
+    }
+  }
+  counters_.add("verdict.miss");
+  return std::nullopt;
+}
+
+void Validator::verdict_insert(std::uint64_t key, bool valid,
+                               std::uint64_t expires_us) {
+  if (verdicts_.size() >= verdict_capacity_ &&
+      verdicts_.find(key) == verdicts_.end()) {
+    // Deterministic epoch flush: cheaper and replay-stable vs LRU chains.
+    verdicts_.clear();
+    counters_.add("verdict.flush");
+  }
+  verdicts_[key] = Verdict{valid, expires_us};
+  if (shared_ != nullptr) {
+    shared_->store_verdict(key, valid, expires_us, shard_id_);
+  }
+}
 
 SigCheck Validator::verify_rrset(
     const dns::RRset& rrset, const std::vector<dns::ResourceRecord>& rrsigs,
@@ -48,9 +114,29 @@ SigCheck Validator::verify_rrset(
       const crypto::RsaPublicKey* rsa = parse_key(*key);
       if (rsa == nullptr) continue;
       const dns::Bytes signed_data = dns::rrsig_signed_data(*sig, rrset);
-      if (crypto::verify_message(*rsa, signed_data, sig->signature)) {
-        return SigCheck::kValid;
+      // vState verdict cache (DESIGN.md §4j): a remembered outcome for this
+      // exact (signed data, signature, key) tuple skips the RSA verify.
+      // Bounded by the RRSIG expiration — the window check above already
+      // rejected expired signatures, so a live verdict can never outlast
+      // the signature it memoizes. RSA verification is host CPU, not
+      // virtual-clock time, so the cache cannot perturb leak determinism.
+      std::uint64_t vkey = 0;
+      if (verdict_capacity_ > 0) {
+        vkey = verdict_key(signed_data, sig->signature, *key);
+        if (const auto cached = verdict_probe(vkey, clock_->now_us())) {
+          if (*cached) return SigCheck::kValid;
+          better(SigCheck::kInvalid);
+          continue;
+        }
       }
+      const bool verified =
+          crypto::verify_message(*rsa, signed_data, sig->signature);
+      if (verdict_capacity_ > 0) {
+        verdict_insert(vkey, verified,
+                       static_cast<std::uint64_t>(sig->expiration) *
+                           1'000'000ULL);
+      }
+      if (verified) return SigCheck::kValid;
       better(SigCheck::kInvalid);
     }
     if (!key_found) better(SigCheck::kNoMatchingKey);
@@ -224,6 +310,18 @@ Nsec3Check Validator::check_nsec3_denial(const GroupedSection& authority,
   const crypto::Bytes wildcard_hash =
       hash_name(closest_encloser.with_prefix_label("*"));
   out.proven = covered(wildcard_hash) || matches(wildcard_hash);
+  if (out.proven) {
+    // Export synthesis evidence: the encloser is proven to exist with its
+    // wildcard proven absent, and every span came from a verified RRset —
+    // exactly what hash-gated RFC 8198 synthesis needs later.
+    out.has_evidence = true;
+    out.closest_encloser = closest_encloser;
+    out.salt = params->salt;
+    out.spans.reserve(spans.size());
+    for (const Span& span : spans) {
+      out.spans.emplace_back(span.owner_hash, span.rdata->next_hashed);
+    }
+  }
   return out;
 }
 

@@ -7,16 +7,21 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "crypto/rsa.h"
 #include "dns/message.h"
 #include "dns/record.h"
+#include "metrics/counters.h"
 #include "sim/clock.h"
 
 namespace lookaside::resolver {
+
+class SharedProofStore;
 
 /// Outcome of verifying one RRset.
 enum class SigCheck {
@@ -37,12 +42,54 @@ struct Nsec3Check {
   bool proven = false;
   std::uint16_t iterations = 0;
   std::uint64_t hash_ops = 0;
+  /// Synthesis evidence (DESIGN.md §4j), filled on proven NXDOMAIN proofs:
+  /// the discovered closest encloser (whose wildcard was proven absent),
+  /// the zone's hash parameters, and every signature-verified hashed span
+  /// in the proof. The resolver feeds this to
+  /// ResolverCache::store_nsec3_evidence so later queries under the same
+  /// encloser synthesize denials with a single hash.
+  bool has_evidence = false;
+  dns::Name closest_encloser;
+  crypto::Bytes salt;
+  std::vector<std::pair<crypto::Bytes, crypto::Bytes>> spans;
 };
 
-/// Stateless checks plus a parsed-key cache.
+/// Stateless checks plus a parsed-key cache and an optional bounded
+/// verdict cache (the vState idiom): repeat verifications of the same
+/// (signed data, signature, key) tuple skip RSA entirely.
 class Validator {
  public:
   explicit Validator(const sim::SimClock& clock) : clock_(&clock) {}
+
+  /// Enables the verdict cache with room for `entries` verdicts (0
+  /// disables it). Eviction is a deterministic epoch flush: when full, the
+  /// whole table is cleared ("verdict.flush") — no LRU ordering to keep in
+  /// sync across replays.
+  void set_verdict_cache_entries(std::size_t entries) {
+    verdict_capacity_ = entries;
+    if (entries == 0) verdicts_.clear();
+  }
+
+  /// Attaches a shared store (nullable): verdicts are then written through
+  /// and consulted on local misses, so sibling shards skip RSA for
+  /// signatures any shard already checked.
+  void attach_shared(SharedProofStore* store, std::uint32_t shard_id = 0) {
+    shared_ = store;
+    shard_id_ = shard_id;
+  }
+
+  /// Counters: "verdict.rsa_skipped" (cache hits that skipped an RSA
+  /// verify), "verdict.miss", "verdict.shared_hit", "verdict.flush".
+  [[nodiscard]] const metrics::CounterSet& counters() const {
+    return counters_;
+  }
+
+  /// 64-bit content key for one verification: FNV-1a over the signed data,
+  /// the signature bytes and the key material. Key rollover invalidates by
+  /// construction — a new key (or new signature) hashes to a new verdict.
+  [[nodiscard]] static std::uint64_t verdict_key(
+      const dns::Bytes& signed_data, const crypto::Bytes& signature,
+      const dns::DnskeyRdata& key);
 
   /// Verifies `rrset` against any covering RRSIG in `rrsigs` using keys from
   /// `dnskeys`. Returns the best outcome across candidate signatures.
@@ -81,9 +128,24 @@ class Validator {
                                               const dns::RRset& dnskeys);
 
  private:
+  struct Verdict {
+    bool valid = false;
+    std::uint64_t expires_us = 0;  // the RRSIG expiration
+  };
+
+  /// Cached (or shared) verdict for `key` live at `now_us`, else nullopt.
+  [[nodiscard]] std::optional<bool> verdict_probe(std::uint64_t key,
+                                                  std::uint64_t now_us);
+  void verdict_insert(std::uint64_t key, bool valid, std::uint64_t expires_us);
+
   const sim::SimClock* clock_;
   std::unordered_map<std::string, std::unique_ptr<crypto::RsaPublicKey>>
       key_cache_;
+  std::unordered_map<std::uint64_t, Verdict> verdicts_;
+  std::size_t verdict_capacity_ = 0;
+  SharedProofStore* shared_ = nullptr;  // nullable; not owned
+  std::uint32_t shard_id_ = 0;
+  metrics::CounterSet counters_;
 };
 
 /// Groups a message section into RRsets, preserving section order of first

@@ -58,7 +58,7 @@ ServeStack::ServeStack(const ScenarioOptions& options, obs::Tracer* tracer,
   resolver->set_root_trust_anchor(world->root_trust_anchor());
   resolver->set_dlv_trust_anchor(world->registry().trust_anchor());
   if (shared_store != nullptr) {
-    resolver->cache().attach_shared(shared_store, shard_id);
+    resolver->attach_shared(shared_store, shard_id);
   }
 
   frontend = std::make_unique<FrontendServer>(network, *resolver,

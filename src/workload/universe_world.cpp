@@ -460,10 +460,22 @@ class SldAuthority : public sim::Endpoint {
     if (nxdomain) {
       owner = info.name.with_prefix_label(label_before(qname.label(0)));
       nsec.next = info.name.with_prefix_label(std::string(qname.label(0)) + "0");
+      nsec.types = {dns::RRType::kA, dns::RRType::kRrsig, dns::RRType::kNsec};
     } else {
       nsec.next = qname.with_prefix_label("0");
+      // The bitmap must list every type this authority answers at the name:
+      // an aggressive-synthesis resolver (RFC 8198) will treat any omission
+      // as a validated proof of absence and deny real data from cache.
+      nsec.types = {dns::RRType::kA, dns::RRType::kAaaa};
+      if (qname == info.name) {
+        nsec.types.push_back(dns::RRType::kNs);
+        nsec.types.push_back(dns::RRType::kSoa);
+        if (options_->txt_signaling) nsec.types.push_back(dns::RRType::kTxt);
+        if (signer != nullptr) nsec.types.push_back(dns::RRType::kDnskey);
+      }
+      nsec.types.push_back(dns::RRType::kRrsig);
+      nsec.types.push_back(dns::RRType::kNsec);
     }
-    nsec.types = {dns::RRType::kA, dns::RRType::kRrsig, dns::RRType::kNsec};
     dns::RRset nsec_set(owner, dns::RRType::kNsec);
     nsec_set.add(dns::ResourceRecord::make(owner, options_->negative_ttl,
                                            dns::Rdata{nsec}));

@@ -1,5 +1,7 @@
 #include "zone/signed_zone.h"
 
+#include <algorithm>
+
 #include "crypto/dnssec_algo.h"
 
 namespace lookaside::zone {
@@ -57,6 +59,14 @@ dns::ResourceRecord SignedZone::make_nsec(const dns::Name& owner) {
   dns::NsecRdata nsec;
   nsec.next = zone_.canonical_successor(owner);
   nsec.types = zone_.types_at(owner);
+  // The DNSKEY rrset lives beside the zone (dnskeys_), not inside it, so
+  // types_at() misses it; an apex NSEC that omits DNSKEY would let an
+  // aggressive-synthesis resolver deny the zone's own keys from cache.
+  if (owner == zone_.apex() &&
+      std::find(nsec.types.begin(), nsec.types.end(), dns::RRType::kDnskey) ==
+          nsec.types.end()) {
+    nsec.types.push_back(dns::RRType::kDnskey);
+  }
   nsec.types.push_back(dns::RRType::kRrsig);
   nsec.types.push_back(dns::RRType::kNsec);
   return dns::ResourceRecord::make(owner, zone_.negative_ttl(),

@@ -16,6 +16,17 @@
 namespace lookaside::resolver {
 namespace {
 
+// Legacy-shaped probe over the unified DenialProofSource API so the
+// lifecycle assertions below keep their original vocabulary.
+NegativeEntry find_negative(ResolverCache& cache, const dns::Name& name,
+                            dns::RRType type) {
+  const ProofResult proof =
+      cache.find_denial(name, name, type, DenialSources::kNegative);
+  if (!proof) return NegativeEntry::kNone;
+  return proof.coverage == DenialKind::kNxDomain ? NegativeEntry::kNxDomain
+                                                 : NegativeEntry::kNoData;
+}
+
 class CacheLifecycleTest : public ::testing::Test {
  protected:
   CacheLifecycleTest() : cache_(clock_) {}
@@ -135,7 +146,7 @@ TEST_F(CacheLifecycleTest, SweepLeavesLiveEntriesAlone) {
   // The long-TTL generation survived: probes still hit.
   EXPECT_NE(cache_.find(dns::Name::parse("p3.example.com"), dns::RRType::kA),
             nullptr);
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("n3.example.com"),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("n3.example.com"),
                                  dns::RRType::kA),
             NegativeEntry::kNxDomain);
   EXPECT_EQ(cache_.nsec_count(dns::Name::parse("dlv.isc.org")), 10u);
@@ -202,7 +213,7 @@ TEST_F(CacheLifecycleTest, EvictionTerminatesWhenEverythingIsReferenced) {
     const std::string tag = std::to_string(i);
     (void)cache_.find(dns::Name::parse("p" + tag + ".example.com"),
                       dns::RRType::kA);
-    (void)cache_.find_negative(dns::Name::parse("n" + tag + ".example.com"),
+    (void)find_negative(cache_, dns::Name::parse("n" + tag + ".example.com"),
                                dns::RRType::kA);
   }
   cache_.maintain();

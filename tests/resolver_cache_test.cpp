@@ -15,6 +15,27 @@
 namespace lookaside::resolver {
 namespace {
 
+// Legacy-shaped adapters over the unified find_denial API (DESIGN.md §4j):
+// these suites assert denial *semantics*, not entry points — the deprecated
+// shims get their own equivalence coverage in synthesis_test.cpp.
+NegativeEntry find_negative(ResolverCache& cache, const dns::Name& name,
+                            dns::RRType type) {
+  const ProofResult proof =
+      cache.find_denial(name, name, type, DenialSources::kNegative);
+  if (!proof) return NegativeEntry::kNone;
+  return proof.coverage == DenialKind::kNxDomain ? NegativeEntry::kNxDomain
+                                                 : NegativeEntry::kNoData;
+}
+
+NsecCoverage nsec_check(ResolverCache& cache, const dns::Name& apex,
+                        const dns::Name& qname, dns::RRType qtype) {
+  const ProofResult proof =
+      cache.find_denial(apex, qname, qtype, DenialSources::kSpans);
+  if (!proof) return NsecCoverage::kNoProof;
+  return proof.coverage == DenialKind::kNxDomain ? NsecCoverage::kNameCovered
+                                                 : NsecCoverage::kTypeAbsent;
+}
+
 class CacheTest : public ::testing::Test {
  protected:
   CacheTest() : cache_(clock_) {}
@@ -79,19 +100,19 @@ TEST_F(CacheTest, EntryKeepsRrsigs) {
 TEST_F(CacheTest, NegativeNoDataIsTypeScoped) {
   cache_.store_negative(dns::Name::parse("a.com"), dns::RRType::kMx, 60,
                         /*nxdomain=*/false);
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("a.com"), dns::RRType::kMx),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("a.com"), dns::RRType::kMx),
             NegativeEntry::kNoData);
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("a.com"), dns::RRType::kA),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("a.com"), dns::RRType::kA),
             NegativeEntry::kNone);
 }
 
 TEST_F(CacheTest, NegativeNxdomainCoversAllTypes) {
   cache_.store_negative(dns::Name::parse("gone.com"), dns::RRType::kA, 60,
                         /*nxdomain=*/true);
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("gone.com"), dns::RRType::kA),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("gone.com"), dns::RRType::kA),
             NegativeEntry::kNxDomain);
   EXPECT_EQ(
-      cache_.find_negative(dns::Name::parse("gone.com"), dns::RRType::kDlv),
+      find_negative(cache_, dns::Name::parse("gone.com"), dns::RRType::kDlv),
       NegativeEntry::kNxDomain);
 }
 
@@ -99,23 +120,23 @@ TEST_F(CacheTest, NegativeExpires) {
   cache_.store_negative(dns::Name::parse("gone.com"), dns::RRType::kA, 30,
                         true);
   clock_.advance_seconds(31);
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("gone.com"), dns::RRType::kA),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("gone.com"), dns::RRType::kA),
             NegativeEntry::kNone);
 }
 
 TEST_F(CacheTest, NsecCoversInteriorName) {
   store_nsec("dlv.isc.org", "alpha.com.dlv.isc.org", "omega.com.dlv.isc.org",
              300);
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("middle.com.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNameCovered);
   // Outside the range: no proof.
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("zz.com.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNoProof);
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("aa.com.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNoProof);
@@ -124,7 +145,7 @@ TEST_F(CacheTest, NsecCoversInteriorName) {
 TEST_F(CacheTest, NsecWrapCoversTailOfZone) {
   // Last NSEC in a chain points back to the apex.
   store_nsec("dlv.isc.org", "zeta.com.dlv.isc.org", "dlv.isc.org", 300);
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("zz.net.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNameCovered);
@@ -134,12 +155,12 @@ TEST_F(CacheTest, NsecExactMatchChecksTypeBitmap) {
   store_nsec("dlv.isc.org", "exist.com.dlv.isc.org", "next.com.dlv.isc.org",
              300, {dns::RRType::kDlv});
   // DLV present at the name: no denial.
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("exist.com.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNoProof);
   // TXT absent at the name: proven.
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("exist.com.dlv.isc.org"),
                               dns::RRType::kTxt),
             NsecCoverage::kTypeAbsent);
@@ -148,12 +169,12 @@ TEST_F(CacheTest, NsecExactMatchChecksTypeBitmap) {
 TEST_F(CacheTest, NsecRespectsZoneScope) {
   store_nsec("dlv.isc.org", "a.com.dlv.isc.org", "z.com.dlv.isc.org", 300);
   // Same shape of name in a different zone: no proof.
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("other.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("other.org"),
                               dns::Name::parse("m.com.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNoProof);
   // Name outside the zone: no proof.
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("m.com"), dns::RRType::kDlv),
             NsecCoverage::kNoProof);
 }
@@ -162,7 +183,7 @@ TEST_F(CacheTest, NsecExpires) {
   store_nsec("dlv.isc.org", "a.com.dlv.isc.org", "z.com.dlv.isc.org", 40);
   EXPECT_EQ(cache_.nsec_count(dns::Name::parse("dlv.isc.org")), 1u);
   clock_.advance_seconds(41);
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("m.com.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNoProof);
@@ -178,7 +199,7 @@ TEST_F(CacheTest, NsecStaleCloserEntryDoesNotShadowLiveCoveringProof) {
   store_nsec("dlv.isc.org", "f.com.dlv.isc.org", "z.com.dlv.isc.org", 50);
   ASSERT_EQ(cache_.nsec_count(dns::Name::parse("dlv.isc.org")), 2u);
   clock_.advance_seconds(51);  // f expires; b (3600s) is still live
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("m.com.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNameCovered);
@@ -193,7 +214,7 @@ TEST_F(CacheTest, NsecWalkReclaimsRunOfExpiredEntries) {
   store_nsec("dlv.isc.org", "d.com.dlv.isc.org", "z.com.dlv.isc.org", 40);
   store_nsec("dlv.isc.org", "f.com.dlv.isc.org", "z.com.dlv.isc.org", 50);
   clock_.advance_seconds(51);
-  EXPECT_EQ(cache_.nsec_check(dns::Name::parse("dlv.isc.org"),
+  EXPECT_EQ(nsec_check(cache_, dns::Name::parse("dlv.isc.org"),
                               dns::Name::parse("m.com.dlv.isc.org"),
                               dns::RRType::kDlv),
             NsecCoverage::kNameCovered);
@@ -214,12 +235,12 @@ TEST_F(CacheTest, NegativeProbePurgesExpiredSlots) {
   clock_.advance_seconds(11);
   // Exact probe for an expired type: the NXDOMAIN entry still answers, and
   // both expired slots are purged in the same pass.
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("a.com"), dns::RRType::kMx),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("a.com"), dns::RRType::kMx),
             NegativeEntry::kNxDomain);
   EXPECT_LT(cache_.bytes(), before);
   const std::uint64_t after_purge = cache_.bytes();
   // Probing again reclaims nothing further.
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("a.com"), dns::RRType::kTxt),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("a.com"), dns::RRType::kTxt),
             NegativeEntry::kNxDomain);
   EXPECT_EQ(cache_.bytes(), after_purge);
 }
@@ -228,7 +249,7 @@ TEST_F(CacheTest, NegativeProbeErasesFullyExpiredName) {
   cache_.store_negative(dns::Name::parse("gone.com"), dns::RRType::kA, 10,
                         /*nxdomain=*/true);
   clock_.advance_seconds(11);
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("gone.com"), dns::RRType::kA),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("gone.com"), dns::RRType::kA),
             NegativeEntry::kNone);
   EXPECT_EQ(cache_.bytes(), 0u);
 }
@@ -258,7 +279,7 @@ TEST_F(CacheTest, ClearDropsEverything) {
   cache_.store_zone_cut(dns::Name::parse("com"), 100);
   cache_.clear();
   EXPECT_EQ(cache_.find(dns::Name::parse("a.com"), dns::RRType::kA), nullptr);
-  EXPECT_EQ(cache_.find_negative(dns::Name::parse("b.com"), dns::RRType::kA),
+  EXPECT_EQ(find_negative(cache_, dns::Name::parse("b.com"), dns::RRType::kA),
             NegativeEntry::kNone);
   EXPECT_EQ(cache_.nsec_count(dns::Name::parse("z")), 0u);
   EXPECT_EQ(cache_.deepest_known_cut(dns::Name::parse("a.com")),
@@ -346,7 +367,7 @@ class CacheModelTest : public CacheTest {
       }
     }
     if (expected != NegativeEntry::kNone) ++negative_hits_;
-    EXPECT_EQ(cache_.find_negative(dns::Name::parse(name), type), expected)
+    EXPECT_EQ(find_negative(cache_, dns::Name::parse(name), type), expected)
         << name;
   }
 

@@ -337,24 +337,5 @@ TEST(IntegrationTest, StubFacingHandleQueryStripsDnssecForPlainStub) {
   EXPECT_TRUE(do_response.header.ad);
 }
 
-// The only in-repo caller of the deprecated positional overload: pins the
-// shim's behavior to the v2 API until the overload is removed.
-TEST(IntegrationTest, DeprecatedPositionalResolveMatchesQueryApi) {
-  IntegrationFixture fixture(ResolverConfig::bind_manual_correct());
-  const ResolveResult v2 = fixture.resolve("island.com");
-
-  IntegrationFixture legacy_fixture(ResolverConfig::bind_manual_correct());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const ResolveResult legacy = legacy_fixture.resolver_->resolve(
-      dns::Name::parse("island.com"), dns::RRType::kA);
-#pragma GCC diagnostic pop
-
-  EXPECT_EQ(legacy.status, v2.status);
-  EXPECT_EQ(legacy.dlv.secured, v2.dlv.secured);
-  EXPECT_EQ(legacy.dlv.query_names, v2.dlv.query_names);
-  EXPECT_EQ(legacy.response, v2.response);
-}
-
 }  // namespace
 }  // namespace lookaside

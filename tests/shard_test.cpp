@@ -34,6 +34,17 @@ using serve::ShardRouter;
 
 dns::Name name_of(const std::string& text) { return dns::Name::parse(text); }
 
+// Legacy-shaped probe over the unified DenialProofSource API.
+NsecCoverage nsec_check(ResolverCache& cache, const dns::Name& apex,
+                        const dns::Name& qname, dns::RRType qtype) {
+  const resolver::ProofResult proof =
+      cache.find_denial(apex, qname, qtype, resolver::DenialSources::kSpans);
+  if (!proof) return NsecCoverage::kNoProof;
+  return proof.coverage == resolver::DenialKind::kNxDomain
+             ? NsecCoverage::kNameCovered
+             : NsecCoverage::kTypeAbsent;
+}
+
 dns::ResourceRecord nsec_span(const std::string& owner,
                               const std::string& next,
                               std::uint32_t ttl = 3600) {
@@ -235,6 +246,13 @@ TEST(SharedProofStore, SurvivesConcurrentStoreAndCheck) {
           }
           (void)store.has_zone_cut(zone, 0, static_cast<std::uint32_t>(t));
           (void)store.nsec_count(zone);
+          // Verdict entries share the same stripes: writers and readers
+          // collide on a small key set spanning every stripe.
+          const std::uint64_t vkey =
+              static_cast<std::uint64_t>(z) * 7919u + 13u;
+          store.store_verdict(vkey, /*valid=*/(z & 1) == 0, 1'000'000'000,
+                              static_cast<std::uint32_t>(t));
+          (void)store.check_verdict(vkey, 0, static_cast<std::uint32_t>(t));
         }
       }
     });
@@ -277,7 +295,7 @@ TEST(ShardCache, PositiveCacheStaysPrivateButNsecCrossesShards) {
   const dns::Name zone = name_of("example.com");
   cache_a.store_nsec(zone, nsec_span("alpha.example.com",
                                      "omega.example.com"));
-  EXPECT_EQ(cache_b.nsec_check(zone, name_of("m.example.com"),
+  EXPECT_EQ(nsec_check(cache_b, zone, name_of("m.example.com"),
                                dns::RRType::kA),
             NsecCoverage::kNameCovered);
   EXPECT_EQ(store.stats().nsec_sibling_hits, 1u);
@@ -295,7 +313,7 @@ TEST(ShardCache, DetachedCacheKeepsPrivateSemantics) {
   ResolverCache cache(clock);
   const dns::Name zone = name_of("example.com");
   cache.store_nsec(zone, nsec_span("alpha.example.com", "omega.example.com"));
-  EXPECT_EQ(cache.nsec_check(zone, name_of("m.example.com"), dns::RRType::kA),
+  EXPECT_EQ(nsec_check(cache, zone, name_of("m.example.com"), dns::RRType::kA),
             NsecCoverage::kNameCovered);
   EXPECT_EQ(cache.nsec_count(zone), 1u);
 }
