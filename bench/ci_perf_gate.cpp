@@ -31,7 +31,10 @@
 //                         (baseline value, fresh value, rule, verdict, and
 //                         the commit sha when GITHUB_SHA is set) so CI can
 //                         accumulate a perf trajectory across commits and
-//                         upload it as an artifact.
+//                         upload it as an artifact. Re-runs on the same
+//                         GITHUB_SHA skip metrics already recorded for
+//                         that (sha, baseline) pair, so retried jobs do
+//                         not double-count points in the sparklines.
 //   --suggest-baseline    on failure, print every metric whose value moved
 //                         (the diff a regenerated baseline would commit)
 //                         plus the exact cp command — so an intentional
@@ -45,6 +48,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -192,6 +196,14 @@ Rule schema_rule(const std::string& schema, const std::string& path) {
     }
     if (name == "seconds" || ends_with(name, "_ns")) {
       return {Direction::kLowerBetter, 1.50};
+    }
+    // Virtual counts off the deterministic churn leg (v3): how many RSA
+    // verifications batching executed vs deduped is workload-determined,
+    // not wall-clock — a drift is a behavior change, so hold it exactly.
+    // (Being in the baseline also means the gate fails if a regression
+    // stops recording them: missing-from-fresh is a failure above.)
+    if (name == "batch_unique" || name == "batch_deduped") {
+      return {Direction::kExact, 0.0};
     }
     // jobs, hardware_concurrency, resolutions, speedup (null on 1-core
     // hosts), parallelism_authoritative: shape/noise fields.
@@ -395,11 +407,41 @@ int main(int argc, char** argv) {
 
   if (!trajectory_path.empty()) {
     // Append-only JSONL so successive CI runs accumulate one trajectory
-    // file per pipeline; the sha ties each record to its commit.
-    std::ofstream trajectory(trajectory_path, std::ios::app);
+    // file per pipeline; the sha ties each record to its commit. Retried
+    // jobs re-run the gate on the same commit, so appends are deduplicated
+    // by (sha, baseline, metric path): a record that already exists for
+    // this sha is skipped rather than double-counted in the
+    // plot_trajectory sparklines. Without a sha (local runs) every append
+    // is kept — there is no commit identity to dedupe on.
     const char* sha_env = std::getenv("GITHUB_SHA");
     const std::string sha = sha_env == nullptr ? "" : sha_env;
+    std::set<std::string> already_recorded;
+    if (!sha.empty()) {
+      std::ifstream existing(trajectory_path);
+      const std::string sha_marker = "\"sha\": \"" + sha + "\"";
+      const std::string baseline_marker =
+          "\"baseline\": \"" + baseline_path + "\"";
+      std::string line;
+      while (std::getline(existing, line)) {
+        if (line.find(sha_marker) == std::string::npos) continue;
+        if (line.find(baseline_marker) == std::string::npos) continue;
+        const std::string path_key = "\"path\": \"";
+        const auto at = line.find(path_key);
+        if (at == std::string::npos) continue;
+        const auto start = at + path_key.size();
+        const auto end = line.find('"', start);
+        if (end == std::string::npos) continue;
+        already_recorded.insert(line.substr(start, end - start));
+      }
+    }
+    std::ofstream trajectory(trajectory_path, std::ios::app);
+    std::size_t appended = 0;
+    std::size_t deduped = 0;
     for (const GateResult& result : results) {
+      if (already_recorded.count(result.path) != 0) {
+        ++deduped;
+        continue;
+      }
       trajectory << "{\"baseline\": \"" << baseline_path << "\", \"schema\": \""
                  << schema << "\"";
       if (!sha.empty()) trajectory << ", \"sha\": \"" << sha << "\"";
@@ -413,10 +455,14 @@ int main(int argc, char** argv) {
       trajectory << ", \"rule\": \"" << direction_name(result.rule.direction)
                  << "\", \"tolerance\": " << result.rule.tolerance
                  << ", \"ok\": " << (result.ok ? "true" : "false") << "}\n";
+      ++appended;
     }
-    std::cout << "[gate] trajectory: appended " << results.size()
-              << " records to " << trajectory_path
-              << (trajectory.good() ? "" : " (WRITE FAILED)") << "\n";
+    std::cout << "[gate] trajectory: appended " << appended << " records to "
+              << trajectory_path;
+    if (deduped != 0) {
+      std::cout << " (" << deduped << " already recorded for this sha)";
+    }
+    std::cout << (trajectory.good() ? "" : " (WRITE FAILED)") << "\n";
   }
 
   if (failed != 0) {

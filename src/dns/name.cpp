@@ -46,6 +46,9 @@ Name Name::parse(std::string_view text) {
 }
 
 std::size_t Name::hash_text(std::string_view text) {
+  // Empty internal text is the root; it must hash to kRootHash no matter
+  // which construction path produced it (see kRootHash in name.h).
+  if (text.empty()) return kRootHash;
   // FNV-1a 64.
   std::size_t h = kEmptyHash;
   for (const char c : text) {

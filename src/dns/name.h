@@ -86,15 +86,28 @@ class Name {
   /// at construction so cache probes and hash-map keys never re-hash.
   [[nodiscard]] std::size_t hash() const { return hash_; }
 
+  /// Canonical hash of the root name. Distinct from the raw FNV offset
+  /// basis (the hash of zero input bytes), so hash-first comparisons and
+  /// the NameHashMap control-byte prefilter can never confuse "nothing
+  /// hashed yet" with "the root name". The value deliberately differs from
+  /// the basis only in bits 45–51: NameHashMap derives the slot index from
+  /// the hash's low bits (a table would need 2^45 slots before bit 45
+  /// matters) and the control-byte fragment from the top 7 bits, so
+  /// de-aliasing the root does not move any existing table placement —
+  /// eviction order under max_cache_bytes is a pinned observable and must
+  /// not shift underneath a hash-constant fix.
+  static constexpr std::size_t kRootHash =
+      14695981039346656037ULL ^ (0x7FULL << 45);
+
  private:
-  // FNV-1a 64-bit offset basis; doubles as the hash of the root name.
+  // FNV-1a 64-bit offset basis: the hash of zero input bytes.
   static constexpr std::size_t kEmptyHash = 14695981039346656037ULL;
 
   [[nodiscard]] static std::size_t hash_text(std::string_view text);
 
   std::string text_;                         // lowercase, no trailing dot
   std::vector<std::uint16_t> label_starts_;  // index of each label's start
-  std::size_t hash_ = kEmptyHash;
+  std::size_t hash_ = kRootHash;
 };
 
 /// Hash functor so Name can key unordered containers; reuses the memoized

@@ -2,9 +2,17 @@
 //
 // Probes reuse the canonical-form hash memoized on the Name at construction
 // (Name::hash()), so a lookup is one mask, a linear scan over a contiguous
-// slot array, and hash-first key rejection — no re-hashing, no node chasing,
-// no key copies. This is the resolver cache's hot path container: NSEC-heavy
-// negative caching does millions of probes per simulated top-1M run.
+// control-byte array, and hash-first key rejection — no re-hashing, no node
+// chasing, no key copies. This is the resolver cache's hot path container:
+// NSEC-heavy negative caching does millions of probes per simulated top-1M
+// run.
+//
+// Slot layout is SoA (DESIGN.md §4k): a dense byte array of control bytes
+// (empty/tombstone sentinels, or 0x80 | a 7-bit fragment of the key's hash)
+// is probed first, and the wide Slot payload (Name + Value) is only touched
+// when the fragment matches. A probe chain therefore walks one cache line of
+// metadata per ~64 slots instead of one line per slot, and mismatched keys
+// are rejected without ever loading their Name.
 //
 // Linear probing over a power-of-two slot array with tombstone deletion.
 // Rehash keeps the live load factor below 3/4 (tombstones count toward the
@@ -17,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -24,18 +33,45 @@
 
 namespace lookaside::dns {
 
+/// Resume state for NameHashMap::sweep(): a slot position plus the table
+/// generation it was taken under. Rehashes (grow, tombstone compaction,
+/// clear) bump the generation; a cursor from an older generation indexes
+/// the *previous* slot ordering, so sweep() detects the mismatch and
+/// re-anchors the cursor into the current table (masked to the new slot
+/// range) instead of silently aliasing a stale index. The hand keeps its
+/// numeric phase rather than rewinding to slot 0: second-chance clocks
+/// depend on the hand's position for their eviction schedule, and the
+/// cap-sweep Case-2 series (DESIGN §4f, pinned by cache_lifecycle tests)
+/// is an observable of that schedule — a rewind-to-zero policy restarts
+/// every scan at the low slots after each growth and measurably shifts
+/// which entries are reclaimed. Entries the rehash moved across the hand
+/// are picked up on the next lap, which clock algorithms tolerate by
+/// design; within one generation a lap visits every slot exactly once
+/// (the model-trace test in name_map intern suite pins both properties).
+/// Namespace-level (not nested) so one cursor array can serve maps of
+/// different mapped types — see ResolverCache's per-section cursors.
+struct NameMapSweepCursor {
+  std::size_t slot = 0;
+  std::uint64_t generation = 0;
+};
+
 template <typename Value>
 class NameHashMap {
  public:
+  using SweepCursor = NameMapSweepCursor;
+
   /// Mapped value for `key`, or nullptr. Never allocates.
   [[nodiscard]] Value* find(const Name& key) {
     if (size_ == 0) return nullptr;
-    std::size_t i = key.hash() & mask();
+    const std::size_t hash = key.hash();
+    const std::uint8_t want = ctrl_of(hash);
+    std::size_t i = hash & mask();
     for (;;) {
-      Slot& slot = slots_[i];
-      if (slot.state == State::kEmpty) return nullptr;
-      if (slot.state == State::kFull && keys_equal(slot, key)) {
-        return &slot.value;
+      const std::uint8_t c = ctrl_[i];
+      if (c == kCtrlEmpty) return nullptr;
+      if (c == want) {
+        Slot& slot = slots_[i];
+        if (keys_equal(slot, key)) return &slot.value;
       }
       i = (i + 1) & mask();
     }
@@ -47,22 +83,23 @@ class NameHashMap {
   /// Mapped value for `key`, default-constructed and inserted when absent.
   Value& get_or_insert(const Name& key) {
     if ((size_ + dead_ + 1) * 4 >= slots_.size() * 3) grow();
-    std::size_t i = key.hash() & mask();
+    const std::size_t hash = key.hash();
+    const std::uint8_t want = ctrl_of(hash);
+    std::size_t i = hash & mask();
     std::size_t reuse = kNoSlot;
     for (;;) {
-      Slot& slot = slots_[i];
-      if (slot.state == State::kFull && keys_equal(slot, key)) {
-        return slot.value;
-      }
-      if (slot.state == State::kDead && reuse == kNoSlot) reuse = i;
-      if (slot.state == State::kEmpty) {
-        Slot& target = reuse == kNoSlot ? slot : slots_[reuse];
-        if (target.state == State::kDead) --dead_;
-        target.key = key;
-        target.value = Value{};
-        target.state = State::kFull;
+      const std::uint8_t c = ctrl_[i];
+      if (c == want && keys_equal(slots_[i], key)) return slots_[i].value;
+      if (c == kCtrlDead && reuse == kNoSlot) reuse = i;
+      if (c == kCtrlEmpty) {
+        const std::size_t target = reuse == kNoSlot ? i : reuse;
+        if (ctrl_[target] == kCtrlDead) --dead_;
+        Slot& slot = slots_[target];
+        slot.key = key;
+        slot.value = Value{};
+        ctrl_[target] = want;
         ++size_;
-        return target.value;
+        return slot.value;
       }
       i = (i + 1) & mask();
     }
@@ -71,14 +108,16 @@ class NameHashMap {
   /// Removes `key`; returns whether it was present.
   bool erase(const Name& key) {
     if (size_ == 0) return false;
-    std::size_t i = key.hash() & mask();
+    const std::size_t hash = key.hash();
+    const std::uint8_t want = ctrl_of(hash);
+    std::size_t i = hash & mask();
     for (;;) {
-      Slot& slot = slots_[i];
-      if (slot.state == State::kEmpty) return false;
-      if (slot.state == State::kFull && keys_equal(slot, key)) {
-        slot.key = Name{};
-        slot.value = Value{};
-        slot.state = State::kDead;
+      const std::uint8_t c = ctrl_[i];
+      if (c == kCtrlEmpty) return false;
+      if (c == want && keys_equal(slots_[i], key)) {
+        slots_[i].key = Name{};
+        slots_[i].value = Value{};
+        ctrl_[i] = kCtrlDead;
         --size_;
         ++dead_;
         return true;
@@ -92,16 +131,18 @@ class NameHashMap {
 
   void clear() {
     slots_.clear();
+    ctrl_.clear();
     size_ = 0;
     dead_ = 0;
+    ++generation_;
   }
 
   /// Unordered visitation: fn(const Name&, Value&). Do not mutate the map
   /// inside fn.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (Slot& slot : slots_) {
-      if (slot.state == State::kFull) fn(slot.key, slot.value);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (is_full(ctrl_[i])) fn(slots_[i].key, slots_[i].value);
     }
   }
 
@@ -109,41 +150,66 @@ class NameHashMap {
   /// sweep cursor space: cursors index slots, not entries.
   [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
 
+  /// Rehash epoch: bumped by every slot-reordering event (grow, tombstone
+  /// compaction, clear). SweepCursor snapshots it; tests assert against it.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
   /// Incremental slot walk for sweepers and clock-eviction hands: visits up
-  /// to `max_steps` consecutive slots starting at `*cursor` (wrapping),
+  /// to `max_steps` consecutive slots starting at `cursor->slot` (wrapping),
   /// calling fn(key, value) on each full slot; returning true erases that
-  /// entry in place (tombstone, no rehash). `*cursor` advances past the
-  /// visited slots so repeated calls cover the whole table. A cursor from
-  /// before a rehash is clamped by the mask — the walk restarts at an
-  /// arbitrary but valid slot, which clock algorithms tolerate by design.
-  /// Returns the number of entries erased. fn must not touch the map.
+  /// entry in place (tombstone, no rehash). The cursor advances past the
+  /// visited slots so repeated calls cover the whole table. A cursor whose
+  /// snapshotted generation predates a rehash indexed the *old* slot
+  /// ordering — sweep() re-anchors it into the current table (masked, phase
+  /// preserved; see NameMapSweepCursor for why not slot 0) so the walk is
+  /// always a defined position in the live ordering, and within one
+  /// generation never skips or double-visits an entry per lap. Returns the
+  /// number of entries erased. fn must not touch the map.
   template <typename Fn>
-  std::size_t sweep(std::size_t* cursor, std::size_t max_steps, Fn&& fn) {
+  std::size_t sweep(SweepCursor* cursor, std::size_t max_steps, Fn&& fn) {
     if (slots_.empty() || max_steps == 0) return 0;
+    if (cursor->generation != generation_) {
+      cursor->slot &= mask();
+      cursor->generation = generation_;
+    }
     std::size_t erased = 0;
-    std::size_t i = *cursor & mask();
+    std::size_t i = cursor->slot & mask();
     for (std::size_t step = 0; step < max_steps; ++step) {
-      Slot& slot = slots_[i];
-      if (slot.state == State::kFull && fn(slot.key, slot.value)) {
-        slot.key = Name{};
-        slot.value = Value{};
-        slot.state = State::kDead;
-        --size_;
-        ++dead_;
-        ++erased;
+      if (is_full(ctrl_[i])) {
+        Slot& slot = slots_[i];
+        if (fn(slot.key, slot.value)) {
+          slot.key = Name{};
+          slot.value = Value{};
+          ctrl_[i] = kCtrlDead;
+          --size_;
+          ++dead_;
+          ++erased;
+        }
       }
       i = (i + 1) & mask();
     }
-    *cursor = i;
+    cursor->slot = i;
     return erased;
   }
 
  private:
-  enum class State : unsigned char { kEmpty, kFull, kDead };
+  // Control bytes: one per slot. kCtrlEmpty / kCtrlDead are sentinels; a
+  // full slot stores 0x80 | the top 7 bits of the key's hash. The slot
+  // index comes from the hash's *low* bits, so the fragment is nearly
+  // independent of the probe position and rejects ~127/128 of mismatched
+  // keys without touching the Slot array.
+  static constexpr std::uint8_t kCtrlEmpty = 0;
+  static constexpr std::uint8_t kCtrlDead = 1;
+  [[nodiscard]] static std::uint8_t ctrl_of(std::size_t hash) {
+    return static_cast<std::uint8_t>(0x80u | (hash >> 57));
+  }
+  [[nodiscard]] static bool is_full(std::uint8_t c) {
+    return (c & 0x80u) != 0;
+  }
+
   struct Slot {
     Name key;
     Value value{};
-    State state = State::kEmpty;
   };
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
   static constexpr std::size_t kInitialCapacity = 16;
@@ -152,12 +218,14 @@ class NameHashMap {
 
   [[nodiscard]] static bool keys_equal(const Slot& slot, const Name& key) {
     // Hash-first rejection: the memoized hashes differ for almost every
-    // unequal pair, so the byte compare rarely runs.
+    // unequal pair that survives the control-byte fragment, so the byte
+    // compare rarely runs on mismatches.
     return slot.key.hash() == key.hash() && slot.key == key;
   }
 
   void grow() {
     std::vector<Slot> old = std::move(slots_);
+    std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
     // Double only when live entries need it; a tombstone-heavy table
     // rehashes at the same capacity, which drops the tombstones.
     std::size_t capacity = old.empty() ? kInitialCapacity : old.size();
@@ -166,22 +234,28 @@ class NameHashMap {
     // move-only friendly (the positive cache maps to unique_ptr slots).
     slots_.clear();
     slots_.resize(capacity);
+    ctrl_.assign(capacity, kCtrlEmpty);
     size_ = 0;
     dead_ = 0;
-    for (Slot& slot : old) {
-      if (slot.state != State::kFull) continue;
-      std::size_t i = slot.key.hash() & mask();
-      while (slots_[i].state == State::kFull) i = (i + 1) & mask();
+    ++generation_;
+    for (std::size_t s = 0; s < old.size(); ++s) {
+      if (!is_full(old_ctrl[s])) continue;
+      Slot& slot = old[s];
+      const std::size_t hash = slot.key.hash();
+      std::size_t i = hash & mask();
+      while (ctrl_[i] != kCtrlEmpty) i = (i + 1) & mask();
       slots_[i].key = std::move(slot.key);
       slots_[i].value = std::move(slot.value);
-      slots_[i].state = State::kFull;
+      ctrl_[i] = ctrl_of(hash);
       ++size_;
     }
   }
 
   std::vector<Slot> slots_;
+  std::vector<std::uint8_t> ctrl_;  // SoA control bytes, one per slot
   std::size_t size_ = 0;
-  std::size_t dead_ = 0;  // tombstones
+  std::size_t dead_ = 0;       // tombstones
+  std::uint64_t generation_ = 1;  // rehash epoch (see SweepCursor)
 };
 
 }  // namespace lookaside::dns

@@ -63,8 +63,12 @@ std::size_t ResolverCache::servfail_cost(const dns::Name& name) {
 }
 
 std::size_t ResolverCache::nsec_cost(const dns::Name& owner,
-                                     const NsecEntry& entry) {
-  return kNsecOverhead + name_cost(owner) + name_cost(entry.next) +
+                                     const NsecEntry& entry) const {
+  // entry.next is interned; the cost formula still charges for the full
+  // name as if it were copied inline. Frozen deliberately: accounted cost
+  // drives eviction order, which the PR-5 cap-sweep Case-2 series pins —
+  // interning shrinks real memory (see arena_bytes()), not accounted bytes.
+  return kNsecOverhead + name_cost(owner) + name_cost(arena_.name(entry.next)) +
          entry.types.size() * sizeof(dns::RRType);
 }
 
@@ -254,7 +258,7 @@ void ResolverCache::store_nsec(const dns::Name& zone_apex,
   const auto* nsec = std::get_if<dns::NsecRdata>(&nsec_record.rdata);
   if (nsec == nullptr) return;
   NsecEntry entry;
-  entry.next = nsec->next;
+  entry.next = arena_.intern(nsec->next);
   entry.types = nsec->types;
   entry.expires_us = ttl_to_deadline(now(), nsec_record.ttl);
   entry.cost = static_cast<std::uint32_t>(nsec_cost(nsec_record.name, entry));
@@ -263,7 +267,7 @@ void ResolverCache::store_nsec(const dns::Name& zone_apex,
     // Write-through: sibling shards can then suppress the same denial
     // without their own registry round trip (and its Case-2 leak).
     shared_->store_nsec(zone_apex, nsec_record.name,
-                        {entry.next, entry.types, entry.expires_us,
+                        {nsec->next, entry.types, entry.expires_us,
                          shard_id_});
   }
   NsecZone& zone = nsec_by_zone_.get_or_insert(zone_apex);
@@ -328,8 +332,9 @@ NsecCoverage ResolverCache::classify_nsec_entry(const dns::Name& zone_apex,
 
   // Covering NSEC: owner < qname < next proves nonexistence. The chain's
   // last record wraps: next == apex means "everything after owner".
-  const bool wraps = entry.next == zone_apex;
-  if (wraps || qname.canonical_compare(entry.next) < 0) {
+  const dns::Name& next = arena_.name(entry.next);
+  const bool wraps = next == zone_apex;
+  if (wraps || qname.canonical_compare(next) < 0) {
     // RFC 6840 §4.4 again: names below a delegation-owner NSEC are occluded
     // — the span (net. -> org.) proves nothing about anything *inside* the
     // net. zone, only that no further names exist in the parent between the
@@ -630,7 +635,7 @@ dns::Name ResolverCache::deepest_known_cut(const dns::Name& qname) {
 std::size_t ResolverCache::sweep_section(Section section, std::size_t budget) {
   const std::uint64_t now_us = now();
   std::size_t reclaimed = 0;
-  std::size_t* cursor = &sweep_cursor_[section];
+  dns::NameMapSweepCursor* cursor = &sweep_cursor_[section];
   switch (section) {
     case kPositive:
       positive_.sweep(cursor, budget, [&](const dns::Name&,
@@ -761,7 +766,7 @@ void ResolverCache::trace_eviction(Section section, const dns::Name& owner) {
 }
 
 bool ResolverCache::evict_step(Section section, std::size_t budget) {
-  std::size_t* cursor = &evict_cursor_[section];
+  dns::NameMapSweepCursor* cursor = &evict_cursor_[section];
   std::size_t evicted = 0;
   switch (section) {
     case kPositive:
@@ -918,13 +923,16 @@ void ResolverCache::clear() {
   nsec_by_zone_.clear();
   nsec3_evidence_.clear();
   zone_cuts_.clear();
+  // Interned ids die with the entries that held them; dropping the arena
+  // here is what bounds the "ids stable for cache lifetime" contract.
+  arena_.clear();
   bytes_ = 0;
   peak_bytes_ = 0;
   sweep_section_index_ = 0;
   evict_section_index_ = 0;
   for (std::size_t i = 0; i < kSectionCount; ++i) {
-    sweep_cursor_[i] = 0;
-    evict_cursor_[i] = 0;
+    sweep_cursor_[i] = dns::NameMapSweepCursor{};
+    evict_cursor_[i] = dns::NameMapSweepCursor{};
   }
 }
 

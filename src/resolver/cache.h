@@ -24,6 +24,7 @@
 
 #include "crypto/bytes.h"
 #include "dns/name.h"
+#include "dns/name_arena.h"
 #include "dns/name_map.h"
 #include "dns/record.h"
 #include "metrics/counters.h"
@@ -225,10 +226,20 @@ class ResolverCache : public DenialProofSource {
   void set_limits(const CacheLimits& limits) { limits_ = limits; }
   [[nodiscard]] const CacheLimits& limits() const { return limits_; }
 
-  /// Approximate current footprint in bytes across all five stores.
+  /// Approximate current footprint in bytes across all five stores. The
+  /// accounting formulas are frozen (they decide eviction order, which the
+  /// PR-5 cap-sweep series pins); interning makes the *real* footprint
+  /// smaller than this number, never larger — see arena_bytes().
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
   /// High-water mark of bytes() since construction (or clear()).
   [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_; }
+
+  /// The cache's interning arena (DESIGN.md §4k). Ids handed out by it are
+  /// stable for the cache's lifetime (until clear()).
+  [[nodiscard]] const dns::NameArena& name_arena() const { return arena_; }
+  /// True measured footprint of the arena backing the interned sections —
+  /// what the duplicate name copies actually cost after interning.
+  [[nodiscard]] std::uint64_t arena_bytes() const { return arena_.bytes(); }
 
   /// Incremental expiry sweep: visits up to `max_slots` slots, resuming
   /// where the previous sweep stopped and rotating across the five stores,
@@ -277,7 +288,11 @@ class ResolverCache : public DenialProofSource {
     bool referenced = false;
   };
   struct NsecEntry {
-    dns::Name next;
+    /// Interned id of the span's next owner (DESIGN.md §4k): the chain
+    /// stores each distinct name once in the cache arena, so this duplicate
+    /// of the successor's owner name is pointer-width instead of a full
+    /// Name copy. Resolve with arena_.name().
+    dns::NameId next = dns::kInvalidNameId;
     std::vector<dns::RRType> types;
     std::uint64_t expires_us = 0;
     bool referenced = false;
@@ -354,8 +369,11 @@ class ResolverCache : public DenialProofSource {
   [[nodiscard]] static std::size_t positive_cost(const PositiveEntry& entry);
   [[nodiscard]] static std::size_t negative_cost(const dns::Name& name);
   [[nodiscard]] static std::size_t servfail_cost(const dns::Name& name);
-  [[nodiscard]] static std::size_t nsec_cost(const dns::Name& owner,
-                                             const NsecEntry& entry);
+  /// Non-static: dereferences entry.next through the arena. The formula is
+  /// unchanged from the pre-interning layout — accounted cost must not move
+  /// or the pinned eviction order would.
+  [[nodiscard]] std::size_t nsec_cost(const dns::Name& owner,
+                                      const NsecEntry& entry) const;
   [[nodiscard]] static std::size_t zone_cut_cost(const dns::Name& apex);
 
   void charge(std::size_t cost);
@@ -435,14 +453,20 @@ class ResolverCache : public DenialProofSource {
   dns::NameHashMap<NsecZone> nsec_by_zone_;
   dns::NameHashMap<Nsec3ZoneEvidence> nsec3_evidence_;
   dns::NameHashMap<ZoneCutRecord> zone_cuts_;
+  // Interning arena for names the cache stores redundantly (NSEC span
+  // next-pointers today). Lives alongside the tables; cleared with them.
+  dns::NameArena arena_;
   // Sweep rotation state: which section the next sweep tick works on, plus
-  // one resume cursor per section (slot indices into the hash tables).
+  // one resume cursor per section. Cursors carry the table generation they
+  // were taken under (NameMapSweepCursor), so a rehash between sweep steps
+  // restarts that section's walk instead of resuming into a reshuffled
+  // slot ordering.
   std::size_t sweep_section_index_ = 0;
-  std::size_t sweep_cursor_[kSectionCount] = {};
+  dns::NameMapSweepCursor sweep_cursor_[kSectionCount] = {};
   // Eviction clock state: independent hands so pressure eviction does not
   // perturb the expiry sweep's coverage.
   std::size_t evict_section_index_ = 0;
-  std::size_t evict_cursor_[kSectionCount] = {};
+  dns::NameMapSweepCursor evict_cursor_[kSectionCount] = {};
 };
 
 }  // namespace lookaside::resolver

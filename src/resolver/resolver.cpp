@@ -924,6 +924,13 @@ ResolveResult RecursiveResolver::resolve(const Query& query) {
   ResolveResult result;
   current_ = &result;
 
+  // One RSA dedup window per resolution (DESIGN.md §4k): every signature
+  // check below — trust-chain descent, answer RRsets, denial NSECs, DLV
+  // candidates — shares the batch, so identical tuples the verdict cache
+  // missed run the modular exponentiation once. RAII keeps the window
+  // exception-safe; nested resolves (none today) would stack cleanly.
+  crypto::VerifyBatchScope verify_window(validator_.verify_batch());
+
   std::uint64_t span_id = 0;
   std::uint64_t span_start_us = 0;
   bool pushed_query_context = false;

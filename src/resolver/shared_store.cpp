@@ -29,10 +29,18 @@ SharedProofStore::SharedProofStore(Options options) {
 
 void SharedProofStore::store_nsec(const dns::Name& zone_apex,
                                   const dns::Name& owner, NsecProof proof) {
+  // Intern before taking the stripe lock (lock-order note in the header);
+  // republished spans from sibling shards dedupe to the same id here.
+  const dns::NameId next_id = arena_.intern(proof.next);
+  StoredNsec stored;
+  stored.next = next_id;
+  stored.types = std::move(proof.types);
+  stored.expires_us = proof.expires_us;
+  stored.shard = proof.shard;
   Stripe& stripe = stripe_for(zone_apex);
   {
     std::unique_lock lock(stripe.mutex);
-    stripe.nsec[zone_apex][owner] = std::move(proof);
+    stripe.nsec[zone_apex][owner] = std::move(stored);
   }
   nsec_stores_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -61,7 +69,7 @@ NsecCoverage SharedProofStore::check_nsec(const dns::Name& zone_apex,
     if (it->second.expires_us > now_us) break;
   }
   const dns::Name& owner = it->first;
-  const NsecProof& proof = it->second;
+  const StoredNsec& proof = it->second;
 
   const auto record_hit = [&] {
     if (expires_us != nullptr) *expires_us = proof.expires_us;
@@ -96,8 +104,9 @@ NsecCoverage SharedProofStore::check_nsec(const dns::Name& zone_apex,
   }
   // Covering span: owner < qname < next; the chain's last record wraps
   // (next == apex means "everything after owner").
-  const bool wraps = proof.next == zone_apex;
-  if (wraps || qname.canonical_compare(proof.next) < 0) {
+  const dns::Name& next = arena_.name(proof.next);
+  const bool wraps = next == zone_apex;
+  if (wraps || qname.canonical_compare(next) < 0) {
     // RFC 6840 §4.4: names below a delegation-owner NSEC are occluded, so
     // the span proves nothing inside the child zone (mirrors
     // ResolverCache::classify_nsec_entry).

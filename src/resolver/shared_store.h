@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "dns/name.h"
+#include "dns/name_arena.h"
 #include "dns/rr_type.h"
 
 namespace lookaside::resolver {
@@ -57,6 +58,9 @@ class SharedProofStore {
 
   /// One validated NSEC span: owner (the map key) -> next, plus the type
   /// bitmap and expiry. `shard` is the publisher, for sibling accounting.
+  /// This is the *publish* type; internally the store interns `next` into a
+  /// shared name arena (§4k) and keeps only its 32-bit id, so N shards
+  /// republishing the same chain share one canonical byte string per name.
   struct NsecProof {
     dns::Name next;
     std::vector<dns::RRType> types;
@@ -147,6 +151,10 @@ class SharedProofStore {
   [[nodiscard]] std::size_t stripe_of(const dns::Name& name) const {
     return name.hash() & stripe_mask_;
   }
+  /// Distinct canonical names interned across all published spans, and the
+  /// arena's true heap footprint (exposed for the intern suite).
+  [[nodiscard]] std::size_t arena_size() const { return arena_.size(); }
+  [[nodiscard]] std::size_t arena_bytes() const { return arena_.bytes(); }
 
  private:
   struct CanonicalLess {
@@ -154,7 +162,14 @@ class SharedProofStore {
       return a.canonical_compare(b) < 0;
     }
   };
-  using NsecChain = std::map<dns::Name, NsecProof, CanonicalLess>;
+  /// Stored form of NsecProof: `next` is an arena id, not a Name copy.
+  struct StoredNsec {
+    dns::NameId next = dns::kInvalidNameId;
+    std::vector<dns::RRType> types;
+    std::uint64_t expires_us = 0;
+    std::uint32_t shard = 0;
+  };
+  using NsecChain = std::map<dns::Name, StoredNsec, CanonicalLess>;
   struct CutEntry {
     std::uint64_t expires_us = 0;
     std::uint32_t shard = 0;
@@ -187,6 +202,13 @@ class SharedProofStore {
   // once at construction.
   std::vector<std::unique_ptr<Stripe>> stripes_;
   std::size_t stripe_mask_ = 0;
+  // Cross-shard intern table for span `next` names. Lock order: store_nsec
+  // interns (arena exclusive) *before* taking its stripe lock and holds the
+  // two never at once; check_nsec derefs (arena shared) *under* its stripe
+  // lock. No path acquires a stripe while holding the arena exclusively,
+  // so the order is acyclic. Ids are never reclaimed (the arena only
+  // grows), which is what makes the returned Name& stable for readers.
+  dns::SharedNameArena arena_;
   std::atomic<std::uint64_t> nsec_stores_{0};
   std::atomic<std::uint64_t> nsec_hits_{0};
   std::atomic<std::uint64_t> nsec_sibling_hits_{0};

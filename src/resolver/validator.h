@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crypto/rsa.h"
+#include "crypto/verify_batch.h"
 #include "dns/message.h"
 #include "dns/record.h"
 #include "metrics/counters.h"
@@ -79,10 +80,23 @@ class Validator {
   }
 
   /// Counters: "verdict.rsa_skipped" (cache hits that skipped an RSA
-  /// verify), "verdict.miss", "verdict.shared_hit", "verdict.flush".
+  /// verify), "verdict.miss", "verdict.shared_hit", "verdict.flush",
+  /// "verify.batch_unique" (verifications executed inside a batch window),
+  /// "verify.batch_deduped" (in-window repeats answered without RSA).
   [[nodiscard]] const metrics::CounterSet& counters() const {
     return counters_;
   }
+
+  /// The per-resolve-step RSA dedup window (DESIGN.md §4k). The resolver
+  /// opens a crypto::VerifyBatchScope over it at resolve() entry; while a
+  /// window is open, identical (signed data, signature, key) tuples that
+  /// miss the verdict cache run RSA once and answer repeats from the memo.
+  [[nodiscard]] crypto::VerifyBatch& verify_batch() { return batch_; }
+
+  /// Disables (or re-enables) batch dedup without touching window scoping —
+  /// the A/B knob for tests and bench_micro; output is identical either
+  /// way, only the RSA work count changes.
+  void set_batch_enabled(bool enabled) { batch_enabled_ = enabled; }
 
   /// 64-bit content key for one verification: FNV-1a over the signed data,
   /// the signature bytes and the key material. Key rollover invalidates by
@@ -143,6 +157,8 @@ class Validator {
       key_cache_;
   std::unordered_map<std::uint64_t, Verdict> verdicts_;
   std::size_t verdict_capacity_ = 0;
+  crypto::VerifyBatch batch_;
+  bool batch_enabled_ = true;
   SharedProofStore* shared_ = nullptr;  // nullable; not owned
   std::uint32_t shard_id_ = 0;
   metrics::CounterSet counters_;

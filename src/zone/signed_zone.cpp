@@ -35,7 +35,7 @@ dns::ResourceRecord SignedZone::rrsig_for(const dns::RRset& rrset) {
   rrsig.signer = zone_.apex();
 
   const auto cache_key =
-      std::make_pair(rrset.name().internal_text(), rrset.type());
+      std::make_pair(owner_arena_.intern(rrset.name()), rrset.type());
   const auto it = corrupt_ ? signature_cache_.end()
                            : signature_cache_.find(cache_key);
   if (it != signature_cache_.end()) {
@@ -102,7 +102,7 @@ void SignedZone::enable_nsec3(Nsec3Params params) {
     zone_.add(dns::ResourceRecord::make(zone_.apex(), zone_.negative_ttl(),
                                         dns::Rdata{param}));
   }
-  signature_cache_.clear();
+  invalidate_signature_cache();
 }
 
 void SignedZone::rebuild_nsec3_chain() {
